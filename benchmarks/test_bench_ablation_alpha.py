@@ -1,0 +1,56 @@
+"""Ablation: alpha sensitivity of every technique (generalises Fig 17).
+
+Figure 17 shows two alphas for a handful of configurations; this bench
+sweeps the full Figure 1 alpha range over *all* techniques at 16x.  The
+asserted structure: indirect techniques gain more from a high alpha
+than direct ones (the -alpha exponent is exactly where alpha enters),
+and every technique is monotone in alpha.
+"""
+
+from repro.core.techniques import (
+    ALL_TECHNIQUE_TYPES,
+    CacheCompression,
+    LinkCompression,
+)
+from repro.experiments.common import baseline_model
+
+ALPHAS = (0.25, 0.36, 0.48, 0.62)
+DIE = 256.0
+
+
+def alpha_sweep():
+    table = {}
+    for technique_type in ALL_TECHNIQUE_TYPES:
+        effect = technique_type.realistic().effect()
+        table[technique_type.label] = [
+            baseline_model(alpha).supportable_cores(
+                DIE, effect=effect
+            ).continuous_cores
+            for alpha in ALPHAS
+        ]
+    return table
+
+
+def test_bench_ablation_alpha(benchmark):
+    table = benchmark(alpha_sweep)
+    for label, cores in table.items():
+        assert cores == sorted(cores), label  # monotone in alpha
+
+    # The structural difference between the categories: an indirect
+    # technique's *relative* benefit grows with alpha (its capacity
+    # factor enters through the -alpha exponent), while a direct
+    # technique's relative benefit shrinks (the extra budget buys fewer
+    # cores when cache sensitivity is high).
+    base_lo = baseline_model(ALPHAS[0]).supportable_cores(DIE)
+    base_hi = baseline_model(ALPHAS[-1]).supportable_cores(DIE)
+    cc = table[CacheCompression.label]
+    lc = table[LinkCompression.label]
+    cc_gain_lo = cc[0] / base_lo.continuous_cores
+    cc_gain_hi = cc[-1] / base_hi.continuous_cores
+    lc_gain_lo = lc[0] / base_lo.continuous_cores
+    lc_gain_hi = lc[-1] / base_hi.continuous_cores
+    assert cc_gain_hi > cc_gain_lo   # indirect: relative benefit grows
+    assert lc_gain_hi < lc_gain_lo   # direct: relative benefit shrinks
+    # at equal 2x ratios the direct technique still wins at both extremes
+    assert lc_gain_lo > cc_gain_lo
+    assert lc_gain_hi > cc_gain_hi

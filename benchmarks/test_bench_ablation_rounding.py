@@ -1,0 +1,36 @@
+"""Ablation: floor vs round vs continuous core counts.
+
+The paper reports floored integers.  This bench quantifies how much of
+the reported numbers is rounding: across the four generations and all
+single techniques, flooring loses at most one core vs rounding, and the
+continuous solutions carry sub-core precision the paper discards.
+"""
+
+import math
+
+from repro.core.techniques import ALL_TECHNIQUE_TYPES
+from repro.experiments.common import GENERATION_CEAS, baseline_model
+
+
+def rounding_study():
+    model = baseline_model()
+    rows = []
+    effects = [None] + [t.realistic().effect() for t in ALL_TECHNIQUE_TYPES]
+    for effect in effects:
+        for ceas in GENERATION_CEAS:
+            kwargs = {} if effect is None else {"effect": effect}
+            solution = model.supportable_cores(ceas, **kwargs)
+            continuous = solution.continuous_cores
+            rows.append((continuous, math.floor(continuous + 1e-9),
+                         round(continuous)))
+    return rows
+
+
+def test_bench_ablation_rounding(benchmark):
+    rows = benchmark(rounding_study)
+    for continuous, floored, rounded in rows:
+        assert 0 <= rounded - floored <= 1
+        assert abs(continuous - floored) < 1.0
+    # Rounding up would overstate capability somewhere: at least one
+    # configuration has a fractional part above 0.5.
+    assert any(rounded > floored for _, floored, rounded in rows)

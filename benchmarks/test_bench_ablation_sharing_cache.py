@@ -1,0 +1,43 @@
+"""Ablation: shared vs private L2 under data sharing (footnote 1).
+
+The paper's Figure 13 assumes a shared L2, where sharing helps both
+traffic and capacity; its footnote notes private L2s replicate shared
+lines, keeping capacity per core unchanged.  This bench quantifies the
+gap: the private-cache variant needs strictly more sharing at every
+generation, and at 128 cores it demands an implausible ~94% of all data
+shared (vs ~85% with a shared cache) — both needs compress toward 100%
+as scale grows, which is the paper's point that sharing alone cannot
+carry proportional scaling.
+"""
+
+from repro.core.presets import paper_baseline_design
+from repro.core.sharing import DataSharingModel
+
+GENERATIONS = ((32, 16), (64, 32), (128, 64), (256, 128))
+
+
+def required_sharing_both_variants():
+    shared = DataSharingModel(paper_baseline_design(), shared_cache=True)
+    private = DataSharingModel(paper_baseline_design(), shared_cache=False)
+    rows = []
+    for total_ceas, cores in GENERATIONS:
+        rows.append((
+            cores,
+            shared.required_sharing_fraction(total_ceas, cores),
+            private.required_sharing_fraction(total_ceas, cores),
+        ))
+    return rows
+
+
+def test_bench_ablation_sharing_cache(benchmark):
+    rows = benchmark(required_sharing_both_variants)
+    for cores, shared_need, private_need in rows:
+        assert private_need > shared_need
+    # both variants' needs are monotone in scale...
+    shared_needs = [row[1] for row in rows]
+    private_needs = [row[2] for row in rows]
+    assert shared_needs == sorted(shared_needs)
+    assert private_needs == sorted(private_needs)
+    # ...and the private variant crosses into implausible territory first
+    assert private_needs[-1] > 0.94
+    assert shared_needs[-1] < 0.90

@@ -1,0 +1,38 @@
+"""Ablation: the write-back cancellation of Equation 2.
+
+The model claims ``(1 + r_wb)`` cancels out of all traffic ratios, so a
+workload's fitted alpha is the same whether fitted on misses or on total
+traffic (misses + write-backs).  This bench verifies it on the
+simulator: the two fits agree within a small tolerance.
+"""
+
+import pytest
+
+from repro.analysis.fitting import fit_power_law
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.workloads.commercial import commercial_generator
+
+SIZES = (16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024)
+
+
+def measure_miss_and_traffic_curves():
+    miss_rates = []
+    traffic = []
+    for size in SIZES:
+        gen = commercial_generator("OLTP-1", working_set_lines=1 << 13)
+        cache = SetAssociativeCache(size_bytes=size)
+        for access in gen.warmup_accesses():
+            cache.access(access.address, is_write=access.is_write)
+        cache.reset_statistics()
+        for access in gen.accesses(50_000):
+            cache.access(access.address, is_write=access.is_write)
+        miss_rates.append(cache.stats.miss_rate)
+        traffic.append(cache.stats.traffic_per_access)
+    return miss_rates, traffic
+
+
+def test_bench_ablation_writeback(bench_once):
+    miss_rates, traffic = bench_once(measure_miss_and_traffic_curves)
+    alpha_miss = fit_power_law(SIZES, miss_rates).alpha
+    alpha_traffic = fit_power_law(SIZES, traffic).alpha
+    assert alpha_traffic == pytest.approx(alpha_miss, abs=0.05)

@@ -1,0 +1,92 @@
+"""Benchmarks for the extension experiments.
+
+Each regenerates one extension study (the paper's acknowledged
+limitations, modelled/measured) and asserts its qualitative outcome.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ext_amdahl,
+    ext_heterogeneous,
+    ext_line_size,
+    ext_private_sharing,
+    ext_roadmap,
+    ext_smt,
+)
+
+
+def test_bench_ext_heterogeneous(benchmark):
+    result = benchmark(ext_heterogeneous.run)
+    by_label = {s.mix.label: s for s in result.solutions}
+    # under the wall, bandwidth efficiency decides: the base core's
+    # throughput is not beaten by the bandwidth-hungry big core
+    assert by_label["1xbase"].throughput >= by_label["1xbig"].throughput
+    # little cores maximise count but not necessarily throughput
+    assert by_label["1xlittle"].total_cores > by_label["1xbase"].total_cores
+
+
+def test_bench_ext_roadmap(benchmark):
+    result = benchmark(ext_roadmap.run)
+    # no realistic roadmap keeps proportional pace without techniques
+    for (name, ratio), (onset, _) in result.studies.items():
+        if ratio == 1.0:
+            assert onset == 1
+    # link compression delays the flat roadmap's onset
+    assert result.studies[("flat", 2.0)][0] > result.studies[("flat", 1.0)][0]
+
+
+def test_bench_ext_smt(benchmark):
+    result = benchmark(ext_smt.run)
+    severities = [values[1] for values in result.by_width.values()]
+    assert severities == sorted(severities)
+    assert severities[-1] > 0.5   # 8-way SMT severely tightens the wall
+
+
+def test_bench_ext_amdahl(benchmark):
+    result = benchmark(ext_amdahl.run)
+    # the wall binds across the grid on a balanced baseline
+    assert all(constraint == "bandwidth"
+               for constraint, _ in result.grid.values())
+
+
+def test_bench_ext_linesize(bench_once):
+    result = bench_once(ext_line_size.run)
+    fetched = [values[1] for values in result.by_line_size.values()]
+    assert fetched == sorted(fetched)
+    assert fetched[-1] > 5 * fetched[0]
+
+
+def test_bench_ext_sharing(bench_once):
+    result = bench_once(ext_private_sharing.run, core_counts=(4,),
+                        accesses_per_core=10_000)
+    shared_rate, private_rate, replication = result.by_cores[4]
+    assert private_rate > shared_rate
+    assert replication > 1.0
+
+
+def test_bench_ext_power(benchmark):
+    from repro.experiments import ext_power
+
+    result = benchmark(ext_power.run)
+    # the paper's wall binds near-term; power is the next wall behind it
+    assert result.binding_at("base", 32.0) == "bandwidth"
+    assert result.binding_at("base", 256.0) == "power"
+    assert result.binding_at("link-compressed", 32.0) == "power"
+
+
+def test_bench_ext_wall(bench_once):
+    from repro.experiments import ext_wall
+
+    result = bench_once(ext_wall.run)
+    plateau = {name: points[-1][1] for name, points in result.curves.items()}
+    assert plateau["2x link compression"] > 1.9 * plateau["baseline"]
+
+
+def test_bench_ext_overheads(benchmark):
+    from repro.experiments import ext_overheads
+
+    result = benchmark(ext_overheads.run)
+    assert result.asymptote("superlinear fabric") < result.asymptote(
+        "free interconnect"
+    )

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 1 (miss curves + power-law fits).
+
+The heaviest artifact: synthesises 15 workloads and profiles ~1M
+accesses through the exact Mattson stack-distance machinery.  The
+asserted shape: commercial alphas bracket the paper's 0.36-0.62 with an
+average near 0.48, and SPEC 2006's average is the shallowest curve.
+"""
+
+import pytest
+
+from repro.experiments import fig01
+
+
+def test_bench_fig01(bench_once):
+    result = bench_once(fig01.run, accesses=80_000,
+                        working_set_lines=1 << 13)
+    assert result.commercial_average_alpha == pytest.approx(0.48, abs=0.06)
+    assert result.commercial_min_alpha == pytest.approx(0.36, abs=0.05)
+    assert result.commercial_max_alpha == pytest.approx(0.62, abs=0.05)
+    assert result.spec2006_alpha < result.commercial_min_alpha
+    # every commercial curve is a clean log-log line
+    for spec_name in ("OLTP-2", "OLTP-4", "SPECjbb (linux)"):
+        assert result.fits[spec_name].r_squared > 0.99

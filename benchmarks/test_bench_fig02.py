@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 2 (traffic vs cores, next generation)."""
+
+import pytest
+
+from repro.experiments import fig02
+
+
+def test_bench_fig02(benchmark):
+    result = benchmark(fig02.run)
+    assert result.supportable_cores_flat == 11          # paper: 11
+    assert result.supportable_cores_optimistic == 13    # paper: 13
+    assert result.traffic_at_16_cores == pytest.approx(2.0)  # paper: 2x

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 3 (die-area allocation, 1x..128x)."""
+
+import pytest
+
+from repro.experiments import fig03
+
+
+def test_bench_fig03(benchmark):
+    result = benchmark(fig03.run)
+    assert result.cores_at_16x == 24                       # paper: 24
+    assert result.core_area_share_at_16x == pytest.approx(0.10, abs=0.015)
+    shares = result.figure.get("% of Chip Area for Cores").ys
+    assert list(shares) == sorted(shares, reverse=True)    # keeps falling

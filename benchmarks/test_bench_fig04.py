@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4 (cache compression sweep)."""
+
+from repro.experiments import fig04
+
+
+def test_bench_fig04(benchmark):
+    result = benchmark(fig04.run, ratios=(1.3, 1.7, 2.0, 2.5, 3.0))
+    # paper: "11, 12, 13, 14, and 14 respectively"
+    assert list(result.cores_by_parameter.values()) == [11, 12, 13, 14, 14]
+    assert result.baseline_cores == 11

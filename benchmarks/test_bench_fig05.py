@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 5 (DRAM cache densities)."""
+
+from repro.experiments import fig05
+
+
+def test_bench_fig05(benchmark):
+    result = benchmark(fig05.run)
+    # paper: 4x -> 16 (proportional), 8x -> 18, 16x -> 21
+    assert result.cores_by_parameter == {4.0: 16, 8.0: 18, 16.0: 21}

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (3D-stacked cache variants)."""
+
+from repro.experiments import fig06
+
+
+def test_bench_fig06(benchmark):
+    result = benchmark(fig06.run)
+    # paper: SRAM layer -> 14; DRAM 8x -> 25; DRAM 16x -> 32
+    assert result.cores_by_parameter == {1.0: 14, 8.0: 25, 16.0: 32}
+    assert result.baseline_cores == 11

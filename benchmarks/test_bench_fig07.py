@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 (unused-data filtering)."""
+
+from repro.experiments import fig07
+
+
+def test_bench_fig07(benchmark):
+    result = benchmark(fig07.run)
+    # paper: realistic 40% -> one extra core (12); optimistic 80% -> 16
+    assert result.cores_by_parameter[0.4] == 12
+    assert result.cores_by_parameter[0.8] == 16

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8 (smaller cores)."""
+
+from repro.experiments import fig08
+
+
+def test_bench_fig08(benchmark):
+    result = benchmark(fig08.run)
+    # paper: poor scaling even at 80x smaller cores (~12), because the
+    # freed area only doubles cache/core while proportional needs 4x
+    assert result.cores_by_parameter[80.0] == 12
+    assert all(c < 16 for c in result.cores_by_parameter.values())

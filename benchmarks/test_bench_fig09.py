@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 9 (link compression)."""
+
+from repro.experiments import fig09
+
+
+def test_bench_fig09(benchmark):
+    result = benchmark(fig09.run)
+    # paper: 2x -> proportional (16); beyond -> super-proportional
+    assert result.cores_by_parameter[2.0] == 16
+    assert result.cores_by_parameter[3.0] > 16
+    assert result.cores_by_parameter[1.25] < 16

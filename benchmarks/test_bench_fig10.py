@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 10 (sectored caches)."""
+
+from repro.experiments import fig07, fig10
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark(fig10.run)
+    # paper: more potential than unused-data filtering at every fraction
+    filtering = fig07.run()
+    for fraction, cores in result.cores_by_parameter.items():
+        assert cores >= filtering.cores_by_parameter[fraction]
+    assert result.cores_by_parameter[0.8] == 23

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 11 (smaller cache lines)."""
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark(fig11.run)
+    # paper: realistic 40% unused -> exactly proportional scaling
+    assert result.cores_by_parameter[0.4] == 16
+    assert result.cores_by_parameter[0.8] > 16

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 12 (cache+link compression)."""
+
+from repro.experiments import fig04, fig09, fig12
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark(fig12.run)
+    # paper: moderate 2.0x -> 18 cores (super-proportional)
+    assert result.cores_by_parameter[2.0] == 18
+    # dual beats both pure variants at every ratio
+    cc = fig04.run().cores_by_parameter
+    lc = fig09.run().cores_by_parameter
+    for ratio, cores in result.cores_by_parameter.items():
+        assert cores >= cc[ratio]
+        assert cores >= lc[ratio]

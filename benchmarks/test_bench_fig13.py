@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 13 (data sharing vs traffic)."""
+
+import pytest
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark):
+    result = benchmark(fig13.run)
+    # paper: constant traffic needs 40 / 63 / 77 / 86 % sharing
+    assert result.required_sharing[16] == pytest.approx(0.40, abs=0.01)
+    assert result.required_sharing[32] == pytest.approx(0.63, abs=0.01)
+    assert result.required_sharing[64] == pytest.approx(0.77, abs=0.015)
+    assert result.required_sharing[128] == pytest.approx(0.86, abs=0.015)

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 14 (PARSEC-like sharing measurement).
+
+Simulation-backed: runs the shared-L2 simulator over multithreaded
+synthetic traces at 4/8/16 cores.  The asserted shape is the paper's:
+the shared-line fraction sits in the ~15% band and *declines* with the
+core count.
+"""
+
+from repro.experiments import fig14
+
+
+def test_bench_fig14(bench_once):
+    result = bench_once(fig14.run, accesses_per_core=20_000)
+    assert result.is_declining
+    fractions = dict(result.measurements)
+    # paper band: ~17.5% at 4 cores falling to ~15% at 16
+    assert 0.12 <= fractions[16] <= 0.20
+    assert 0.14 <= fractions[4] <= 0.25
+    assert fractions[4] > fractions[16]

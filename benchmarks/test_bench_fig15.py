@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 15 (all techniques x four generations)."""
+
+from repro.experiments import fig15
+
+
+def test_bench_fig15(benchmark):
+    result = benchmark(fig15.run)
+    assert result.ideal == (16, 32, 64, 128)
+    assert result.base == (11, 14, 19, 24)   # paper quotes 11 and 24
+    at_16x = {c.label: c.realistic for c in result.candles
+              if c.generation == "16x"}
+    # intro bullets: DRAM 47, LC 38, CC 30 at four generations
+    assert at_16x["DRAM"] == 47
+    assert at_16x["LC"] == 38
+    assert at_16x["CC"] == 30
+    # dual > direct > indirect at equal ratios
+    assert at_16x["CC/LC"] > at_16x["LC"] > at_16x["CC"]

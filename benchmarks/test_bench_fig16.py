@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 16 (technique combinations)."""
+
+import pytest
+
+from repro.core.combos import TechniqueStack
+from repro.core.techniques import LinkCompression, SmallCacheLines
+from repro.experiments import fig16
+
+
+def test_bench_fig16(benchmark):
+    result = benchmark(fig16.run)
+    name, cores = result.best_at_16x
+    assert name == "CC/LC + DRAM + 3D + SmCl"
+    assert cores == 183                      # paper: 183 (71% of die)
+    assert len(result.combos) == 15
+    # section 6.4: LC + SmCl alone directly removes 70% of traffic
+    stack = TechniqueStack((LinkCompression(2.0), SmallCacheLines(0.4)))
+    assert stack.direct_traffic_reduction == pytest.approx(0.7)

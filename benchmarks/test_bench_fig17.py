@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 17 (alpha sensitivity)."""
+
+import pytest
+
+from repro.experiments import fig17
+
+
+def test_bench_fig17(benchmark):
+    result = benchmark(fig17.run)
+    # paper: in the BASE case a large alpha enables almost twice the
+    # cores of a small alpha; with techniques the gap grows further
+    base_hi = result.cores[("BASE", 0.62)][-1]
+    base_lo = result.cores[("BASE", 0.25)][-1]
+    assert base_hi / base_lo == pytest.approx(2.0, abs=0.35)
+    combo_hi = result.cores[("CC/LC + DRAM + 3D", 0.62)][-1]
+    combo_lo = result.cores[("CC/LC + DRAM + 3D", 0.25)][-1]
+    assert combo_hi - combo_lo > base_hi - base_lo
+    # small alpha blocks proportional scaling; large alpha exceeds it
+    assert combo_lo < 128 < combo_hi

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (technique summary with core counts)."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark):
+    entries = benchmark(table2.run)
+    assert len(entries) == 9
+    by_label = {e.row.label: e for e in entries}
+    # quantitative anchors behind the qualitative ratings
+    assert by_label["CC"].cores_realistic == 13
+    assert by_label["DRAM"].cores_realistic == 18
+    assert by_label["LC"].cores_realistic == 16
+    assert by_label["CC/LC"].cores_realistic == 18
+    assert by_label["SmCo"].cores_realistic == 12
+    # "Range" rating consistency: High-variability spreads dominate Low
+    low = [e.spread for e in entries if e.row.variability == "Low"]
+    high = [e.spread for e in entries if e.row.variability == "High"]
+    assert max(low) <= min(high)

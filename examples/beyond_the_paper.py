@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Beyond the paper: the limitations of Section 3, modelled.
+
+The paper scopes out heterogeneous CMPs, multithreaded cores, and
+explicit bandwidth roadmaps.  This example exercises the extension
+modules that lift each restriction:
+
+1. roadmaps — when does the wall bite under ITRS pin growth vs the
+   frequency/channel levers industry actually pulled?
+2. SMT — how much worse is the wall when cores don't idle?
+3. heterogeneity — does a big+little mix beat uniform cores under a
+   fixed traffic budget?
+4. Amdahl — for which workloads does the wall even matter?
+"""
+
+from repro import (
+    BASE_CORE,
+    BIG_CORE,
+    CombinedWallModel,
+    HeterogeneousMix,
+    HeterogeneousWallModel,
+    ITRS_ROADMAP,
+    LITTLE_CORE,
+    MultithreadedWallModel,
+    OPTIMISTIC_ROADMAP,
+    SMTParameters,
+    paper_baseline_design,
+    paper_baseline_model,
+    wall_onset,
+)
+
+
+def roadmaps() -> None:
+    print("== 1. bandwidth roadmaps: cores per generation ==")
+    model = paper_baseline_model()
+    for roadmap in (ITRS_ROADMAP, OPTIMISTIC_ROADMAP):
+        onset, trajectory = wall_onset(model, roadmap, max_generations=5)
+        cores = " ".join(f"{p.supportable_cores:>3d}" for p in trajectory)
+        print(f"  {roadmap.name:<28} {cores}   (wall bites at gen {onset})")
+    print("  proportional demand          " + " ".join(
+        f"{8 * 2**g:>3d}" for g in range(1, 6)))
+
+
+def smt() -> None:
+    print("\n== 2. SMT cores tighten the wall (64-CEA die) ==")
+    model = paper_baseline_model()
+    for width in (1, 2, 4, 8):
+        smt_model = MultithreadedWallModel(
+            model, SMTParameters(threads_per_core=width,
+                                 marginal_utilisation=0.5)
+        )
+        solution = smt_model.supportable_cores(64)
+        print(f"  {width}-way SMT: {solution.cores:>3d} cores "
+              f"({smt_model.severity_vs_single_threaded(64):.0%} fewer "
+              "than single-threaded)")
+
+
+def heterogeneity() -> None:
+    print("\n== 3. heterogeneous mixes under constant traffic "
+          "(64-CEA die) ==")
+    model = HeterogeneousWallModel(paper_baseline_design())
+    mixes = [
+        HeterogeneousMix.uniform(BIG_CORE),
+        HeterogeneousMix.uniform(BASE_CORE),
+        HeterogeneousMix.uniform(LITTLE_CORE),
+        HeterogeneousMix(((BIG_CORE, 1.0), (LITTLE_CORE, 4.0))),
+    ]
+    for mix in mixes:
+        solution = model.solve_mix(mix, 64)
+        print(f"  {mix.label:<18} {solution.total_cores:>5.1f} cores, "
+              f"throughput {solution.throughput:5.2f}, "
+              f"cache/core {solution.cache_per_core:.2f} CEA")
+
+
+def amdahl() -> None:
+    print("\n== 4. who cares about the wall? (16x die) ==")
+    model = paper_baseline_model()
+    for fraction in (0.5, 0.9, 0.99, 0.999):
+        combined = CombinedWallModel(model, fraction)
+        point = combined.design_point(256)
+        print(f"  f={fraction:<6} usable {point.usable_cores:6.1f} cores, "
+              f"speedup {point.speedup:6.1f}, binding: "
+              f"{point.binding_constraint}")
+    print("  (serial-heavy workloads never miss the denied cores; "
+          "parallel ones pay full price)")
+
+
+def main() -> None:
+    roadmaps()
+    smt()
+    heterogeneity()
+    amdahl()
+
+
+if __name__ == "__main__":
+    main()

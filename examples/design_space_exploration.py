@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Design-space exploration for a CMP architect.
+
+A designer planning a chip two generations out (4x transistors) sweeps
+the knobs the model exposes:
+
+* bandwidth growth per generation (flat pins vs ITRS ~15%/gen vs 50%),
+* workload sensitivity alpha (Figure 1's measured range),
+* die split (how much traffic does each extra core cost?),
+* data sharing (how much does a parallel workload relax the wall?).
+"""
+
+from repro import (
+    ChipDesign,
+    DataSharingModel,
+    paper_baseline_design,
+    paper_baseline_model,
+)
+from repro.core.presets import (
+    BANDWIDTH_GROWTH_ITRS_PER_GENERATION,
+    BANDWIDTH_GROWTH_OPTIMISTIC_NEXT_GEN,
+)
+
+TARGET_CEAS = 64  # two generations: 4x the 16-CEA baseline
+
+
+def sweep_bandwidth_growth() -> None:
+    print("== bandwidth growth per generation vs supportable cores "
+          f"({TARGET_CEAS} CEAs) ==")
+    model = paper_baseline_model()
+    for label, growth in [
+        ("flat (constant traffic)", 1.0),
+        ("ITRS pins (~15%/gen)", BANDWIDTH_GROWTH_ITRS_PER_GENERATION),
+        ("optimistic (+50%/gen)", BANDWIDTH_GROWTH_OPTIMISTIC_NEXT_GEN),
+        ("keeps pace (2x/gen)", 2.0),
+    ]:
+        budget = growth**2  # two generations
+        solution = model.supportable_cores(TARGET_CEAS,
+                                           traffic_budget=budget)
+        print(f"  {label:<26} budget {budget:4.2f}x -> "
+              f"{solution.cores:>3d} cores")
+
+
+def sweep_alpha() -> None:
+    print("\n== workload alpha vs supportable cores (constant traffic) ==")
+    for alpha in (0.25, 0.36, 0.48, 0.5, 0.62, 0.7):
+        model = paper_baseline_model(alpha=alpha)
+        solution = model.supportable_cores(TARGET_CEAS)
+        print(f"  alpha={alpha:4.2f} -> {solution.cores:>3d} cores "
+              f"({solution.core_area_share:.0%} of die)")
+
+
+def sweep_die_split() -> None:
+    print(f"\n== die split on the {TARGET_CEAS}-CEA die: traffic cost of "
+          "each split ==")
+    model = paper_baseline_model()
+    for cores in (8, 16, 24, 32, 40, 48):
+        traffic = model.relative_traffic(TARGET_CEAS, cores)
+        flag = "  <= fits constant-traffic budget" if traffic <= 1 else ""
+        print(f"  {cores:>3d} cores / {TARGET_CEAS - cores:>3d} cache CEAs: "
+              f"traffic {traffic:5.2f}x{flag}")
+
+
+def sweep_sharing() -> None:
+    print("\n== data sharing vs cores (shared L2, 64 CEAs, proportional "
+          "target 32) ==")
+    sharing = DataSharingModel(paper_baseline_design())
+    for fraction in (0.0, 0.2, 0.4, 0.6, 0.8):
+        traffic = sharing.relative_traffic(TARGET_CEAS, 32, fraction)
+        print(f"  {fraction:.0%} shared -> traffic {traffic:5.2f}x")
+    needed = sharing.required_sharing_fraction(TARGET_CEAS, 32)
+    print(f"  constant traffic with 32 cores needs {needed:.0%} sharing "
+          "(paper: 63%)")
+
+
+def main() -> None:
+    sweep_bandwidth_growth()
+    sweep_alpha()
+    sweep_die_split()
+    sweep_sharing()
+
+
+if __name__ == "__main__":
+    main()

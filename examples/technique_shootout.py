@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Technique shootout: which bandwidth-conservation technique buys the
+most core scaling, alone and combined?
+
+Evaluates all nine Table 2 techniques at their realistic assumptions
+over four technology generations, then the paper's strongest stacks —
+ending at the 183-core all-techniques result.
+"""
+
+from repro import (
+    ALL_TECHNIQUE_TYPES,
+    PAPER_COMBINATIONS,
+    paper_baseline_model,
+    paper_combination,
+)
+
+GENERATION_CEAS = (32, 64, 128, 256)
+
+
+def main() -> None:
+    model = paper_baseline_model()
+
+    print("single techniques (realistic assumptions), cores per generation")
+    print(f"{'technique':>10} {'2x':>5} {'4x':>5} {'8x':>5} {'16x':>5}")
+    base = [model.supportable_cores(n).cores for n in GENERATION_CEAS]
+    print(f"{'IDEAL':>10} {16:>5} {32:>5} {64:>5} {128:>5}")
+    print(f"{'BASE':>10} " + " ".join(f"{c:>5}" for c in base))
+    ranking = []
+    for technique_type in ALL_TECHNIQUE_TYPES:
+        technique = technique_type.realistic()
+        cores = [
+            model.supportable_cores(n, effect=technique.effect()).cores
+            for n in GENERATION_CEAS
+        ]
+        ranking.append((technique_type.label, cores))
+        print(f"{technique_type.label:>10} "
+              + " ".join(f"{c:>5}" for c in cores))
+
+    best_single = max(ranking, key=lambda item: item[1][-1])
+    print(f"\nbest single technique at 16x: {best_single[0]} "
+          f"({best_single[1][-1]} cores)")
+
+    print("\ncombinations (Figure 16), cores at 16x:")
+    results = []
+    for name in PAPER_COMBINATIONS:
+        stack = paper_combination(name)
+        solution = model.supportable_cores(256, effect=stack.effect())
+        results.append((name, solution))
+    results.sort(key=lambda item: item[1].cores)
+    for name, solution in results:
+        marker = " <- super-proportional" if solution.cores > 128 else ""
+        print(f"  {name:<26} {solution.cores:>4d} cores "
+              f"({solution.core_area_share:.0%} of die){marker}")
+
+    name, solution = results[-1]
+    print(f"\nwinner: {name} -> {solution.cores} cores on "
+          f"{solution.core_area_share:.0%} of the die "
+          "(paper: 183 cores, 71%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""``python -m repro <experiment>`` — alias for the bandwidth-wall CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,66 @@
+"""Export figure data to CSV / JSON for downstream plotting.
+
+The experiments return :class:`~repro.analysis.series.FigureData`; these
+helpers serialise it so users can regenerate the paper's plots in their
+tool of choice without depending on any plotting library here.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from .series import FigureData
+
+__all__ = ["figure_to_csv", "figure_to_json", "write_figure"]
+
+
+def figure_to_csv(figure: FigureData) -> str:
+    """Long-format CSV: ``series,x,y`` with one row per point."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["series", "x", "y"])
+    for row in figure.to_rows():
+        writer.writerow([row["series"], row["x"], row["y"]])
+    return buffer.getvalue()
+
+
+def figure_to_json(figure: FigureData, *, indent: Optional[int] = 2) -> str:
+    """Self-describing JSON: metadata plus per-series point lists."""
+    payload = {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "notes": figure.notes,
+        "series": [
+            {"name": series.name,
+             "points": [[x, y] for x, y in series.points]}
+            for series in figure.series
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def write_figure(
+    figure: FigureData,
+    path: Union[str, Path],
+) -> Path:
+    """Write a figure to ``path``; the suffix picks the format.
+
+    ``.csv`` and ``.json`` are supported.
+    """
+    path = Path(path)
+    if path.suffix == ".csv":
+        content = figure_to_csv(figure)
+    elif path.suffix == ".json":
+        content = figure_to_json(figure)
+    else:
+        raise ValueError(
+            f"unsupported export format {path.suffix!r}; use .csv or .json"
+        )
+    path.write_text(content)
+    return path

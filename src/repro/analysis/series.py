@@ -1,0 +1,86 @@
+"""Plot-free figure data: named series and bar groups.
+
+Every experiment in :mod:`repro.experiments` returns a
+:class:`FigureData` — the exact numbers a plot of the corresponding
+paper figure would show — so results are assertable in tests, printable
+on a terminal, and exportable without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "FigureData"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line/bar series of (x, y) points."""
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError(f"series {self.name!r} has no points")
+
+    @property
+    def xs(self) -> Tuple[float, ...]:
+        return tuple(x for x, _ in self.points)
+
+    @property
+    def ys(self) -> Tuple[float, ...]:
+        return tuple(y for _, y in self.points)
+
+    def y_at(self, x: float) -> float:
+        """Exact y value at a given x (raises when absent)."""
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+    @classmethod
+    def from_xy(cls, name: str, xs: Sequence[float],
+                ys: Sequence[float]) -> "Series":
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        return cls(name, tuple(zip(xs, ys)))
+
+
+@dataclass
+class FigureData:
+    """All series of one figure plus its axis labels and caption."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, series: Series) -> None:
+        if any(s.name == series.name for s in self.series):
+            raise ValueError(f"duplicate series name {series.name!r}")
+        self.series.append(series)
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(
+            f"{self.figure_id} has no series {name!r}; available: "
+            f"{[s.name for s in self.series]}"
+        )
+
+    @property
+    def series_names(self) -> List[str]:
+        return [s.name for s in self.series]
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Long-format rows (series, x, y) for table rendering."""
+        return [
+            {"series": s.name, "x": x, "y": y}
+            for s in self.series
+            for x, y in s.points
+        ]

@@ -1,0 +1,90 @@
+"""Terminal-friendly table and chart rendering for experiment output.
+
+Keeps the benchmark harness printable without plotting libraries: every
+figure is shown as an aligned table plus (where it helps) a crude ASCII
+bar chart, echoing the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .series import FigureData
+
+__all__ = ["format_table", "format_figure", "ascii_bars"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(r) for r in text_rows)
+    return "\n".join(out)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart in plain text."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureData, *, max_rows: Optional[int] = None) -> str:
+    """Render a FigureData as a header plus long-format table."""
+    rows: List[List[object]] = [
+        [r["series"], r["x"], r["y"]] for r in figure.to_rows()
+    ]
+    if max_rows is not None:
+        rows = rows[:max_rows]
+    header = (
+        f"== {figure.figure_id}: {figure.title} ==\n"
+        f"   x = {figure.x_label}; y = {figure.y_label}"
+    )
+    body = format_table(["series", "x", "y"], rows)
+    if figure.notes:
+        return f"{header}\n{body}\n-- {figure.notes}"
+    return f"{header}\n{body}"

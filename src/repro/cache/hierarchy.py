@@ -1,0 +1,79 @@
+"""A private two-level cache hierarchy (one core's L1 + L2).
+
+The paper's base configuration gives each core a private L2 (Section 3).
+For the measurement pipelines, what matters is the *L2 miss stream* —
+that is the traffic that crosses the chip boundary.  The hierarchy is
+inclusive and write-back at both levels: an L1 victim's dirtiness is
+propagated into the L2 copy, and an L2 eviction invalidates the L1 copy
+to preserve inclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .block import AccessResult
+from .replacement import ReplacementPolicy
+from .set_assoc import SetAssociativeCache
+
+__all__ = ["PrivateCacheHierarchy"]
+
+
+class PrivateCacheHierarchy:
+    """An L1 backed by a private L2; traffic is counted at the L2."""
+
+    def __init__(
+        self,
+        l1_bytes: int = 32 * 1024,
+        l2_bytes: int = 512 * 1024,
+        line_bytes: int = 64,
+        l1_associativity: int = 4,
+        l2_associativity: int = 8,
+        l1_policy: Optional[ReplacementPolicy] = None,
+        l2_policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        if l1_bytes >= l2_bytes:
+            raise ValueError(
+                f"L1 ({l1_bytes}B) should be smaller than L2 ({l2_bytes}B)"
+            )
+        self.l1 = SetAssociativeCache(
+            l1_bytes, line_bytes, l1_associativity, policy=l1_policy
+        )
+        self.l2 = SetAssociativeCache(
+            l2_bytes, line_bytes, l2_associativity, policy=l2_policy
+        )
+        self.line_bytes = line_bytes
+
+    def access(self, address: int, is_write: bool = False,
+               core_id: int = 0) -> AccessResult:
+        """Access the hierarchy; the returned result is the L2's view.
+
+        An L1 hit produces a synthetic all-hit result; an L1 miss is
+        forwarded to the L2, and the off-chip traffic fields of the L2's
+        result are what the caller should meter.
+        """
+        l1_result = self.l1.access(address, is_write=is_write, core_id=core_id)
+        if l1_result.hit:
+            return AccessResult(hit=True)
+
+        # Write back an evicted dirty L1 line into the L2 (under
+        # inclusion it is resident there; the write marks the L2 copy
+        # dirty so its eventual eviction produces off-chip write-back
+        # traffic).
+        if l1_result.evicted is not None and l1_result.evicted.dirty:
+            victim_address = l1_result.evicted.line_addr * self.line_bytes
+            self.l2.access(victim_address, is_write=True, core_id=core_id)
+
+        return self.l2.access(address, is_write=is_write, core_id=core_id)
+
+    @property
+    def offchip_miss_rate(self) -> float:
+        """L2 misses per L1 access (the per-instruction traffic proxy)."""
+        if self.l1.stats.accesses == 0:
+            raise ValueError("no accesses recorded")
+        return self.l2.stats.misses / self.l1.stats.accesses
+
+    @property
+    def l2_local_miss_rate(self) -> float:
+        """L2 misses per L2 access."""
+        return self.l2.stats.miss_rate

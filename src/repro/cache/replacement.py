@@ -1,0 +1,177 @@
+"""Replacement policies for the set-associative simulators.
+
+Policies are factored out so the power-law measurements can be repeated
+under different replacement behaviour (the DESIGN.md replacement-policy
+ablation).  A policy owns a small amount of per-set state and answers
+three questions: what to update on a hit, what to update on a fill, and
+which way to evict.
+
+All policies here are O(associativity) per operation, which is plenty
+for the associativities the paper's configurations use (<= 16 ways).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Protocol
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy(Protocol):
+    """Per-set replacement state and decisions."""
+
+    def new_set_state(self, ways: int) -> object:
+        """Fresh state for a set with ``ways`` ways."""
+
+    def on_hit(self, state: object, way: int) -> None:
+        """Update state after a hit on ``way``."""
+
+    def on_fill(self, state: object, way: int) -> None:
+        """Update state after filling ``way``."""
+
+    def victim(self, state: object) -> int:
+        """Pick the way to evict from a full set."""
+
+
+class LRUPolicy:
+    """Least-recently-used: state is a recency list, most recent last."""
+
+    name = "lru"
+
+    def new_set_state(self, ways: int) -> List[int]:
+        return list(range(ways))
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)
+
+    def victim(self, state: List[int]) -> int:
+        return state[0]
+
+
+class FIFOPolicy:
+    """First-in-first-out: hits do not refresh a line's position."""
+
+    name = "fifo"
+
+    def new_set_state(self, ways: int) -> List[int]:
+        return list(range(ways))
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        pass  # insertion order only
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)
+
+    def victim(self, state: List[int]) -> int:
+        return state[0]
+
+
+class RandomPolicy:
+    """Uniform random victim selection with a private, seedable RNG."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def new_set_state(self, ways: int) -> int:
+        return ways
+
+    def on_hit(self, state: int, way: int) -> None:
+        pass
+
+    def on_fill(self, state: int, way: int) -> None:
+        pass
+
+    def victim(self, state: int) -> int:
+        return self._rng.randrange(state)
+
+
+class TreePLRUPolicy:
+    """Tree pseudo-LRU, the common hardware approximation of LRU.
+
+    State is a list of internal-node bits for a complete binary tree over
+    the ways (associativity must be a power of two).  Each access flips
+    the bits along its path to point *away* from the accessed way; the
+    victim is found by following the bits.
+    """
+
+    name = "tree-plru"
+
+    def new_set_state(self, ways: int) -> List:
+        if ways & (ways - 1):
+            raise ValueError(f"tree PLRU needs power-of-two ways, got {ways}")
+        return [ways, [0] * max(ways - 1, 1)]
+
+    def _update(self, state: List, way: int) -> None:
+        ways, bits = state
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1  # point away: right subtree is older
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        # leaf reached
+
+    def on_hit(self, state: List, way: int) -> None:
+        self._update(state, way)
+
+    def on_fill(self, state: List, way: int) -> None:
+        self._update(state, way)
+
+    def victim(self, state: List) -> int:
+        ways, bits = state
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits[node]:  # 1 points right (older)
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "tree-plru": TreePLRUPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Construct a replacement policy by name.
+
+    >>> make_policy("lru").name
+    'lru'
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,86 @@
+"""A shared L2 with per-line sharing measurement (Figure 14's apparatus).
+
+The paper measures PARSEC data sharing on "a shared L2 cache multicore
+simulator": *each time a cache line is evicted from the shared cache, we
+record whether the block is accessed by more than one core or not during
+the block's lifetime*.  :class:`SharedL2Cache` implements exactly that
+protocol on top of :class:`~repro.cache.set_assoc.SetAssociativeCache`,
+whose lines already carry sharer sets.
+
+``shared_line_fraction()`` is the figure's y-axis ("% of Shared Cache
+Lines"); call :meth:`drain` first so lines still resident at the end of
+the run contribute their residency too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .replacement import ReplacementPolicy
+from .set_assoc import SetAssociativeCache
+from .stats import CacheStats
+
+__all__ = ["SharedL2Cache"]
+
+
+class SharedL2Cache:
+    """A single L2 shared by ``num_cores`` cores.
+
+    The cache itself is physically unified (possibly banked in a real
+    design, which does not affect sharing statistics); each access is
+    attributed to the issuing core so a line's sharer set accumulates
+    over its residency.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        num_cores: int,
+        line_bytes: int = 64,
+        associativity: int = 16,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.num_cores = num_cores
+        self._cache = SetAssociativeCache(
+            size_bytes=size_bytes,
+            line_bytes=line_bytes,
+            associativity=associativity,
+            policy=policy,
+        )
+        self._drained = False
+
+    def access(self, address: int, core_id: int, is_write: bool = False):
+        """One access from ``core_id``; returns the AccessResult."""
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError(
+                f"core_id {core_id} out of range for {self.num_cores} cores"
+            )
+        if self._drained:
+            raise RuntimeError("cache already drained; create a new instance")
+        return self._cache.access(address, is_write=is_write, core_id=core_id)
+
+    def drain(self) -> None:
+        """Flush resident lines so their sharing metadata is counted."""
+        if not self._drained:
+            self._cache.flush()
+            self._drained = True
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def shared_line_fraction(self, *, include_resident: bool = True) -> float:
+        """Fraction of lines with >= 2 sharers over their lifetime.
+
+        With ``include_resident`` (the default), lines still resident are
+        drained first, matching an end-of-run measurement.
+        """
+        if include_resident:
+            self.drain()
+        return self.stats.shared_line_fraction
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.miss_rate

@@ -1,0 +1,120 @@
+"""Aggregated statistics for cache simulations.
+
+These counters capture every quantity the paper's model consumes:
+
+* miss rate (the power-law fits of Figure 1),
+* write-backs as a fraction of misses (``r_wb``, Section 4.2),
+* words fetched vs words used (the unused-data fractions of Sections
+  6.1-6.3),
+* off-chip bytes in both directions (raw traffic),
+* lines evicted with >= 2 sharers (Figure 14's shared-line fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .block import AccessResult, CacheLine
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over a simulation run."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    bytes_fetched: int = 0
+    bytes_written_back: int = 0
+    #: Eviction-time usage accounting (filled when lines are evicted or
+    #: flushed, so it reflects completed residencies only).
+    lines_evicted: int = 0
+    words_per_line: int = 8
+    words_touched_total: int = 0
+    shared_lines_evicted: int = 0
+
+    def record(self, result: AccessResult) -> None:
+        """Fold one access outcome into the counters."""
+        self.accesses += 1
+        if result.hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if result.writeback:
+            self.writebacks += 1
+        self.bytes_fetched += result.bytes_fetched
+        self.bytes_written_back += result.bytes_written_back
+        if result.evicted is not None:
+            self.record_eviction(result.evicted)
+
+    def record_eviction(self, line: CacheLine) -> None:
+        """Fold the end-of-residency metadata of an evicted line."""
+        self.lines_evicted += 1
+        self.words_touched_total += line.touched_word_count()
+        if line.is_shared():
+            self.shared_lines_evicted += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access."""
+        if self.accesses == 0:
+            raise ValueError("no accesses recorded")
+        return self.misses / self.accesses
+
+    @property
+    def writeback_ratio(self) -> float:
+        """``r_wb`` — write-backs per miss (Section 4.2)."""
+        if self.misses == 0:
+            raise ValueError("no misses recorded")
+        return self.writebacks / self.misses
+
+    @property
+    def traffic_per_access(self) -> float:
+        """Off-chip bytes (both directions) per access."""
+        if self.accesses == 0:
+            raise ValueError("no accesses recorded")
+        return (self.bytes_fetched + self.bytes_written_back) / self.accesses
+
+    @property
+    def unused_word_fraction(self) -> float:
+        """Fraction of words in evicted lines that were never touched.
+
+        The quantity behind Figures 7/10/11 ("on average, 40% of the
+        8-byte words in a 64-byte cache line are never accessed").
+        """
+        if self.lines_evicted == 0:
+            raise ValueError("no evictions recorded")
+        total_words = self.lines_evicted * self.words_per_line
+        return 1.0 - self.words_touched_total / total_words
+
+    @property
+    def shared_line_fraction(self) -> float:
+        """Fraction of evicted lines accessed by >= 2 cores (Figure 14)."""
+        if self.lines_evicted == 0:
+            raise ValueError("no evictions recorded")
+        return self.shared_lines_evicted / self.lines_evicted
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stats objects."""
+        if self.words_per_line != other.words_per_line:
+            raise ValueError("cannot merge stats with different line geometry")
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            writebacks=self.writebacks + other.writebacks,
+            bytes_fetched=self.bytes_fetched + other.bytes_fetched,
+            bytes_written_back=self.bytes_written_back + other.bytes_written_back,
+            lines_evicted=self.lines_evicted + other.lines_evicted,
+            words_per_line=self.words_per_line,
+            words_touched_total=self.words_touched_total + other.words_touched_total,
+            shared_lines_evicted=self.shared_lines_evicted
+            + other.shared_lines_evicted,
+        )

@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Two modes:
+
+* **experiment mode** — regenerate a paper artifact::
+
+      bandwidth-wall list                 # available experiment ids
+      bandwidth-wall fig2                 # print one figure's data
+      bandwidth-wall all                  # run everything
+      python -m repro fig16               # module form
+
+* **scenario mode** — solve a custom design question::
+
+      bandwidth-wall solve --ceas 64 --alpha 0.45 --budget 1.5 \\
+          --technique DRAM=8 --technique CC/LC=2 --technique SmCl=0.4
+
+  prints the supportable core count, die split and traffic
+  decomposition for the given configuration.
+
+Every experiment prints the rows/series the paper reports plus the
+paper's checkpoint values for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core.presets import paper_baseline_design
+from .core.scaling import BandwidthWallModel
+from .core.techniques import (
+    CacheCompression,
+    CacheLinkCompression,
+    DRAMCache,
+    LinkCompression,
+    NEUTRAL_EFFECT,
+    SectoredCache,
+    SmallCacheLines,
+    SmallerCores,
+    ThreeDStackedCache,
+    UnusedDataFiltering,
+)
+from .experiments import experiment_ids, print_experiment
+
+__all__ = ["main"]
+
+#: label -> constructor taking the --technique parameter value.
+_TECHNIQUE_PARSERS = {
+    "CC": lambda value: CacheCompression(float(value or 2.0)),
+    "DRAM": lambda value: DRAMCache(float(value or 8.0)),
+    "3D": lambda value: ThreeDStackedCache(float(value or 1.0)),
+    "Fltr": lambda value: UnusedDataFiltering(float(value or 0.4)),
+    "SmCo": lambda value: SmallerCores(1.0 / float(value or 40.0)),
+    "LC": lambda value: LinkCompression(float(value or 2.0)),
+    "Sect": lambda value: SectoredCache(float(value or 0.4)),
+    "SmCl": lambda value: SmallCacheLines(float(value or 0.4)),
+    "CC/LC": lambda value: CacheLinkCompression(float(value or 2.0)),
+}
+
+
+def _parse_technique(spec: str):
+    """Parse ``LABEL`` or ``LABEL=value`` into a Technique."""
+    label, _, value = spec.partition("=")
+    label = label.strip()
+    if label not in _TECHNIQUE_PARSERS:
+        raise argparse.ArgumentTypeError(
+            f"unknown technique {label!r}; choose from "
+            f"{sorted(_TECHNIQUE_PARSERS)}"
+        )
+    try:
+        return _TECHNIQUE_PARSERS[label](value.strip() or None)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"bad parameter for {label}: {error}"
+        ) from None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bandwidth-wall",
+        description="Reproduce 'Scaling the Bandwidth Wall' (ISCA 2009) "
+                    "or solve custom scaling scenarios.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig2, table2, ext-roadmap), 'list', "
+             "'all', or 'solve'",
+    )
+    parser.add_argument("--ceas", type=float, default=32.0,
+                        help="[solve] die size in CEAs (default 32)")
+    parser.add_argument("--alpha", type=float, default=0.5,
+                        help="[solve] workload alpha (default 0.5)")
+    parser.add_argument("--budget", type=float, default=1.0,
+                        help="[solve] traffic budget B (default 1.0)")
+    parser.add_argument(
+        "--technique", action="append", default=[], metavar="LABEL[=VALUE]",
+        help="[solve] add a technique, e.g. DRAM=8, CC/LC=2, SmCl=0.4, "
+             "3D, SmCo=40 (repeatable)",
+    )
+    parser.add_argument(
+        "--out", default="reproduction_report.md",
+        help="[report] output path (default reproduction_report.md)",
+    )
+    parser.add_argument(
+        "--with-simulations", action="store_true",
+        help="[report] include the simulation-backed figures (1 and 14)",
+    )
+    return parser
+
+
+def _solve(args: argparse.Namespace) -> int:
+    model = BandwidthWallModel(paper_baseline_design(), alpha=args.alpha)
+    effect = NEUTRAL_EFFECT
+    labels = []
+    for spec in args.technique:
+        technique = _parse_technique(spec)
+        effect = effect.combine(technique.effect())
+        labels.append(technique.label)
+    solution = model.supportable_cores(
+        args.ceas, traffic_budget=args.budget, effect=effect
+    )
+    stack_label = " + ".join(labels) if labels else "none"
+    print(f"baseline      : 8 cores + 8 cache CEAs, alpha={args.alpha}")
+    print(f"die           : {args.ceas:g} CEAs, traffic budget "
+          f"{args.budget:g}x")
+    print(f"techniques    : {stack_label}")
+    print(f"cores         : {solution.cores} "
+          f"(continuous {solution.continuous_cores:.2f})")
+    print(f"core area     : {solution.core_area_share:.1%} of die")
+    print(f"cache/core    : {solution.effective_cache_per_core:.2f} "
+          "SRAM-equivalent CEAs")
+    if solution.area_limited:
+        print("note          : area limited — the traffic budget would "
+              "admit more cores than fit")
+    proportional = 8 * args.ceas / 16
+    verdict = ("super-proportional"
+               if solution.continuous_cores > proportional
+               else "sub-proportional")
+    print(f"vs proportional ({proportional:g} cores): {verdict}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    target = args.experiment.lower()
+
+    if target == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+
+    if target == "solve":
+        try:
+            return _solve(args)
+        except (argparse.ArgumentTypeError, ValueError) as error:
+            print(error, file=sys.stderr)
+            return 2
+
+    if target == "report":
+        from .analysis.report import write_report
+
+        path = write_report(
+            args.out, include_simulations=args.with_simulations
+        )
+        print(f"wrote {path}")
+        return 0
+
+    if target == "all":
+        for experiment_id in experiment_ids():
+            started = time.time()
+            print(f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}")
+            print_experiment(experiment_id)
+            print(f"[{experiment_id} done in {time.time() - started:.1f}s]")
+        return 0
+
+    try:
+        print_experiment(target)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

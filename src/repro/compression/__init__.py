@@ -1,0 +1,31 @@
+"""Compression substrate: FPC, BDI and value-cache link compression.
+
+Real codecs (round-trip verified) whose measured ratios feed the
+analytical model's ``CacheCompression`` / ``LinkCompression`` /
+``CacheLinkCompression`` effectiveness factors.
+"""
+
+from . import bdi, fpc
+from .link import LinkCompressor, LinkDecompressor, measure_link_ratio
+from .ratios import (
+    ENGINES,
+    RatioReport,
+    engine_by_name,
+    measure_all,
+    measure_cache_ratio,
+)
+from .system import CompressedMemorySystem
+
+__all__ = [
+    "fpc",
+    "bdi",
+    "LinkCompressor",
+    "LinkDecompressor",
+    "measure_link_ratio",
+    "RatioReport",
+    "measure_cache_ratio",
+    "measure_all",
+    "ENGINES",
+    "engine_by_name",
+    "CompressedMemorySystem",
+]

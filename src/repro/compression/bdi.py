@@ -1,0 +1,166 @@
+"""Base-Delta-Immediate (BDI) compression — an alternate cache engine.
+
+BDI exploits *value locality within a line*: if all k-byte chunks of a
+line are close to a common base (or to zero), the line is stored as one
+base plus small deltas.  We implement the standard encoder menu:
+
+* ``zeros`` — the all-zero line (1 byte of metadata),
+* ``repeat`` — one repeated 8-byte value (8 bytes + metadata),
+* ``base{8,4,2}-delta{1,2,4}`` — base of b bytes, per-chunk deltas of d
+  bytes, with an immediate (base 0) mask so a line can mix small
+  absolute values and near-base values.
+
+:func:`compress` returns an encoding record that :func:`decompress`
+inverts exactly; the size helpers feed the cache/link models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "BDIEncoding",
+    "compress",
+    "decompress",
+    "compressed_size_bytes",
+    "compression_ratio",
+]
+
+#: (base_bytes, delta_bytes) encoder menu, best-first is decided by size.
+_MENU: Tuple[Tuple[int, int], ...] = (
+    (8, 1), (8, 2), (8, 4), (4, 1), (4, 2), (2, 1),
+)
+
+_METADATA_BYTES = 1  # encoding selector
+
+
+@dataclass(frozen=True)
+class BDIEncoding:
+    """One encoded line."""
+
+    scheme: str  # "zeros" | "repeat" | "uncompressed" | "b{b}d{d}"
+    line_bytes: int
+    base: int = 0
+    base_bytes: int = 0
+    delta_bytes: int = 0
+    #: Per-chunk deltas (signed) and immediate flags (True = delta from 0).
+    deltas: Tuple[int, ...] = ()
+    immediates: Tuple[bool, ...] = ()
+    raw: bytes = b""
+
+    @property
+    def size_bytes(self) -> int:
+        if self.scheme == "zeros":
+            return _METADATA_BYTES
+        if self.scheme == "repeat":
+            return _METADATA_BYTES + 8
+        if self.scheme == "uncompressed":
+            return self.line_bytes
+        chunks = self.line_bytes // self.base_bytes
+        mask_bytes = (chunks + 7) // 8
+        return (
+            _METADATA_BYTES
+            + self.base_bytes
+            + mask_bytes
+            + chunks * self.delta_bytes
+        )
+
+
+def _chunks(line: bytes, size: int) -> List[int]:
+    return [
+        int.from_bytes(line[i: i + size], "little")
+        for i in range(0, len(line), size)
+    ]
+
+
+def _fits_signed(value: int, nbytes: int) -> bool:
+    bound = 1 << (8 * nbytes - 1)
+    return -bound <= value < bound
+
+
+def _try_base_delta(
+    line: bytes, base_bytes: int, delta_bytes: int
+) -> Optional[BDIEncoding]:
+    values = _chunks(line, base_bytes)
+    base = next((v for v in values if v != 0), 0)
+    deltas: List[int] = []
+    immediates: List[bool] = []
+    for value in values:
+        from_zero = value if not value >> (8 * base_bytes - 1) else (
+            value - (1 << (8 * base_bytes))
+        )
+        from_base = value - base
+        if _fits_signed(from_zero, delta_bytes):
+            deltas.append(from_zero)
+            immediates.append(True)
+        elif _fits_signed(from_base, delta_bytes):
+            deltas.append(from_base)
+            immediates.append(False)
+        else:
+            return None
+    return BDIEncoding(
+        scheme=f"b{base_bytes}d{delta_bytes}",
+        line_bytes=len(line),
+        base=base,
+        base_bytes=base_bytes,
+        delta_bytes=delta_bytes,
+        deltas=tuple(deltas),
+        immediates=tuple(immediates),
+    )
+
+
+def compress(line: bytes) -> BDIEncoding:
+    """Pick the smallest applicable BDI encoding for a line."""
+    if not line or len(line) % 8:
+        raise ValueError(
+            f"line length must be a positive multiple of 8, got {len(line)}"
+        )
+    if line == bytes(len(line)):
+        return BDIEncoding(scheme="zeros", line_bytes=len(line))
+    best: Optional[BDIEncoding] = None
+    first8 = line[:8]
+    if line == first8 * (len(line) // 8):
+        best = BDIEncoding(
+            scheme="repeat",
+            line_bytes=len(line),
+            base=int.from_bytes(first8, "little"),
+        )
+    for base_bytes, delta_bytes in _MENU:
+        if len(line) % base_bytes:
+            continue
+        candidate = _try_base_delta(line, base_bytes, delta_bytes)
+        if candidate and (best is None or candidate.size_bytes < best.size_bytes):
+            best = candidate
+    if best is not None and best.size_bytes < len(line):
+        return best
+    return BDIEncoding(scheme="uncompressed", line_bytes=len(line), raw=line)
+
+
+def decompress(encoding: BDIEncoding) -> bytes:
+    """Exact inverse of :func:`compress`."""
+    n = encoding.line_bytes
+    if encoding.scheme == "zeros":
+        return bytes(n)
+    if encoding.scheme == "repeat":
+        return encoding.base.to_bytes(8, "little") * (n // 8)
+    if encoding.scheme == "uncompressed":
+        return encoding.raw
+    mask = (1 << (8 * encoding.base_bytes)) - 1
+    out = bytearray()
+    for delta, immediate in zip(encoding.deltas, encoding.immediates):
+        reference = 0 if immediate else encoding.base
+        out += ((reference + delta) & mask).to_bytes(
+            encoding.base_bytes, "little"
+        )
+    return bytes(out)
+
+
+def compressed_size_bytes(line: bytes) -> int:
+    """Stored size under the best BDI encoding."""
+    return compress(line).size_bytes
+
+
+def compression_ratio(line: bytes) -> float:
+    """Uncompressed over compressed size for one line."""
+    return len(line) / compressed_size_bytes(line)

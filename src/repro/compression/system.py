@@ -1,0 +1,126 @@
+"""Cache + link compression, end to end (Section 6.3's "CC/LC").
+
+The paper's dual technique stores link-compressed data compressed in
+the cache too, so one ratio both inflates capacity and deflates
+traffic.  :class:`CompressedMemorySystem` wires the substrates together
+and *measures* both halves on one run:
+
+* a :class:`~repro.cache.compressed.CompressedCache` holds lines at
+  their FPC size (each line's contents come from a synthetic value
+  stream, deterministic per line address);
+* every fill and write-back crosses a
+  :class:`~repro.compression.link.LinkCompressor` /
+  :class:`~repro.compression.link.LinkDecompressor` pair, verified
+  lossless as it goes;
+
+``measured_capacity_factor`` and ``measured_link_ratio`` are the two
+numbers the analytical :class:`~repro.core.techniques
+.CacheLinkCompression` technique abstracts into one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..cache.compressed import CompressedCache
+from ..workloads.address_stream import MemoryAccess
+from ..workloads.values import ValueGenerator, ValueMix
+from .fpc import compressed_size_bytes
+from .link import LinkCompressor, LinkDecompressor
+
+__all__ = ["CompressedMemorySystem"]
+
+
+class _LineContentStore:
+    """Deterministic line contents: one value-generated line per address,
+    cached so the compressor and the link see identical bytes."""
+
+    def __init__(self, values: ValueGenerator, line_bytes: int) -> None:
+        self._values = values
+        self._line_bytes = line_bytes
+        self._contents: Dict[int, bytes] = {}
+
+    def line(self, line_address: int) -> bytes:
+        data = self._contents.get(line_address)
+        if data is None:
+            data = self._values.line(self._line_bytes)
+            self._contents[line_address] = data
+        return data
+
+
+class CompressedMemorySystem:
+    """A compressed L2 fed through a compressed off-chip link."""
+
+    def __init__(
+        self,
+        cache_bytes: int,
+        value_mix: ValueMix,
+        line_bytes: int = 64,
+        associativity: int = 8,
+        tag_factor: int = 2,
+        link_entries: int = 256,
+        seed: int = 0,
+    ) -> None:
+        self._store = _LineContentStore(
+            ValueGenerator(value_mix, seed=seed), line_bytes
+        )
+        self.line_bytes = line_bytes
+
+        store = self._store
+
+        class _FPCSizer:
+            def compressed_size(self, line_address: int) -> int:
+                return compressed_size_bytes(store.line(line_address))
+
+        self.cache = CompressedCache(
+            size_bytes=cache_bytes,
+            compressor=_FPCSizer(),
+            line_bytes=line_bytes,
+            associativity=associativity,
+            tag_factor=tag_factor,
+        )
+        self._tx = LinkCompressor(entries=link_entries)
+        self._rx = LinkDecompressor(entries=link_entries)
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """One processor access; returns True on a cache hit.
+
+        A miss transfers the line's contents over the compressed link
+        (and asserts losslessness); a dirty eviction transfers the
+        victim back the other way, modelled with the same codec state.
+        """
+        result = self.cache.access(address, is_write=is_write)
+        if result.miss:
+            line_address = address // self.line_bytes
+            data = self._store.line(line_address)
+            tokens = self._tx.transfer(data)
+            if self._rx.receive(tokens) != data:
+                raise AssertionError("link endpoints diverged")
+            if result.evicted is not None and result.writeback:
+                victim = self._store.line(result.evicted.line_addr)
+                self._rx.receive(self._tx.transfer(victim))
+        return result.hit
+
+    # ------------------------------------------------------------------
+    # The two measured factors
+    # ------------------------------------------------------------------
+
+    @property
+    def measured_capacity_factor(self) -> float:
+        """Effective cache capacity over raw budget (the indirect half)."""
+        return self.cache.effective_capacity_ratio
+
+    @property
+    def measured_link_ratio(self) -> float:
+        """Raw over transferred bits on the link (the direct half)."""
+        return self._tx.achieved_ratio
+
+    @property
+    def miss_rate(self) -> float:
+        return self.cache.stats.miss_rate
+
+    def run(self, stream: Iterable[MemoryAccess]) -> "CompressedMemorySystem":
+        """Drive the system with an address stream; returns self."""
+        for access in stream:
+            self.access(access.address, is_write=access.is_write)
+        return self

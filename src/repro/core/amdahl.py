@@ -1,0 +1,255 @@
+"""Hill & Marty's multicore Amdahl's-law model, and its combination with
+the bandwidth wall.
+
+The paper's related work contrasts itself with Hill & Marty ("Amdahl's
+Law in the Multicore Era", IEEE Computer 2008): their model bounds CMP
+*speedup* by software parallelism, ours bounds CMP *core count* by
+off-chip traffic.  A designer needs both.  This module implements the
+Hill-Marty symmetric / asymmetric / dynamic chip models as the
+comparison baseline, plus :class:`CombinedWallModel`, which evaluates a
+symmetric design under the parallelism bound *and* the bandwidth wall
+simultaneously — showing which constraint binds for a given workload
+(``f``, ``alpha``) and die size.
+
+Hill & Marty's conventions: a die holds ``n`` base-core equivalents
+(BCEs); a core built from ``r`` BCEs has sequential performance
+``perf(r) = sqrt(r)``; a fraction ``f`` of the work is parallelisable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .scaling import BandwidthWallModel, ScalingSolution
+from .techniques import NEUTRAL_EFFECT, TechniqueEffect
+
+__all__ = [
+    "perf",
+    "symmetric_speedup",
+    "asymmetric_speedup",
+    "dynamic_speedup",
+    "best_symmetric_design",
+    "CombinedWallModel",
+    "CombinedDesignPoint",
+]
+
+
+def _check_fraction(f: float) -> None:
+    if not 0 <= f <= 1:
+        raise ValueError(f"parallel fraction must be in [0, 1], got {f}")
+
+
+def _check_resources(n: float, r: float) -> None:
+    if n <= 0:
+        raise ValueError(f"n (BCEs) must be positive, got {n}")
+    if not 1 <= r <= n:
+        raise ValueError(f"r must be in [1, n={n}], got {r}")
+
+
+def perf(r: float) -> float:
+    """Hill & Marty's performance of an ``r``-BCE core: ``sqrt(r)``."""
+    if r <= 0:
+        raise ValueError(f"r must be positive, got {r}")
+    return math.sqrt(r)
+
+
+def symmetric_speedup(f: float, n: float, r: float) -> float:
+    """Speedup of ``n/r`` identical ``r``-BCE cores (Hill-Marty Eq. 1).
+
+    >>> round(symmetric_speedup(0.999, 256, 1), 1)
+    204.0
+    """
+    _check_fraction(f)
+    _check_resources(n, r)
+    cores = n / r
+    sequential = (1 - f) / perf(r)
+    parallel = f / (perf(r) * cores)
+    return 1.0 / (sequential + parallel)
+
+
+def asymmetric_speedup(f: float, n: float, r: float) -> float:
+    """One ``r``-BCE big core plus ``n - r`` base cores (Eq. 2)."""
+    _check_fraction(f)
+    _check_resources(n, r)
+    sequential = (1 - f) / perf(r)
+    parallel = f / (perf(r) + (n - r))
+    return 1.0 / (sequential + parallel)
+
+
+def dynamic_speedup(f: float, n: float, r: float) -> float:
+    """Dynamic chip: ``r`` BCEs fuse for sequential phases (Eq. 3)."""
+    _check_fraction(f)
+    _check_resources(n, r)
+    sequential = (1 - f) / perf(r)
+    parallel = f / n
+    return 1.0 / (sequential + parallel)
+
+
+def best_symmetric_design(f: float, n: float) -> float:
+    """The core size ``r`` maximising symmetric speedup (grid search over
+    the divisor-free continuous relaxation, 1..n)."""
+    _check_fraction(f)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    best_r = 1.0
+    best = symmetric_speedup(f, n, 1.0)
+    steps = 512
+    for k in range(1, steps + 1):
+        r = 1.0 + (n - 1.0) * k / steps
+        s = symmetric_speedup(f, n, r)
+        if s > best:
+            best, best_r = s, r
+    return best_r
+
+
+@dataclass(frozen=True)
+class CombinedDesignPoint:
+    """A symmetric CMP evaluated under both constraints.
+
+    Attributes
+    ----------
+    amdahl_cores:
+        Cores the die could hold if only area mattered (``n / r`` minus
+        the cache allocation is *not* deducted here — Hill & Marty spend
+        the whole die on cores).
+    bandwidth_cores:
+        Cores the bandwidth wall admits on the same die (cache gets the
+        remainder), from :class:`BandwidthWallModel`.
+    usable_cores:
+        ``min`` of the two — what a designer can actually populate.
+    speedup:
+        Hill-Marty symmetric speedup evaluated at ``usable_cores``.
+    binding_constraint:
+        ``"bandwidth"`` or ``"parallelism"`` (or ``"tie"``).
+    """
+
+    parallel_fraction: float
+    total_ceas: float
+    amdahl_cores: float
+    bandwidth_solution: ScalingSolution
+
+    @property
+    def bandwidth_cores(self) -> float:
+        return self.bandwidth_solution.continuous_cores
+
+    @property
+    def usable_cores(self) -> float:
+        return min(self.amdahl_cores, self.bandwidth_cores)
+
+    @property
+    def binding_constraint(self) -> str:
+        if math.isclose(self.amdahl_cores, self.bandwidth_cores,
+                        rel_tol=1e-9):
+            return "tie"
+        if self.bandwidth_cores < self.amdahl_cores:
+            return "bandwidth"
+        return "parallelism"
+
+    @property
+    def speedup(self) -> float:
+        cores = max(self.usable_cores, 1.0)
+        # Speedup of `cores` unit cores relative to one unit core.
+        f = self.parallel_fraction
+        return 1.0 / ((1 - f) + f / cores)
+
+
+class CombinedWallModel:
+    """Evaluate symmetric CMPs under Amdahl *and* the bandwidth wall.
+
+    Parameters
+    ----------
+    wall:
+        The bandwidth-wall model (baseline chip + alpha).
+    parallel_fraction:
+        Hill & Marty's ``f``.
+
+    Examples
+    --------
+    >>> from repro.core import paper_baseline_model
+    >>> combined = CombinedWallModel(paper_baseline_model(), 0.99)
+    >>> point = combined.design_point(256)
+    >>> point.binding_constraint
+    'bandwidth'
+    """
+
+    def __init__(self, wall: BandwidthWallModel,
+                 parallel_fraction: float) -> None:
+        _check_fraction(parallel_fraction)
+        self.wall = wall
+        self.parallel_fraction = parallel_fraction
+
+    def design_point(
+        self,
+        total_ceas: float,
+        *,
+        traffic_budget: float = 1.0,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+        core_bces: float = 1.0,
+    ) -> CombinedDesignPoint:
+        """Evaluate one die size under both constraints."""
+        if core_bces < 1:
+            raise ValueError(f"core_bces must be >= 1, got {core_bces}")
+        solution = self.wall.supportable_cores(
+            total_ceas, traffic_budget=traffic_budget, effect=effect
+        )
+        # Amdahl-optimal core count: with f < 1 there is a point past
+        # which extra cores add ~nothing; we report the area bound n/r,
+        # the knee is visible through `speedup`.
+        amdahl_cores = total_ceas / core_bces
+        return CombinedDesignPoint(
+            parallel_fraction=self.parallel_fraction,
+            total_ceas=total_ceas,
+            amdahl_cores=amdahl_cores,
+            bandwidth_solution=solution,
+        )
+
+    def crossover_fraction(
+        self,
+        total_ceas: float,
+        *,
+        traffic_budget: float = 1.0,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+        tolerance: float = 1e-6,
+    ) -> Optional[float]:
+        """The parallel fraction at which the two constraints deliver
+        equal *speedup-limited* core value.
+
+        Below the returned ``f``, software parallelism is the binding
+        limit (extra cores beyond Amdahl's knee are worthless anyway);
+        above it, the bandwidth wall binds first.  Returns ``None`` when
+        the wall binds for every ``f`` (its core bound is below the
+        point where even ``f = 1`` saturates).
+
+        Concretely, solves for the ``f`` where the marginal speedup of
+        growing from the wall-limited core count to the area-limited
+        count drops under 1%.
+        """
+        point = self.design_point(
+            total_ceas, traffic_budget=traffic_budget, effect=effect
+        )
+        wall_cores = point.bandwidth_cores
+        area_cores = point.amdahl_cores
+        if wall_cores >= area_cores:
+            return None
+
+        def marginal_gain(f: float) -> float:
+            s_wall = 1.0 / ((1 - f) + f / wall_cores)
+            s_area = 1.0 / ((1 - f) + f / area_cores)
+            return s_area / s_wall - 1.0
+
+        # marginal_gain is increasing in f: more parallelism, more value
+        # in the cores the wall denies us.
+        lo, hi = 0.0, 1.0
+        if marginal_gain(hi) < 0.01:
+            return None
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if marginal_gain(mid) < 0.01:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tolerance:
+                break
+        return 0.5 * (lo + hi)

@@ -1,0 +1,169 @@
+"""Die-area accounting in Core Equivalent Areas (CEAs).
+
+The paper abstracts a CMP die as ``N`` Core Equivalent Areas, where one CEA
+is the area occupied by one processor core together with its L1 caches
+(Table 1 of the paper).  ``P`` CEAs hold cores, the remaining ``C = N - P``
+hold on-chip (L2) cache, and ``S = C / P`` is the amount of cache per core.
+On-chip components other than cores and caches are assumed to occupy a
+constant fraction of the die in every generation and are therefore outside
+the CEA budget.
+
+:class:`ChipDesign` is the value type used throughout the model.  It is
+immutable; derive modified designs with :meth:`ChipDesign.with_cores` and
+friends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ChipDesign",
+    "CEA_BYTES_DEFAULT",
+    "ceas_for_cache_bytes",
+    "cache_bytes_for_ceas",
+]
+
+#: Default cache capacity of one CEA, in bytes.  The paper's baseline maps
+#: 8 CEAs of L2 to "roughly 4MB", i.e. one CEA of SRAM holds ~512 KB.
+CEA_BYTES_DEFAULT = 512 * 1024
+
+
+def ceas_for_cache_bytes(num_bytes: float, cea_bytes: int = CEA_BYTES_DEFAULT) -> float:
+    """Convert a cache capacity in bytes to CEAs.
+
+    >>> ceas_for_cache_bytes(4 * 1024 * 1024)
+    8.0
+    """
+    if num_bytes < 0:
+        raise ValueError(f"cache capacity must be non-negative, got {num_bytes}")
+    if cea_bytes <= 0:
+        raise ValueError(f"cea_bytes must be positive, got {cea_bytes}")
+    return num_bytes / cea_bytes
+
+
+def cache_bytes_for_ceas(ceas: float, cea_bytes: int = CEA_BYTES_DEFAULT) -> float:
+    """Convert a cache area in CEAs back to a capacity in bytes."""
+    if ceas < 0:
+        raise ValueError(f"cache CEAs must be non-negative, got {ceas}")
+    if cea_bytes <= 0:
+        raise ValueError(f"cea_bytes must be positive, got {cea_bytes}")
+    return ceas * cea_bytes
+
+
+@dataclass(frozen=True)
+class ChipDesign:
+    """A CMP die split between cores and cache, in CEAs.
+
+    Parameters
+    ----------
+    total_ceas:
+        ``N`` — total die area in CEAs.
+    core_ceas:
+        ``P`` — CEAs allocated to cores.  With full-size cores this is also
+        the number of cores; see ``core_area_fraction`` for smaller cores.
+    core_area_fraction:
+        ``f_sm`` — the area of one core as a fraction of one CEA
+        (Section 6.1, "Smaller Cores").  The default of 1.0 is the paper's
+        base assumption that a core occupies exactly one CEA.  When
+        ``core_area_fraction < 1``, ``core_ceas`` still counts *cores*, and
+        the die area they occupy is ``core_area_fraction * core_ceas``.
+
+    Examples
+    --------
+    The paper's Niagara2-like baseline (Section 5.1):
+
+    >>> base = ChipDesign(total_ceas=16, core_ceas=8)
+    >>> base.cache_ceas
+    8.0
+    >>> base.cache_per_core
+    1.0
+    """
+
+    total_ceas: float
+    core_ceas: float
+    core_area_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.total_ceas) or self.total_ceas <= 0:
+            raise ValueError(f"total_ceas must be positive, got {self.total_ceas}")
+        if not math.isfinite(self.core_ceas) or self.core_ceas <= 0:
+            raise ValueError(f"core_ceas must be positive, got {self.core_ceas}")
+        if not 0 < self.core_area_fraction <= 1:
+            raise ValueError(
+                "core_area_fraction must be in (0, 1], got "
+                f"{self.core_area_fraction}"
+            )
+        if self.occupied_core_area > self.total_ceas:
+            raise ValueError(
+                f"cores occupy {self.occupied_core_area} CEAs, exceeding the "
+                f"die size of {self.total_ceas} CEAs"
+            )
+
+    @property
+    def num_cores(self) -> float:
+        """``P`` — the number of cores (continuous in the model)."""
+        return self.core_ceas
+
+    @property
+    def occupied_core_area(self) -> float:
+        """Die area actually occupied by cores, in CEAs."""
+        return self.core_area_fraction * self.core_ceas
+
+    @property
+    def cache_ceas(self) -> float:
+        """``C`` — CEAs left over for on-chip cache."""
+        return self.total_ceas - self.occupied_core_area
+
+    @property
+    def cache_per_core(self) -> float:
+        """``S = C / P`` — on-chip cache per core, in CEAs."""
+        return self.cache_ceas / self.core_ceas
+
+    @property
+    def core_area_share(self) -> float:
+        """Fraction of the die occupied by cores (Figure 3's right axis)."""
+        return self.occupied_core_area / self.total_ceas
+
+    @property
+    def cache_area_share(self) -> float:
+        """Fraction of the die occupied by cache."""
+        return self.cache_ceas / self.total_ceas
+
+    def cache_bytes(self, cea_bytes: int = CEA_BYTES_DEFAULT) -> float:
+        """Total cache capacity in bytes, assuming SRAM density."""
+        return cache_bytes_for_ceas(self.cache_ceas, cea_bytes)
+
+    def with_cores(self, core_ceas: float) -> "ChipDesign":
+        """Return a design on the same die with a different core count."""
+        return replace(self, core_ceas=core_ceas)
+
+    def with_total(self, total_ceas: float) -> "ChipDesign":
+        """Return a design with a different die size, same core count."""
+        return replace(self, total_ceas=total_ceas)
+
+    def scaled(self, area_factor: float) -> "ChipDesign":
+        """Return the die grown by ``area_factor`` with cores unchanged.
+
+        This models moving to a denser process technology: the transistor
+        budget (in CEAs) grows while the existing cores keep their size.
+        """
+        if area_factor <= 0:
+            raise ValueError(f"area_factor must be positive, got {area_factor}")
+        return replace(self, total_ceas=self.total_ceas * area_factor)
+
+    def proportionally_scaled(self, area_factor: float) -> "ChipDesign":
+        """Return the die and core count both grown by ``area_factor``.
+
+        This is the paper's "ideal"/"proportional" scaling: the core count
+        keeps pace with the transistor budget and the core:cache split is
+        preserved.
+        """
+        if area_factor <= 0:
+            raise ValueError(f"area_factor must be positive, got {area_factor}")
+        return replace(
+            self,
+            total_ceas=self.total_ceas * area_factor,
+            core_ceas=self.core_ceas * area_factor,
+        )

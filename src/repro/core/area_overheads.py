@@ -1,0 +1,183 @@
+"""Area overheads: uncore fractions and interconnect growth.
+
+Two of the paper's side remarks become quantitative here:
+
+* Section 4.2 assumes "on-chip components other than cores and caches
+  occupy a constant fraction of the die area regardless of the process
+  technology generation" — the *uncore fraction*.  The model is
+  unaffected as long as the fraction is constant; this module lets a
+  user check how results move when it is not.
+
+* Section 6.1's smaller-cores caveat: "in practice, there is a limit to
+  this approach, since with increasingly smaller cores, the
+  interconnection between cores (routers, links, buses, etc.) becomes
+  increasingly larger and more complex."  :class:`InterconnectModel`
+  charges each core a router-area tax that grows with the core count
+  (per-core router area ∝ ``cores**growth_exponent``; a mesh with
+  wider links toward the centre, or a crossbar-ish fabric, push the
+  exponent up), and the solver shows the paper's predicted limit: past
+  some point, smaller cores stop buying cores at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .scaling import BandwidthWallModel, ScalingSolution
+from .solver import BracketError, floor_cores, solve_increasing
+from .techniques import NEUTRAL_EFFECT, TechniqueEffect
+
+__all__ = ["UncoreModel", "InterconnectModel", "OverheadAwareWallModel"]
+
+
+@dataclass(frozen=True)
+class UncoreModel:
+    """A fixed fraction of every die reserved for non-core/cache logic."""
+
+    fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fraction < 1:
+            raise ValueError(
+                f"uncore fraction must be in [0, 1), got {self.fraction}"
+            )
+
+    def usable_ceas(self, total_ceas: float) -> float:
+        return total_ceas * (1.0 - self.fraction)
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Per-core interconnect area that grows with the core count.
+
+    Router + link area charged to each core:
+
+        tax(P) = base_tax * (P / reference_cores) ** growth_exponent
+
+    ``growth_exponent = 0`` is a fixed per-core router (a mesh with
+    constant-width links); positive exponents model richer fabrics
+    whose bisection grows superlinearly.
+    """
+
+    base_tax: float = 0.05
+    growth_exponent: float = 0.5
+    reference_cores: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.base_tax < 0:
+            raise ValueError(f"base_tax must be >= 0, got {self.base_tax}")
+        if self.growth_exponent < 0:
+            raise ValueError(
+                f"growth_exponent must be >= 0, got {self.growth_exponent}"
+            )
+        if self.reference_cores <= 0:
+            raise ValueError(
+                f"reference_cores must be positive, got {self.reference_cores}"
+            )
+
+    def tax_per_core(self, cores: float) -> float:
+        """CEAs of interconnect charged to each core."""
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        return self.base_tax * (cores / self.reference_cores) ** (
+            self.growth_exponent
+        )
+
+    def total_area(self, cores: float) -> float:
+        return cores * self.tax_per_core(cores)
+
+
+class OverheadAwareWallModel:
+    """The bandwidth-wall solve with uncore and interconnect overheads.
+
+    Cache left for a candidate core count ``P``:
+
+        C(P) = usable(N) - f_sm * P - interconnect(P)
+
+    Everything else (power law, budgets, technique effects) is the base
+    model's.  Overheads only *shrink* the cache, so all monotonicity
+    properties carry over and the same bisection applies.
+    """
+
+    def __init__(
+        self,
+        wall: BandwidthWallModel,
+        uncore: UncoreModel = UncoreModel(),
+        interconnect: InterconnectModel = InterconnectModel(base_tax=0.0),
+    ) -> None:
+        self.wall = wall
+        self.uncore = uncore
+        self.interconnect = interconnect
+
+    def relative_traffic(
+        self,
+        total_ceas: float,
+        cores: float,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+    ) -> float:
+        usable = self.uncore.usable_ceas(total_ceas)
+        overhead = self.interconnect.total_area(cores)
+        die_for_cores_and_cache = usable - overhead
+        core_area = effect.core_area_fraction * cores
+        cache = die_for_cores_and_cache - core_area
+        if cache <= 0:
+            return math.inf
+        raw = effect.on_die_density * cache
+        raw += (effect.stacked_layers
+                * effect.resolved_stacked_density * total_ceas)
+        s2 = effect.capacity_factor * raw / cores
+        p1 = self.wall.baseline.num_cores
+        s1 = self.wall.baseline.cache_per_core
+        return ((cores / p1) * (s2 / s1) ** (-self.wall.alpha)
+                / effect.traffic_factor)
+
+    def supportable_cores(
+        self,
+        total_ceas: float,
+        *,
+        traffic_budget: float = 1.0,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+    ) -> float:
+        """Continuous supportable core count under the overheads."""
+        if total_ceas <= 0:
+            raise ValueError(f"total_ceas must be positive, got {total_ceas}")
+        if traffic_budget <= 0:
+            raise ValueError(
+                f"traffic_budget must be positive, got {traffic_budget}"
+            )
+        usable = self.uncore.usable_ceas(total_ceas)
+        max_cores = usable / effect.core_area_fraction
+
+        def traffic(cores: float) -> float:
+            return self.relative_traffic(total_ceas, cores, effect)
+
+        try:
+            return solve_increasing(traffic, traffic_budget, 0.0, max_cores)
+        except BracketError:
+            if traffic(max_cores * (1 - 1e-12)) < traffic_budget:
+                return max_cores
+            raise
+
+    def smaller_core_limit(
+        self,
+        total_ceas: float,
+        core_area_fractions,
+        *,
+        traffic_budget: float = 1.0,
+    ):
+        """Supportable cores for progressively smaller cores.
+
+        The paper's caveat made visible: with a growing interconnect
+        tax, shrinking cores eventually stops increasing (and can
+        decrease) the supportable count.  Returns
+        ``[(fraction, cores), ...]``.
+        """
+        results = []
+        for fraction in core_area_fractions:
+            effect = TechniqueEffect(core_area_fraction=fraction)
+            cores = self.supportable_cores(
+                total_ceas, traffic_budget=traffic_budget, effect=effect
+            )
+            results.append((fraction, cores))
+        return results

@@ -1,0 +1,154 @@
+"""Technique combinations (Section 6.4, Figure 16).
+
+A :class:`TechniqueStack` is an ordered bundle of techniques whose
+effects are folded into a single :class:`TechniqueEffect` with the
+paper's composition semantics:
+
+* effective-capacity multipliers and direct traffic factors multiply;
+* DRAM density applies to every cache pool the design has, including a
+  3D-stacked cache-only die (this rule is load-bearing: it is the only
+  composition under which the paper's all-techniques result of 183 cores
+  at 16x scaling holds);
+* structural conflicts (two different core sizes or cell densities)
+  are rejected.
+
+:data:`PAPER_COMBINATIONS` enumerates the 15 combinations on Figure 16's
+x-axis (between IDEAL and BASE), in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .techniques import (
+    AssumptionLevel,
+    CacheCompression,
+    CacheLinkCompression,
+    DRAMCache,
+    LinkCompression,
+    SectoredCache,
+    SmallCacheLines,
+    Technique,
+    TechniqueEffect,
+    ThreeDStackedCache,
+    UnusedDataFiltering,
+)
+
+__all__ = ["TechniqueStack", "PAPER_COMBINATIONS", "paper_combination"]
+
+
+@dataclass(frozen=True)
+class TechniqueStack:
+    """A combination of bandwidth-conservation techniques.
+
+    Examples
+    --------
+    The paper's strongest combination (Section 6.4):
+
+    >>> from repro.core.techniques import *
+    >>> stack = TechniqueStack((
+    ...     CacheLinkCompression(2.0),
+    ...     DRAMCache(8.0),
+    ...     ThreeDStackedCache(),
+    ...     SmallCacheLines(0.4),
+    ... ))
+    >>> effect = stack.effect()
+    >>> effect.resolved_stacked_density
+    8.0
+    """
+
+    techniques: Tuple[Technique, ...]
+
+    def __post_init__(self) -> None:
+        if not self.techniques:
+            raise ValueError("a TechniqueStack needs at least one technique")
+        names = [t.name for t in self.techniques]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate techniques in stack: {names}")
+
+    @property
+    def label(self) -> str:
+        """Figure 16-style label, e.g. ``"CC/LC + DRAM + 3D"``."""
+        return " + ".join(t.label for t in self.techniques)
+
+    def effect(self) -> TechniqueEffect:
+        """Fold all technique effects into one combined effect."""
+        combined = self.techniques[0].effect()
+        for technique in self.techniques[1:]:
+            combined = combined.combine(technique.effect())
+        return combined
+
+    @property
+    def direct_traffic_reduction(self) -> float:
+        """Fraction of raw traffic removed by the stack's direct effects.
+
+        Section 6.4 quotes LC + SmCl removing 70% of traffic directly:
+
+        >>> stack = TechniqueStack((LinkCompression(2.0), SmallCacheLines(0.4)))
+        >>> round(stack.direct_traffic_reduction, 2)
+        0.7
+        """
+        return 1.0 - 1.0 / self.effect().traffic_factor
+
+    def effective_capacity_multiplier(
+        self, total_ceas: float, core_ceas: float
+    ) -> float:
+        """Effective cache growth vs an untouched design with the same split.
+
+        Section 6.4 quotes the 3D + DRAM + CC + SmCl cache stack growing
+        effective capacity by roughly 53x.
+        """
+        plain = TechniqueEffect().effective_cache_ceas(total_ceas, core_ceas)
+        boosted = self.effect().effective_cache_ceas(total_ceas, core_ceas)
+        return boosted / plain
+
+
+def _combo_constructors() -> Dict[str, Tuple[type, ...]]:
+    """Figure 16's combinations, left to right, as technique-type tuples."""
+    return {
+        "CC + DRAM + 3D": (CacheCompression, DRAMCache, ThreeDStackedCache),
+        "CC/LC + DRAM": (CacheLinkCompression, DRAMCache),
+        "CC + 3D + Fltr": (CacheCompression, ThreeDStackedCache, UnusedDataFiltering),
+        "CC/LC + Fltr": (CacheLinkCompression, UnusedDataFiltering),
+        "DRAM + 3D + LC": (DRAMCache, ThreeDStackedCache, LinkCompression),
+        "DRAM + Fltr + LC": (DRAMCache, UnusedDataFiltering, LinkCompression),
+        "DRAM + LC + Sect": (DRAMCache, LinkCompression, SectoredCache),
+        "3D + Fltr + LC": (ThreeDStackedCache, UnusedDataFiltering, LinkCompression),
+        "SmCl + LC": (SmallCacheLines, LinkCompression),
+        "CC/LC + SmCl": (CacheLinkCompression, SmallCacheLines),
+        "DRAM + 3D + SmCl": (DRAMCache, ThreeDStackedCache, SmallCacheLines),
+        "CC/LC + DRAM + SmCl": (CacheLinkCompression, DRAMCache, SmallCacheLines),
+        "CC/LC + 3D + SmCl": (CacheLinkCompression, ThreeDStackedCache, SmallCacheLines),
+        "CC/LC + DRAM + 3D": (CacheLinkCompression, DRAMCache, ThreeDStackedCache),
+        "CC/LC + DRAM + 3D + SmCl": (
+            CacheLinkCompression,
+            DRAMCache,
+            ThreeDStackedCache,
+            SmallCacheLines,
+        ),
+    }
+
+
+#: Names of the Figure 16 combinations, in x-axis order.
+PAPER_COMBINATIONS: Tuple[str, ...] = tuple(_combo_constructors())
+
+
+def paper_combination(
+    name: str,
+    level: AssumptionLevel = AssumptionLevel.REALISTIC,
+) -> TechniqueStack:
+    """Build one of Figure 16's combinations at a Table 2 assumption level.
+
+    >>> stack = paper_combination("CC/LC + DRAM + 3D + SmCl")
+    >>> stack.label
+    'CC/LC + DRAM + 3D + SmCl'
+    """
+    constructors = _combo_constructors()
+    if name not in constructors:
+        raise KeyError(
+            f"unknown combination {name!r}; expected one of {PAPER_COMBINATIONS}"
+        )
+    return TechniqueStack(
+        tuple(cls.at_level(level) for cls in constructors[name])
+    )

@@ -1,0 +1,243 @@
+"""Heterogeneous CMPs under the bandwidth wall (extension).
+
+Section 3 of the paper restricts the study to uniform cores but notes
+the road not taken: "A heterogeneous CMP has the potential of being
+more area efficient overall, and this allows caches to be larger and
+generates less memory traffic from cache misses and write backs."
+This module implements exactly that extension on top of the same
+traffic model, so the hypothesis can be evaluated instead of assumed.
+
+A :class:`CoreType` carries three numbers:
+
+* ``area`` — CEAs one core occupies,
+* ``traffic_rate`` — memory traffic per unit time relative to the
+  baseline core (complex speculative cores waste bandwidth, ``> 1``;
+  simple cores are frugal, ``<= 1``),
+* ``throughput`` — useful work per unit time relative to the baseline
+  core.
+
+A :class:`HeterogeneousMix` fixes the *ratio* between types; the solver
+scales the whole mix until the chip's traffic meets the budget, with
+the leftover die area as cache shared equally per running thread (the
+same ``S = C / P`` accounting as the uniform model — one thread per
+core).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .area import ChipDesign
+from .solver import BracketError, solve_increasing
+
+__all__ = ["CoreType", "HeterogeneousMix", "HeterogeneousWallModel",
+           "MixSolution", "BIG_CORE", "BASE_CORE", "LITTLE_CORE"]
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """One core flavour in a heterogeneous design."""
+
+    name: str
+    area: float = 1.0
+    traffic_rate: float = 1.0
+    throughput: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ValueError(f"area must be positive, got {self.area}")
+        if self.traffic_rate <= 0:
+            raise ValueError(
+                f"traffic_rate must be positive, got {self.traffic_rate}"
+            )
+        if self.throughput <= 0:
+            raise ValueError(
+                f"throughput must be positive, got {self.throughput}"
+            )
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        """Useful work per unit of traffic — the figure of merit the
+        paper's smaller-cores discussion gestures at.
+
+        >>> BASE_CORE.bandwidth_efficiency
+        1.0
+        """
+        return self.throughput / self.traffic_rate
+
+
+#: An aggressive out-of-order core: 4 CEAs, fast, but speculative
+#: fetches waste bandwidth (Kumar et al.'s big:little area ratios).
+BIG_CORE = CoreType("big", area=4.0, traffic_rate=2.4, throughput=2.0)
+
+#: The paper's baseline in-order core: the CEA unit itself.
+BASE_CORE = CoreType("base", area=1.0, traffic_rate=1.0, throughput=1.0)
+
+#: A minimal core: quarter the area, proportionally slower, and no
+#: speculation so its traffic tracks its (lower) execution rate.
+LITTLE_CORE = CoreType("little", area=0.25, traffic_rate=0.45,
+                       throughput=0.45)
+
+
+@dataclass(frozen=True)
+class HeterogeneousMix:
+    """A ratio of core types, e.g. 1 big : 4 little."""
+
+    parts: Tuple[Tuple[CoreType, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("a mix needs at least one core type")
+        names = [core_type.name for core_type, _ in self.parts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate core types in mix: {names}")
+        for _, weight in self.parts:
+            if weight <= 0:
+                raise ValueError(
+                    f"mix weights must be positive, got {weight}"
+                )
+
+    @classmethod
+    def uniform(cls, core_type: CoreType) -> "HeterogeneousMix":
+        return cls(((core_type, 1.0),))
+
+    @property
+    def label(self) -> str:
+        return " + ".join(
+            f"{weight:g}x{core_type.name}" for core_type, weight in self.parts
+        )
+
+    def area_per_unit(self) -> float:
+        """CEAs consumed by one unit of the mix."""
+        return sum(core.area * weight for core, weight in self.parts)
+
+    def cores_per_unit(self) -> float:
+        return sum(weight for _, weight in self.parts)
+
+    def traffic_rate_per_unit(self) -> float:
+        return sum(core.traffic_rate * weight for core, weight in self.parts)
+
+    def throughput_per_unit(self) -> float:
+        return sum(core.throughput * weight for core, weight in self.parts)
+
+
+@dataclass(frozen=True)
+class MixSolution:
+    """Largest population of a mix that fits the traffic budget."""
+
+    mix: HeterogeneousMix
+    scale: float
+    total_ceas: float
+
+    @property
+    def counts(self) -> Dict[str, float]:
+        return {
+            core.name: weight * self.scale
+            for core, weight in self.mix.parts
+        }
+
+    @property
+    def total_cores(self) -> float:
+        return self.mix.cores_per_unit() * self.scale
+
+    @property
+    def core_area(self) -> float:
+        return self.mix.area_per_unit() * self.scale
+
+    @property
+    def cache_ceas(self) -> float:
+        return self.total_ceas - self.core_area
+
+    @property
+    def cache_per_core(self) -> float:
+        return self.cache_ceas / self.total_cores
+
+    @property
+    def throughput(self) -> float:
+        """Chip throughput in baseline-core units."""
+        return self.mix.throughput_per_unit() * self.scale
+
+
+class HeterogeneousWallModel:
+    """The bandwidth-wall traffic model with per-type traffic rates.
+
+    Traffic of a populated mix, relative to the uniform baseline chip:
+
+    .. math::
+       M = \\left(\\sum_i n_i t_i / P_1\\right)
+           \\cdot (S / S_1)^{-\\alpha}
+
+    i.e. each core contributes traffic proportional to its execution
+    rate (``t_i``), all filtered by the shared per-core cache through
+    the usual power law.
+    """
+
+    def __init__(self, baseline: ChipDesign, alpha: float = 0.5) -> None:
+        if not math.isfinite(alpha) or alpha <= 0:
+            raise ValueError(f"alpha must be positive and finite, got {alpha}")
+        if baseline.cache_per_core <= 0:
+            raise ValueError("baseline design must include cache")
+        self.baseline = baseline
+        self.alpha = alpha
+
+    def relative_traffic(self, mix: HeterogeneousMix, scale: float,
+                         total_ceas: float) -> float:
+        """``M / M1`` for ``scale`` units of ``mix`` on a die."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        core_area = mix.area_per_unit() * scale
+        cache = total_ceas - core_area
+        if cache <= 0:
+            return math.inf
+        cores = mix.cores_per_unit() * scale
+        s = cache / cores
+        rate = mix.traffic_rate_per_unit() * scale
+        p1 = self.baseline.num_cores
+        s1 = self.baseline.cache_per_core
+        return (rate / p1) * (s / s1) ** (-self.alpha)
+
+    def solve_mix(
+        self,
+        mix: HeterogeneousMix,
+        total_ceas: float,
+        *,
+        traffic_budget: float = 1.0,
+    ) -> MixSolution:
+        """Scale the mix up to the traffic budget (or the die edge)."""
+        if total_ceas <= 0:
+            raise ValueError(f"total_ceas must be positive, got {total_ceas}")
+        if traffic_budget <= 0:
+            raise ValueError(
+                f"traffic_budget must be positive, got {traffic_budget}"
+            )
+        max_scale = total_ceas / mix.area_per_unit()
+
+        def traffic(scale: float) -> float:
+            return self.relative_traffic(mix, scale, total_ceas)
+
+        try:
+            scale = solve_increasing(traffic, traffic_budget, 0.0, max_scale)
+        except BracketError:
+            if traffic(max_scale * (1 - 1e-12)) < traffic_budget:
+                scale = max_scale  # area limited
+            else:
+                raise
+        return MixSolution(mix=mix, scale=scale, total_ceas=total_ceas)
+
+    def best_mix(
+        self,
+        mixes: Sequence[HeterogeneousMix],
+        total_ceas: float,
+        *,
+        traffic_budget: float = 1.0,
+    ) -> MixSolution:
+        """The mix with the highest chip throughput under the budget."""
+        if not mixes:
+            raise ValueError("need at least one mix to compare")
+        solutions = [
+            self.solve_mix(mix, total_ceas, traffic_budget=traffic_budget)
+            for mix in mixes
+        ]
+        return max(solutions, key=lambda solution: solution.throughput)

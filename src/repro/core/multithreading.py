@@ -1,0 +1,124 @@
+"""Multithreaded cores and the bandwidth wall (extension of Section 3).
+
+The paper assumes single-threaded cores and notes the consequence: the
+study "tends to underestimate the severity of the bandwidth wall ...
+multiple threads running on a multi-threaded core tend to keep the core
+less idle, and hence it is likely to generate more memory traffic per
+unit time".  This module quantifies that: an SMT core with ``t``
+hardware threads raises per-core traffic by a utilisation factor with
+diminishing returns, and (with problem scaling) each extra thread also
+brings its own working set, shrinking the effective cache per thread.
+
+The model: a ``t``-way SMT core generates
+
+.. math::  rate(t) = 1 + (t - 1) \\cdot \\eta
+
+times the traffic of the single-threaded core (``eta`` = marginal
+utilisation of each extra thread, < 1 because threads contend for the
+pipeline), and the per-core cache is divided across ``t`` thread
+working sets, multiplying per-thread misses by ``t^alpha`` — exactly
+the sharing model's accounting with ``f_sh = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .scaling import BandwidthWallModel, ScalingSolution
+from .techniques import NEUTRAL_EFFECT, TechniqueEffect
+
+__all__ = ["SMTParameters", "MultithreadedWallModel"]
+
+
+@dataclass(frozen=True)
+class SMTParameters:
+    """How multithreading changes one core's traffic.
+
+    Parameters
+    ----------
+    threads_per_core:
+        Hardware threads (Niagara2: 8).
+    marginal_utilisation:
+        ``eta`` — traffic added by each extra thread relative to the
+        first (0 = extra threads never issue, 1 = perfect scaling).
+    shared_working_set:
+        When True, threads on a core share one working set (no
+        capacity penalty); when False (default, the paper's problem
+        scaling) each thread brings its own.
+    """
+
+    threads_per_core: int = 2
+    marginal_utilisation: float = 0.6
+    shared_working_set: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threads_per_core < 1:
+            raise ValueError(
+                f"threads_per_core must be >= 1, got {self.threads_per_core}"
+            )
+        if not 0 <= self.marginal_utilisation <= 1:
+            raise ValueError(
+                "marginal_utilisation must be in [0, 1], got "
+                f"{self.marginal_utilisation}"
+            )
+
+    @property
+    def traffic_rate(self) -> float:
+        """Traffic per core relative to single-threaded."""
+        return 1.0 + (self.threads_per_core - 1) * self.marginal_utilisation
+
+
+class MultithreadedWallModel:
+    """Bandwidth-wall solves for CMPs built from SMT cores."""
+
+    def __init__(self, wall: BandwidthWallModel, smt: SMTParameters) -> None:
+        self.wall = wall
+        self.smt = smt
+
+    def _capacity_penalty(self) -> float:
+        """Effective cache shrink from per-thread working sets."""
+        if self.smt.shared_working_set:
+            return 1.0
+        return 1.0 / self.smt.threads_per_core
+
+    def supportable_cores(
+        self,
+        total_ceas: float,
+        *,
+        traffic_budget: float = 1.0,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+    ) -> ScalingSolution:
+        """Cores of SMT width ``t`` fitting the traffic budget.
+
+        The SMT rate factor divides the budget (each core burns more of
+        it per unit time), and the working-set split shrinks the
+        effective cache — both folded into the existing solver.
+        """
+        combined = effect.combine(
+            TechniqueEffect(capacity_factor=self._capacity_penalty())
+        )
+        return self.wall.supportable_cores(
+            total_ceas,
+            traffic_budget=traffic_budget / self.smt.traffic_rate,
+            effect=combined,
+        )
+
+    def severity_vs_single_threaded(self, total_ceas: float) -> float:
+        """How many fewer cores SMT admits, as a fraction.
+
+        The paper's qualitative claim made quantitative: > 0 means the
+        single-threaded study underestimates the wall.
+        """
+        single = self.wall.supportable_cores(total_ceas).continuous_cores
+        smt = self.supportable_cores(total_ceas).continuous_cores
+        return 1.0 - smt / single
+
+    def throughput_proxy(self, total_ceas: float) -> float:
+        """Chip work rate: cores x per-core utilisation factor.
+
+        SMT cores each do more work; whether SMT wins under the wall
+        depends on this product, not the core count alone.
+        """
+        solution = self.supportable_cores(total_ceas)
+        return solution.continuous_cores * self.smt.traffic_rate

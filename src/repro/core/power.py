@@ -1,0 +1,237 @@
+"""Power-constrained scaling: which wall bites first? (extension)
+
+Section 3: "we do not evaluate the power implications of various CMP
+configurations".  This module adds the missing constraint with a simple
+but standard budget model, so the bandwidth wall can be compared
+against the power wall on the same die:
+
+    chip power(P, C) = P * core_power
+                       + C * sram_leakage            (SRAM cache)
+                       + C_dram * dram_refresh       (per effective CEA)
+                       + overhead_fraction * budget  (uncore, IO)
+
+Techniques interact with power in signature ways the model captures:
+
+* DRAM caches trade SRAM leakage for refresh power across *denser*
+  capacity;
+* smaller cores cut per-core power roughly with area (simple in-order
+  cores);
+* compression engines add a fixed per-CEA tax on the cache they cover.
+
+:class:`PowerAwareWallModel` solves both constraints and reports which
+binds — the dark-silicon conversation, grafted onto the paper's model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .scaling import BandwidthWallModel
+from .solver import BracketError, solve_increasing
+from .techniques import NEUTRAL_EFFECT, TechniqueEffect
+
+__all__ = ["PowerParameters", "PowerAwareWallModel", "PowerAwarePoint"]
+
+
+@dataclass(frozen=True)
+class PowerParameters:
+    """Chip power accounting, in watts (defaults are Niagara2-flavoured:
+    ~72 W for the baseline 8-core/8-CEA chip at these numbers).
+
+    Parameters
+    ----------
+    core_watts:
+        Dynamic + static power of one full-size active core.
+    sram_watts_per_cea:
+        Leakage + access power per CEA of SRAM cache.
+    dram_watts_per_effective_cea:
+        Refresh + access power per SRAM-equivalent CEA of DRAM cache
+        (DRAM trades much lower per-bit leakage for refresh).
+    budget_watts:
+        The socket's power envelope.
+    core_power_area_exponent:
+        How core power scales with core area for smaller cores
+        (1.0 = proportional to area; in-order cores land near that).
+    """
+
+    core_watts: float = 8.0
+    sram_watts_per_cea: float = 1.0
+    dram_watts_per_effective_cea: float = 0.25
+    budget_watts: float = 120.0
+    core_power_area_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("core_watts", "sram_watts_per_cea",
+                     "dram_watts_per_effective_cea", "budget_watts"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.budget_watts <= 0:
+            raise ValueError("budget_watts must be positive")
+        if self.core_power_area_exponent < 0:
+            raise ValueError("core_power_area_exponent must be >= 0")
+
+    def core_power(self, core_area_fraction: float) -> float:
+        """Power of one core occupying ``core_area_fraction`` CEAs."""
+        if not 0 < core_area_fraction <= 1:
+            raise ValueError(
+                "core_area_fraction must be in (0, 1], got "
+                f"{core_area_fraction}"
+            )
+        return self.core_watts * core_area_fraction ** (
+            self.core_power_area_exponent
+        )
+
+    def scaled(self, per_unit_factor: float) -> "PowerParameters":
+        """Per-CEA power scaled by ``per_unit_factor`` (same budget).
+
+        Models the post-Dennard residual: each process generation cuts
+        power per transistor by some factor < 1 (historically ~0.5 under
+        Dennard scaling, ~0.7-0.8 since), while the socket budget stays
+        put.  ``per_unit_factor`` compounds across generations.
+        """
+        if per_unit_factor <= 0:
+            raise ValueError(
+                f"per_unit_factor must be positive, got {per_unit_factor}"
+            )
+        return PowerParameters(
+            core_watts=self.core_watts * per_unit_factor,
+            sram_watts_per_cea=self.sram_watts_per_cea * per_unit_factor,
+            dram_watts_per_effective_cea=(
+                self.dram_watts_per_effective_cea * per_unit_factor
+            ),
+            budget_watts=self.budget_watts,
+            core_power_area_exponent=self.core_power_area_exponent,
+        )
+
+
+@dataclass(frozen=True)
+class PowerAwarePoint:
+    """Both constraints evaluated on one die."""
+
+    bandwidth_cores: float
+    power_cores: float
+
+    @property
+    def cores(self) -> float:
+        return min(self.bandwidth_cores, self.power_cores)
+
+    @property
+    def binding_constraint(self) -> str:
+        if math.isclose(self.bandwidth_cores, self.power_cores,
+                        rel_tol=1e-9):
+            return "tie"
+        return ("power" if self.power_cores < self.bandwidth_cores
+                else "bandwidth")
+
+
+class PowerAwareWallModel:
+    """Solve core counts under the traffic budget AND the power budget."""
+
+    def __init__(self, wall: BandwidthWallModel,
+                 power: PowerParameters) -> None:
+        self.wall = wall
+        self.power = power
+
+    def chip_power(
+        self,
+        total_ceas: float,
+        cores: float,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+    ) -> float:
+        """Watts for ``cores`` on a ``total_ceas`` die with ``effect``."""
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        params = self.power
+        die_cache = total_ceas - effect.core_area_fraction * cores
+        if die_cache < 0:
+            raise ValueError("cores exceed the die")
+        watts = cores * params.core_power(effect.core_area_fraction)
+        if effect.on_die_density > 1.0:
+            # DRAM cache: refresh power scales with *effective* capacity
+            watts += (die_cache * effect.on_die_density
+                      * params.dram_watts_per_effective_cea)
+        else:
+            watts += die_cache * params.sram_watts_per_cea
+        if effect.stacked_layers:
+            density = effect.resolved_stacked_density
+            if density > 1.0:
+                watts += (effect.stacked_layers * total_ceas * density
+                          * params.dram_watts_per_effective_cea)
+            else:
+                watts += (effect.stacked_layers * total_ceas
+                          * params.sram_watts_per_cea)
+        return watts
+
+    def power_limited_cores(
+        self,
+        total_ceas: float,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+    ) -> float:
+        """Largest core count whose chip power fits the budget.
+
+        Chip power is increasing in the core count whenever a core burns
+        more than the cache it displaces — true for every parameter set
+        of interest; validated and solved by bisection.
+        """
+        max_cores = total_ceas / effect.core_area_fraction
+        budget = self.power.budget_watts
+
+        def watts(cores: float) -> float:
+            return self.chip_power(total_ceas, cores, effect)
+
+        lo_power = watts(max_cores * 1e-9)
+        if lo_power > budget:
+            # Dark silicon: even an (almost) cache-only fully-lit die
+            # exceeds the envelope; no all-active configuration exists.
+            return 0.0
+        core_unit = self.power.core_power(effect.core_area_fraction)
+        cache_unit = (self.power.sram_watts_per_cea
+                      if effect.on_die_density <= 1.0
+                      else effect.on_die_density
+                      * self.power.dram_watts_per_effective_cea)
+        if core_unit <= cache_unit * effect.core_area_fraction:
+            # Cores are cheaper than the cache they displace: power can
+            # only fall as cores grow, so area is the limit.
+            return max_cores
+        try:
+            return solve_increasing(watts, budget, 0.0, max_cores)
+        except BracketError:
+            return max_cores
+
+    def design_point(
+        self,
+        total_ceas: float,
+        *,
+        traffic_budget: float = 1.0,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+    ) -> PowerAwarePoint:
+        """Evaluate both walls on one die."""
+        bandwidth = self.wall.supportable_cores(
+            total_ceas, traffic_budget=traffic_budget, effect=effect
+        ).continuous_cores
+        power = self.power_limited_cores(total_ceas, effect)
+        return PowerAwarePoint(bandwidth_cores=bandwidth,
+                               power_cores=power)
+
+    def crossover_budget_watts(
+        self,
+        total_ceas: float,
+        *,
+        traffic_budget: float = 1.0,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+    ) -> Optional[float]:
+        """The power budget at which the two walls meet on this die.
+
+        Below it, power binds; above it, bandwidth binds.  ``None`` when
+        even unlimited power leaves bandwidth binding at the area cap.
+        """
+        bandwidth = self.wall.supportable_cores(
+            total_ceas, traffic_budget=traffic_budget, effect=effect
+        ).continuous_cores
+        try:
+            return self.chip_power(total_ceas, bandwidth, effect)
+        except ValueError:
+            return None

@@ -1,0 +1,162 @@
+"""The power law of cache misses (Section 4.1, Equations 1-2).
+
+A long-observed empirical rule states that the miss rate of a workload
+responds to cache size as
+
+.. math::  m = m_0 \\cdot (C / C_0)^{-\\alpha}
+
+where :math:`m_0` is the miss rate at a baseline cache size :math:`C_0`
+and :math:`\\alpha` measures how sensitive the workload is to cache size.
+Hartstein et al. validated this on real workloads and found
+:math:`\\alpha \\in [0.3, 0.7]` with an average of 0.5 — the
+":math:`\\sqrt 2` rule".
+
+The paper extends the law from miss rate to *memory traffic* (Equation 2):
+write-backs are an application-specific constant fraction ``r_wb`` of
+misses, so total traffic is ``M = m * (1 + r_wb)`` and the ``(1 + r_wb)``
+factor cancels in any ratio of two cache sizes.  The law therefore governs
+traffic exactly as it governs misses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "PowerLawMissModel",
+    "ALPHA_AVERAGE",
+    "ALPHA_COMMERCIAL_AVG",
+    "ALPHA_COMMERCIAL_MIN",
+    "ALPHA_COMMERCIAL_MAX",
+    "ALPHA_SPEC2006_AVG",
+]
+
+#: Hartstein et al.'s average alpha (the sqrt-2 rule) and the paper's
+#: default workload assumption for all scaling studies (Section 5.1).
+ALPHA_AVERAGE = 0.5
+
+#: Curve-fitted alpha over the paper's commercial workloads (Figure 1).
+ALPHA_COMMERCIAL_AVG = 0.48
+
+#: Smallest per-application commercial alpha (OLTP-2, Figure 1).
+ALPHA_COMMERCIAL_MIN = 0.36
+
+#: Largest per-application commercial alpha (OLTP-4, Figure 1).
+ALPHA_COMMERCIAL_MAX = 0.62
+
+#: Alpha of the SPEC 2006 average curve (Figure 1).
+ALPHA_SPEC2006_AVG = 0.25
+
+
+@dataclass(frozen=True)
+class PowerLawMissModel:
+    """Miss rate (and traffic) as a power law of cache size.
+
+    Parameters
+    ----------
+    alpha:
+        Workload sensitivity to cache size.  Must be positive; values
+        observed in practice fall in roughly ``[0.25, 0.7]``.
+    baseline_miss_rate:
+        :math:`m_0` — miss rate (misses per access, or any fixed unit of
+        misses per unit of work) at ``baseline_cache_size``.
+    baseline_cache_size:
+        :math:`C_0` — the cache size at which ``baseline_miss_rate`` was
+        measured.  Any positive unit (bytes, KB, CEAs) works as long as it
+        is used consistently.
+    writeback_ratio:
+        :math:`r_{wb}` — write-backs as a fraction of misses.  Affects
+        absolute traffic only; it cancels out of all traffic *ratios*
+        (Equation 2).
+
+    Examples
+    --------
+    >>> law = PowerLawMissModel(alpha=0.5, baseline_miss_rate=0.04,
+    ...                         baseline_cache_size=1024)
+    >>> law.miss_rate(4096)   # 4x the cache halves the miss rate
+    0.02
+    """
+
+    alpha: float
+    baseline_miss_rate: float = 1.0
+    baseline_cache_size: float = 1.0
+    writeback_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.alpha) or self.alpha <= 0:
+            raise ValueError(f"alpha must be positive and finite, got {self.alpha}")
+        if not 0 <= self.baseline_miss_rate <= 1 or not math.isfinite(
+            self.baseline_miss_rate
+        ):
+            raise ValueError(
+                f"baseline_miss_rate must be in [0, 1], got {self.baseline_miss_rate}"
+            )
+        if self.baseline_cache_size <= 0:
+            raise ValueError(
+                f"baseline_cache_size must be positive, got {self.baseline_cache_size}"
+            )
+        if self.writeback_ratio < 0:
+            raise ValueError(
+                f"writeback_ratio must be non-negative, got {self.writeback_ratio}"
+            )
+
+    def miss_rate(self, cache_size: float) -> float:
+        """Miss rate predicted for ``cache_size`` (Equation 1)."""
+        if cache_size <= 0:
+            raise ValueError(f"cache_size must be positive, got {cache_size}")
+        return self.baseline_miss_rate * (cache_size / self.baseline_cache_size) ** (
+            -self.alpha
+        )
+
+    def traffic(self, cache_size: float) -> float:
+        """Memory traffic (misses + write-backs) for ``cache_size``.
+
+        ``M = m * (1 + r_wb)`` — see Section 4.2.
+        """
+        return self.miss_rate(cache_size) * (1.0 + self.writeback_ratio)
+
+    def traffic_ratio(self, new_cache_size: float, old_cache_size: float) -> float:
+        """Traffic with ``new_cache_size`` relative to ``old_cache_size``.
+
+        This is Equation 2: the ``(1 + r_wb)`` factor cancels, so the ratio
+        depends only on the size ratio and alpha.
+        """
+        if old_cache_size <= 0:
+            raise ValueError(f"old_cache_size must be positive, got {old_cache_size}")
+        if new_cache_size <= 0:
+            raise ValueError(f"new_cache_size must be positive, got {new_cache_size}")
+        return (new_cache_size / old_cache_size) ** (-self.alpha)
+
+    def cache_size_for_miss_rate(self, target_miss_rate: float) -> float:
+        """Invert the law: the cache size that yields ``target_miss_rate``."""
+        if target_miss_rate <= 0:
+            raise ValueError(
+                f"target_miss_rate must be positive, got {target_miss_rate}"
+            )
+        return self.baseline_cache_size * (
+            target_miss_rate / self.baseline_miss_rate
+        ) ** (-1.0 / self.alpha)
+
+    def capacity_factor_for_traffic_reduction(self, reduction: float) -> float:
+        """Cache-growth factor needed to cut traffic by ``reduction``.
+
+        Section 6.1's dampening observation: to halve traffic
+        (``reduction = 2``) with ``alpha = 0.5`` the cache must grow 4x,
+        while with ``alpha = 0.9`` growing it ~2.16x suffices.
+
+        >>> PowerLawMissModel(alpha=0.5).capacity_factor_for_traffic_reduction(2)
+        4.0
+        """
+        if reduction <= 0:
+            raise ValueError(f"reduction must be positive, got {reduction}")
+        return reduction ** (1.0 / self.alpha)
+
+    def with_alpha(self, alpha: float) -> "PowerLawMissModel":
+        """Return a copy of this model with a different alpha."""
+        return PowerLawMissModel(
+            alpha=alpha,
+            baseline_miss_rate=self.baseline_miss_rate,
+            baseline_cache_size=self.baseline_cache_size,
+            writeback_ratio=self.writeback_ratio,
+        )

@@ -1,0 +1,125 @@
+"""Named configurations from the paper.
+
+* the Niagara2-like balanced baseline of Section 5.1,
+* Table 2's per-technique summary records (labels, assumption levels and
+  the paper's qualitative effectiveness / range / complexity ratings),
+* bandwidth-growth presets discussed in Sections 1 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .area import ChipDesign
+from .powerlaw import ALPHA_AVERAGE
+from .scaling import BandwidthWallModel
+from .techniques import (
+    CacheCompression,
+    CacheLinkCompression,
+    DRAMCache,
+    LinkCompression,
+    SectoredCache,
+    SmallCacheLines,
+    SmallerCores,
+    ThreeDStackedCache,
+    UnusedDataFiltering,
+)
+
+__all__ = [
+    "paper_baseline_design",
+    "paper_baseline_model",
+    "Rating",
+    "Table2Row",
+    "TABLE2_ROWS",
+    "BANDWIDTH_GROWTH_CONSTANT",
+    "BANDWIDTH_GROWTH_OPTIMISTIC_NEXT_GEN",
+    "BANDWIDTH_GROWTH_ITRS_PER_GENERATION",
+]
+
+#: Keep total memory traffic flat across generations (the paper's default).
+BANDWIDTH_GROWTH_CONSTANT = 1.0
+
+#: Section 5.1's "optimistic 50% growth in the next generation".
+BANDWIDTH_GROWTH_OPTIMISTIC_NEXT_GEN = 1.5
+
+#: ITRS projects ~10%/year pin growth; at 18 months per generation that
+#: compounds to ~1.1**1.5 ~= 15% of extra bandwidth per generation.
+BANDWIDTH_GROWTH_ITRS_PER_GENERATION = 1.1**1.5
+
+
+def paper_baseline_design() -> ChipDesign:
+    """The Section 5.1 baseline: 8 cores + 8 CEAs of L2 on a 16-CEA die."""
+    return ChipDesign(total_ceas=16, core_ceas=8)
+
+
+def paper_baseline_model(alpha: float = ALPHA_AVERAGE) -> BandwidthWallModel:
+    """The bandwidth-wall model with the paper's baseline and alpha."""
+    return BandwidthWallModel(baseline=paper_baseline_design(), alpha=alpha)
+
+
+class Rating:
+    """Qualitative ratings used in Table 2."""
+
+    LOW = "Low"
+    MEDIUM = "Med."
+    HIGH = "High"
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One technique's row of Table 2."""
+
+    technique: str
+    label: str
+    realistic: str
+    pessimistic: str
+    optimistic: str
+    effectiveness: str
+    variability: str
+    complexity: str
+    technique_type: type
+
+
+TABLE2_ROWS: Tuple[Table2Row, ...] = (
+    Table2Row(
+        "Cache Compress", "CC", "2x compr.", "1.25x compr.", "3.5x compr.",
+        Rating.MEDIUM, Rating.LOW, Rating.MEDIUM, CacheCompression,
+    ),
+    Table2Row(
+        "DRAM Cache", "DRAM", "8x density", "4x density", "16x density",
+        Rating.HIGH, Rating.MEDIUM, Rating.LOW, DRAMCache,
+    ),
+    Table2Row(
+        "3D-stacked Cache", "3D", "3D SRAM layer", "-", "-",
+        Rating.MEDIUM, Rating.LOW, Rating.HIGH, ThreeDStackedCache,
+    ),
+    Table2Row(
+        "Unused Data Filter", "Fltr", "40% unused data", "10% unused data",
+        "80% unused data", Rating.MEDIUM, Rating.MEDIUM, Rating.MEDIUM,
+        UnusedDataFiltering,
+    ),
+    Table2Row(
+        "Smaller Cores", "SmCo", "40x less area", "9x less area",
+        "80x less area", Rating.LOW, Rating.LOW, Rating.LOW, SmallerCores,
+    ),
+    Table2Row(
+        "Link Compress", "LC", "2x compr.", "1.25x compr.", "3.5x compr.",
+        Rating.HIGH, Rating.MEDIUM, Rating.LOW, LinkCompression,
+    ),
+    Table2Row(
+        "Sectored Caches", "Sect", "40% unused data", "10% unused data",
+        "80% unused data", Rating.MEDIUM, Rating.HIGH, Rating.MEDIUM,
+        SectoredCache,
+    ),
+    Table2Row(
+        "Cache+Link Compress", "CC/LC", "2x compr.", "1.25x compr.",
+        "3.5x compr.", Rating.HIGH, Rating.HIGH, Rating.LOW,
+        CacheLinkCompression,
+    ),
+    Table2Row(
+        "Smaller Cache Lines", "SmCl", "40% unused data", "10% unused data",
+        "80% unused data", Rating.HIGH, Rating.HIGH, Rating.MEDIUM,
+        SmallCacheLines,
+    ),
+)

@@ -1,0 +1,160 @@
+"""Bandwidth-roadmap projections (extension of Sections 1 and 6.2).
+
+The paper grounds its constant-traffic assumption in the ITRS roadmap:
+pins grow ~10%/year while cores want to double every 18 months, and the
+industry's actual levers are interface frequency and channel count
+(Niagara1→2: 25→42 GB/s; POWER5→6: doubled controllers + 533→800 MHz
+DDR2).  This module turns those levers into an explicit model of the
+bandwidth envelope ``B`` per generation, so scaling studies can use a
+*projected* budget rather than a hand-picked constant:
+
+* :class:`BandwidthRoadmap` — compounding growth of pins, per-pin
+  signalling rate, and channel count, with an optional one-shot link
+  compression multiplier;
+* :func:`wall_onset` — the first generation at which proportional
+  scaling stops fitting the projected envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .scaling import BandwidthWallModel
+
+__all__ = [
+    "BandwidthRoadmap",
+    "RoadmapPoint",
+    "ITRS_ROADMAP",
+    "OPTIMISTIC_ROADMAP",
+    "FLAT_ROADMAP",
+    "wall_onset",
+]
+
+#: Years per process-technology generation (cores double every 18
+#: months in the paper's framing).
+YEARS_PER_GENERATION = 1.5
+
+
+@dataclass(frozen=True)
+class BandwidthRoadmap:
+    """Multiplicative bandwidth growth per technology generation.
+
+    Parameters
+    ----------
+    pin_growth_per_year:
+        ITRS projects ~1.10 (10%/year).
+    frequency_growth_per_generation:
+        Interface signalling improvement per generation (DDR steps).
+    channel_growth_per_generation:
+        Extra memory channels/controllers per generation (limited by
+        pins and board cost; 1.0 = none).
+    """
+
+    name: str
+    pin_growth_per_year: float = 1.10
+    frequency_growth_per_generation: float = 1.0
+    channel_growth_per_generation: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "pin_growth_per_year",
+            "frequency_growth_per_generation",
+            "channel_growth_per_generation",
+        ):
+            value = getattr(self, field_name)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+
+    @property
+    def growth_per_generation(self) -> float:
+        """Compound bandwidth multiplier per generation."""
+        pins = self.pin_growth_per_year**YEARS_PER_GENERATION
+        return (
+            pins
+            * self.frequency_growth_per_generation
+            * self.channel_growth_per_generation
+        )
+
+    def budget_at(self, generation: int) -> float:
+        """Traffic budget ``B`` relative to today, ``generation`` steps out."""
+        if generation < 0:
+            raise ValueError(f"generation must be >= 0, got {generation}")
+        return self.growth_per_generation**generation
+
+
+#: Pins only, per the ITRS projection the paper cites.
+ITRS_ROADMAP = BandwidthRoadmap("ITRS pins only")
+
+#: Pins plus the historical frequency/channel levers (Niagara/POWER6
+#: style), roughly +50% per generation overall.
+OPTIMISTIC_ROADMAP = BandwidthRoadmap(
+    "pins + frequency + channels",
+    frequency_growth_per_generation=1.15,
+    channel_growth_per_generation=1.12,
+)
+
+#: The paper's default: bandwidth does not grow at all.
+FLAT_ROADMAP = BandwidthRoadmap("flat", pin_growth_per_year=1.0)
+
+
+@dataclass(frozen=True)
+class RoadmapPoint:
+    """One generation of a roadmap-driven scaling study."""
+
+    generation: int
+    area_factor: float
+    budget: float
+    supportable_cores: int
+    proportional_cores: float
+
+    @property
+    def keeps_pace(self) -> bool:
+        return self.supportable_cores >= self.proportional_cores
+
+
+def wall_onset(
+    model: BandwidthWallModel,
+    roadmap: BandwidthRoadmap,
+    *,
+    max_generations: int = 8,
+    link_compression_ratio: float = 1.0,
+) -> Tuple[Optional[int], List[RoadmapPoint]]:
+    """First generation where proportional scaling breaks the envelope.
+
+    Returns ``(onset_generation, trajectory)``; ``onset_generation`` is
+    ``None`` when proportional scaling fits for the whole horizon.  A
+    one-shot ``link_compression_ratio`` multiplies every generation's
+    budget (compression is applied once, not compounded — Section 6.2).
+    """
+    if max_generations < 1:
+        raise ValueError(
+            f"max_generations must be >= 1, got {max_generations}"
+        )
+    if link_compression_ratio < 1:
+        raise ValueError(
+            "link_compression_ratio must be >= 1, got "
+            f"{link_compression_ratio}"
+        )
+    onset: Optional[int] = None
+    trajectory: List[RoadmapPoint] = []
+    base_ceas = model.baseline.total_ceas
+    base_cores = model.baseline.num_cores
+    for generation in range(1, max_generations + 1):
+        area_factor = 2.0**generation
+        budget = roadmap.budget_at(generation) * link_compression_ratio
+        solution = model.supportable_cores(
+            base_ceas * area_factor, traffic_budget=budget
+        )
+        point = RoadmapPoint(
+            generation=generation,
+            area_factor=area_factor,
+            budget=budget,
+            supportable_cores=solution.cores,
+            proportional_cores=base_cores * area_factor,
+        )
+        trajectory.append(point)
+        if onset is None and not point.keeps_pace:
+            onset = generation
+    return onset, trajectory

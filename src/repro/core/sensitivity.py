@@ -1,0 +1,150 @@
+"""Sensitivity analysis: which knob moves the supportable core count?
+
+A designer reading the paper gets point results; a designer using the
+model wants *elasticities* — the percentage change in supportable cores
+per percent change of each input.  For the base equation these have
+closed forms worth knowing:
+
+* **budget** (or any direct factor ``t``): from
+  ``(P/P1) (S/S1)^-a = B``, taking logs and differentiating,
+  ``dlogP/dlogB = 1 / (1 + a * N / (N - P))`` — always < 1 (a 10%
+  bandwidth gift buys < 10% more cores), approaching ``1/(1+a)`` for
+  small P.
+* **capacity factor** ``F``: the same with an extra ``a`` in the
+  numerator, ``dlogP/dlogF = a / (1 + a * N / (N - P))`` — the ``-a``
+  dampening of Section 6.1 as an elasticity: a fraction ``a`` of the
+  direct technique's leverage.
+
+:func:`elasticities` evaluates these (numerically, so they also hold
+with any technique stack applied), and :func:`tornado` ranks all knobs
+for a given design point — the classic what-matters-most chart, as
+data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .scaling import BandwidthWallModel
+from .techniques import NEUTRAL_EFFECT, TechniqueEffect
+
+__all__ = ["Elasticities", "elasticities", "tornado"]
+
+_STEP = 1e-4
+
+
+@dataclass(frozen=True)
+class Elasticities:
+    """d(log cores) / d(log knob) at one design point."""
+
+    budget: float
+    capacity: float
+    alpha_gradient: float  # d(cores)/d(alpha), absolute (alpha isn't a ratio)
+    cores: float
+
+    @property
+    def dampening(self) -> float:
+        """capacity / budget elasticity — the measured ``-alpha``
+        dampening (should equal alpha for the plain model)."""
+        if self.budget == 0:
+            raise ValueError("zero budget elasticity")
+        return self.capacity / self.budget
+
+
+def _cores(model: BandwidthWallModel, total_ceas: float, budget: float,
+           effect: TechniqueEffect) -> float:
+    return model.supportable_cores(
+        total_ceas, traffic_budget=budget, effect=effect
+    ).continuous_cores
+
+
+def elasticities(
+    model: BandwidthWallModel,
+    total_ceas: float,
+    *,
+    traffic_budget: float = 1.0,
+    effect: TechniqueEffect = NEUTRAL_EFFECT,
+) -> Elasticities:
+    """Numerical elasticities of the supportable core count."""
+    base = _cores(model, total_ceas, traffic_budget, effect)
+
+    bumped_budget = _cores(
+        model, total_ceas, traffic_budget * (1 + _STEP), effect
+    )
+    budget_elasticity = (math.log(bumped_budget) - math.log(base)) / (
+        math.log1p(_STEP)
+    )
+
+    bumped_effect = effect.combine(
+        TechniqueEffect(capacity_factor=1 + _STEP)
+    )
+    bumped_capacity = _cores(
+        model, total_ceas, traffic_budget, bumped_effect
+    )
+    capacity_elasticity = (math.log(bumped_capacity) - math.log(base)) / (
+        math.log1p(_STEP)
+    )
+
+    alpha_step = 1e-5
+    bumped_model = model.with_alpha(model.alpha + alpha_step)
+    alpha_gradient = (
+        _cores(bumped_model, total_ceas, traffic_budget, effect) - base
+    ) / alpha_step
+
+    return Elasticities(
+        budget=budget_elasticity,
+        capacity=capacity_elasticity,
+        alpha_gradient=alpha_gradient,
+        cores=base,
+    )
+
+
+def tornado(
+    model: BandwidthWallModel,
+    total_ceas: float,
+    *,
+    swing: float = 0.25,
+    traffic_budget: float = 1.0,
+    effect: TechniqueEffect = NEUTRAL_EFFECT,
+) -> List[Tuple[str, float, float]]:
+    """Cores at knob*(1±swing), per knob, ranked by impact.
+
+    Returns ``[(knob, cores_low, cores_high), ...]`` sorted by the
+    width ``|high - low|`` descending — the tornado chart's bars.
+    """
+    if not 0 < swing < 1:
+        raise ValueError(f"swing must be in (0, 1), got {swing}")
+
+    def solve(budget=traffic_budget, eff=effect, mdl=model):
+        return _cores(mdl, total_ceas, budget, eff)
+
+    bars: Dict[str, Tuple[float, float]] = {}
+    bars["bandwidth budget"] = (
+        solve(budget=traffic_budget * (1 - swing)),
+        solve(budget=traffic_budget * (1 + swing)),
+    )
+    bars["effective capacity"] = (
+        solve(eff=effect.combine(
+            TechniqueEffect(capacity_factor=1 - swing)
+        )),
+        solve(eff=effect.combine(
+            TechniqueEffect(capacity_factor=1 + swing)
+        )),
+    )
+    low_alpha = max(0.05, model.alpha * (1 - swing))
+    bars["workload alpha"] = (
+        solve(mdl=model.with_alpha(low_alpha)),
+        solve(mdl=model.with_alpha(model.alpha * (1 + swing))),
+    )
+    bars["die size"] = (
+        _cores(model, total_ceas * (1 - swing), traffic_budget, effect),
+        _cores(model, total_ceas * (1 + swing), traffic_budget, effect),
+    )
+    ranked = sorted(
+        ((name, low, high) for name, (low, high) in bars.items()),
+        key=lambda bar: abs(bar[2] - bar[1]),
+        reverse=True,
+    )
+    return ranked

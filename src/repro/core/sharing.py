@@ -1,0 +1,133 @@
+"""Inter-thread data sharing and its effect on traffic (Section 6.3).
+
+With a fraction ``f_sh`` of cached data shared by *all* threads and a
+shared L2, the chip behaves as if only
+
+.. math::  P' = f_{sh} + (1 - f_{sh}) \\cdot P
+
+independent cores generated traffic and working sets (Equations 13-14):
+one fetcher covers the shared data, ``(1 - f_sh) * P`` fetchers cover the
+private data.  Shared lines are stored once, so the per-core cache grows
+to ``C / P'`` as well.
+
+With *private* L2s (the paper's footnote 1) a shared block is replicated
+in every private cache, so only the traffic side benefits: per-core cache
+capacity stays ``C / P``.
+
+The module answers both of the paper's questions:
+
+* the Figure 13 sweep — normalized traffic as a function of ``f_sh`` for
+  a proportionally-scaled core count, and
+* the headline inversion — the sharing fraction *required* to keep
+  traffic constant under proportional scaling (40% / 63% / 77% / 86% for
+  16 / 32 / 64 / 128 cores).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .area import ChipDesign
+from .solver import solve_increasing
+
+__all__ = ["DataSharingModel"]
+
+
+@dataclass(frozen=True)
+class DataSharingModel:
+    """Traffic model for multi-threaded workloads with shared data.
+
+    Parameters
+    ----------
+    baseline:
+        The balanced baseline CMP (threads assumed independent there).
+    alpha:
+        Power-law exponent of the workload.
+    shared_cache:
+        True (paper's main analysis) models one shared L2: sharing helps
+        both traffic and capacity.  False models private L2s (footnote
+        1): sharing helps traffic only.
+    """
+
+    baseline: ChipDesign
+    alpha: float = 0.5
+    shared_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.alpha) or self.alpha <= 0:
+            raise ValueError(f"alpha must be positive and finite, got {self.alpha}")
+
+    def independent_cores(self, cores: float, shared_fraction: float) -> float:
+        """``P'`` of Equation 14 — effective independent fetchers."""
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        if not 0 <= shared_fraction <= 1:
+            raise ValueError(
+                f"shared_fraction must be in [0, 1], got {shared_fraction}"
+            )
+        return shared_fraction + (1.0 - shared_fraction) * cores
+
+    def relative_traffic(
+        self,
+        total_ceas: float,
+        cores: float,
+        shared_fraction: float,
+    ) -> float:
+        """``M2 / M1`` for a design with data sharing (Equation 13)."""
+        cache_ceas = total_ceas - cores
+        if cache_ceas <= 0:
+            raise ValueError(
+                f"{cores} cores leave no cache on a {total_ceas}-CEA die"
+            )
+        p_eff = self.independent_cores(cores, shared_fraction)
+        capacity_divisor = p_eff if self.shared_cache else cores
+        s2 = cache_ceas / capacity_divisor
+        p1 = self.baseline.num_cores
+        s1 = self.baseline.cache_per_core
+        return (p_eff / p1) * (s2 / s1) ** (-self.alpha)
+
+    def traffic_sweep(
+        self,
+        total_ceas: float,
+        cores: float,
+        shared_fractions: Sequence[float],
+    ) -> List[Tuple[float, float]]:
+        """The Figure 13 curves: ``(f_sh, normalized traffic)`` pairs."""
+        return [
+            (f, self.relative_traffic(total_ceas, cores, f))
+            for f in shared_fractions
+        ]
+
+    def required_sharing_fraction(
+        self,
+        total_ceas: float,
+        cores: float,
+        *,
+        traffic_budget: float = 1.0,
+    ) -> float:
+        """Smallest ``f_sh`` that keeps traffic within the budget.
+
+        Traffic is strictly decreasing in ``f_sh`` (more sharing, fewer
+        independent fetchers), so we solve the increasing function
+        ``f -> -traffic`` by bisection.  Returns 0.0 when no sharing is
+        needed; raises if even full sharing cannot meet the budget.
+        """
+        if traffic_budget <= 0:
+            raise ValueError(
+                f"traffic_budget must be positive, got {traffic_budget}"
+            )
+        if self.relative_traffic(total_ceas, cores, 0.0) <= traffic_budget:
+            return 0.0
+        if self.relative_traffic(total_ceas, cores, 1.0) > traffic_budget:
+            raise ValueError(
+                f"even 100% sharing exceeds the traffic budget {traffic_budget} "
+                f"for {cores} cores on {total_ceas} CEAs"
+            )
+        return solve_increasing(
+            lambda f: -self.relative_traffic(total_ceas, cores, f),
+            -traffic_budget,
+            0.0,
+            1.0,
+        )

@@ -1,0 +1,110 @@
+"""Root solving utilities for the scaling model.
+
+All of the paper's "how many cores can the next generation support?"
+questions reduce to solving ``traffic(P2) = budget`` for ``P2``, where
+``traffic`` is strictly increasing in ``P2`` on the feasible interval
+(more cores both multiply the per-core traffic and shrink the cache each
+core gets).  A guarded bisection solver is all we need, and it is immune
+to the poles at the interval edges that would upset Newton iterations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = ["solve_increasing", "floor_cores", "BracketError"]
+
+#: Tolerance used when flooring a continuous core count to an integer, so
+#: that analytically-exact landings (e.g. the 3D DRAM 16x case solving to
+#: exactly 32.0) are not floored down by floating-point noise.
+_FLOOR_EPS = 1e-9
+
+
+class BracketError(ValueError):
+    """Raised when the requested root does not lie in the given interval."""
+
+
+def solve_increasing(
+    func: Callable[[float], float],
+    target: float,
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Solve ``func(x) = target`` for an increasing ``func`` on ``[lo, hi]``.
+
+    Parameters
+    ----------
+    func:
+        A function that is (weakly) increasing on the open interval.  It
+        may diverge at the endpoints; the solver only evaluates strictly
+        inside ``(lo, hi)`` after checking the bracket.
+    target:
+        The value to solve for.
+    lo, hi:
+        Bracket endpoints, ``lo < hi``.
+    tol:
+        Absolute tolerance on ``x``.
+
+    Returns
+    -------
+    float
+        The root, or ``hi`` if ``func`` stays below ``target`` on the
+        whole interval is *not* silently returned — a
+        :class:`BracketError` is raised instead so callers can decide how
+        to cap (e.g. "area limited" designs).
+
+    Raises
+    ------
+    BracketError
+        If the target is not bracketed by ``func`` on ``(lo, hi)``.
+    """
+    if not lo < hi:
+        raise ValueError(f"need lo < hi, got lo={lo}, hi={hi}")
+    if not math.isfinite(target):
+        raise ValueError(f"target must be finite, got {target}")
+
+    # Evaluate slightly inside the interval; the traffic functions have a
+    # pole (infinite traffic at zero cache) at one end and a zero at the
+    # other, so the open interval always brackets any positive target when
+    # a solution exists.
+    span = hi - lo
+    a = lo + span * 1e-12
+    b = hi - span * 1e-12
+    fa = func(a)
+    fb = func(b)
+    if fa > target:
+        raise BracketError(
+            f"func({a}) = {fa} already exceeds target {target}; no root in interval"
+        )
+    if fb < target:
+        raise BracketError(
+            f"func({b}) = {fb} stays below target {target}; no root in interval"
+        )
+
+    for _ in range(max_iter):
+        mid = 0.5 * (a + b)
+        fm = func(mid)
+        if fm < target:
+            a = mid
+        else:
+            b = mid
+        if b - a <= tol:
+            break
+    return 0.5 * (a + b)
+
+
+def floor_cores(p: float) -> int:
+    """Floor a continuous core count to a buildable integer count.
+
+    The paper reports integer core counts obtained by flooring the
+    continuous solution (e.g. 11.03 -> 11, 24.5 -> 24).  A small epsilon
+    keeps analytically exact solutions (32.0 computed as 31.999999...)
+    from losing a core to round-off.
+    """
+    if p < 0:
+        raise ValueError(f"core count must be non-negative, got {p}")
+    return int(math.floor(p + _FLOOR_EPS))

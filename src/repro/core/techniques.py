@@ -1,0 +1,533 @@
+"""Bandwidth-conservation techniques (Section 6).
+
+The paper sorts techniques into three categories:
+
+* **indirect** — grow the *effective* cache capacity per core, cutting
+  misses; their benefit is dampened by the ``-alpha`` exponent
+  (cache compression, DRAM caches, 3D-stacked cache, unused-data
+  filtering, smaller cores);
+* **direct** — shrink the bytes that must cross the chip boundary per
+  unit of work, or grow the usable boundary itself (link compression,
+  sectored caches);
+* **dual** — do both at once (smaller cache lines, cache+link
+  compression).
+
+Every technique here reduces to a :class:`TechniqueEffect`: a small
+record of multiplicative and structural modifiers that the scaling solver
+(:mod:`repro.core.scaling`) applies to the traffic equation.  This keeps
+the solver single-sourced and makes technique *combinations*
+(:mod:`repro.core.combos`) a fold over effects.
+
+Parameter presets (pessimistic / realistic / optimistic) come straight
+from Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "AssumptionLevel",
+    "Category",
+    "TechniqueEffect",
+    "NEUTRAL_EFFECT",
+    "Technique",
+    "CacheCompression",
+    "DRAMCache",
+    "ThreeDStackedCache",
+    "UnusedDataFiltering",
+    "SmallerCores",
+    "LinkCompression",
+    "SectoredCache",
+    "SmallCacheLines",
+    "CacheLinkCompression",
+    "ALL_TECHNIQUE_TYPES",
+]
+
+
+class AssumptionLevel(enum.Enum):
+    """The three assumption tiers of Table 2 / the candle bars of Fig 15."""
+
+    PESSIMISTIC = "pessimistic"
+    REALISTIC = "realistic"
+    OPTIMISTIC = "optimistic"
+
+
+class Category(enum.Enum):
+    """The paper's taxonomy of bandwidth-conservation techniques."""
+
+    INDIRECT = "indirect"
+    DIRECT = "direct"
+    DUAL = "dual"
+
+
+@dataclass(frozen=True)
+class TechniqueEffect:
+    """How a technique (or stack of techniques) alters the traffic model.
+
+    Attributes
+    ----------
+    capacity_factor:
+        ``F`` of Equation 8 — multiplies the effective capacity of the
+        whole on-chip cache pool (compression ratios, de-duplication of
+        unused words, ...).
+    traffic_factor:
+        Multiplies the *traffic budget*: a value of 2 means only half the
+        raw bytes cross the chip boundary (link compression), which is
+        equivalent to doubling the bandwidth envelope ``B``.
+    on_die_density:
+        Density of the cache on the processor die relative to SRAM
+        (``D`` of the DRAM-cache technique).
+    stacked_layers:
+        Number of extra cache-only des stacked on top of the processor
+        die (the paper analyses 0 or 1).
+    stacked_density:
+        Density of the stacked cache-only die relative to SRAM.  When the
+        design also adopts DRAM caches, the stacked die is built from the
+        densest available cell (see :meth:`resolved_stacked_density`).
+    core_area_fraction:
+        ``f_sm`` of Equation 10 — area of one core relative to a full CEA.
+    """
+
+    capacity_factor: float = 1.0
+    traffic_factor: float = 1.0
+    on_die_density: float = 1.0
+    stacked_layers: int = 0
+    stacked_density: float = 1.0
+    core_area_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("capacity_factor", "traffic_factor", "on_die_density",
+                     "stacked_density"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{name} must be positive and finite, got {value}")
+        if self.stacked_layers < 0:
+            raise ValueError(
+                f"stacked_layers must be non-negative, got {self.stacked_layers}"
+            )
+        if not 0 < self.core_area_fraction <= 1:
+            raise ValueError(
+                f"core_area_fraction must be in (0, 1], got {self.core_area_fraction}"
+            )
+
+    @property
+    def resolved_stacked_density(self) -> float:
+        """Density actually used for the stacked die.
+
+        A cache-only die is manufactured with the densest cell technology
+        the design has adopted: combining DRAM caches with 3D stacking
+        makes the stacked layer DRAM as well.  This rule is what
+        reproduces the paper's 183-core all-techniques result.
+        """
+        return max(self.stacked_density, self.on_die_density)
+
+    def effective_cache_ceas(self, total_ceas: float, core_ceas: float) -> float:
+        """Effective cache pool, in SRAM-equivalent CEAs, for a die split.
+
+        ``on_die_density * (N - f_sm * P)`` on the processor die, plus
+        ``stacked_layers * resolved_density * N`` of stacked cache, all
+        inflated by ``capacity_factor``.
+        """
+        die_cache = total_ceas - self.core_area_fraction * core_ceas
+        if die_cache < 0:
+            raise ValueError(
+                f"{core_ceas} cores of size {self.core_area_fraction} CEA do "
+                f"not fit on a {total_ceas}-CEA die"
+            )
+        raw = self.on_die_density * die_cache
+        raw += self.stacked_layers * self.resolved_stacked_density * total_ceas
+        return self.capacity_factor * raw
+
+    def combine(self, other: "TechniqueEffect") -> "TechniqueEffect":
+        """Compose two effects (Section 6.4's technique combinations).
+
+        Multiplicative factors multiply; structural modifiers must not
+        conflict (two different core sizes, or two different on-die cell
+        technologies, have no defined composition and raise).
+        """
+        if (
+            self.on_die_density != 1.0
+            and other.on_die_density != 1.0
+            and self.on_die_density != other.on_die_density
+        ):
+            raise ValueError(
+                "conflicting on-die cache densities: "
+                f"{self.on_die_density} vs {other.on_die_density}"
+            )
+        if (
+            self.core_area_fraction != 1.0
+            and other.core_area_fraction != 1.0
+            and self.core_area_fraction != other.core_area_fraction
+        ):
+            raise ValueError(
+                "conflicting core sizes: "
+                f"{self.core_area_fraction} vs {other.core_area_fraction}"
+            )
+        return TechniqueEffect(
+            capacity_factor=self.capacity_factor * other.capacity_factor,
+            traffic_factor=self.traffic_factor * other.traffic_factor,
+            on_die_density=max(self.on_die_density, other.on_die_density),
+            stacked_layers=max(self.stacked_layers, other.stacked_layers),
+            stacked_density=max(self.stacked_density, other.stacked_density),
+            core_area_fraction=min(
+                self.core_area_fraction, other.core_area_fraction
+            ),
+        )
+
+
+#: The identity effect: a plain CMP with no conservation technique.
+NEUTRAL_EFFECT = TechniqueEffect()
+
+
+@dataclass(frozen=True)
+class Technique:
+    """Base class for the paper's bandwidth-conservation techniques.
+
+    Subclasses carry their own parameters and implement :meth:`effect`.
+    Each also provides Table 2's three preset levels via
+    :meth:`at_level` / :meth:`pessimistic` / :meth:`realistic` /
+    :meth:`optimistic`.  ``name``, ``label`` (the Figure 15 x-axis label)
+    and ``category`` are plain class attributes, not dataclass fields.
+    """
+
+    name = "technique"
+    label = "?"
+    category = Category.INDIRECT
+
+    def effect(self) -> TechniqueEffect:
+        raise NotImplementedError
+
+    @classmethod
+    def at_level(cls, level: AssumptionLevel) -> "Technique":
+        """Instantiate this technique with a Table 2 assumption preset."""
+        presets = cls._table2_presets()
+        if level not in presets:
+            raise ValueError(f"{cls.__name__} has no {level.value} preset")
+        return cls(**presets[level])
+
+    @classmethod
+    def pessimistic(cls) -> "Technique":
+        return cls.at_level(AssumptionLevel.PESSIMISTIC)
+
+    @classmethod
+    def realistic(cls) -> "Technique":
+        return cls.at_level(AssumptionLevel.REALISTIC)
+
+    @classmethod
+    def optimistic(cls) -> "Technique":
+        return cls.at_level(AssumptionLevel.OPTIMISTIC)
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        raise NotImplementedError
+
+
+def _check_ratio(ratio: float) -> None:
+    if not math.isfinite(ratio) or ratio < 1.0:
+        raise ValueError(f"compression ratio must be >= 1, got {ratio}")
+
+
+def _check_unused_fraction(fraction: float) -> None:
+    if not 0 <= fraction < 1:
+        raise ValueError(f"unused fraction must be in [0, 1), got {fraction}")
+
+
+@dataclass(frozen=True)
+class CacheCompression(Technique):
+    """Store cache lines compressed on chip (Section 6.1).
+
+    An *indirect* technique: a compression ratio of ``r`` makes the cache
+    behave as if it were ``r`` times larger (``F = r`` in Equation 8).
+    """
+
+    ratio: float = 2.0
+
+    name = "cache-compression"
+    label = "CC"
+    category = Category.INDIRECT
+
+    def __post_init__(self) -> None:
+        _check_ratio(self.ratio)
+
+    def effect(self) -> TechniqueEffect:
+        return TechniqueEffect(capacity_factor=self.ratio)
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        return {
+            AssumptionLevel.PESSIMISTIC: {"ratio": 1.25},
+            AssumptionLevel.REALISTIC: {"ratio": 2.0},
+            AssumptionLevel.OPTIMISTIC: {"ratio": 3.5},
+        }
+
+
+@dataclass(frozen=True)
+class DRAMCache(Technique):
+    """Implement the on-chip L2 in dense DRAM instead of SRAM (Section 6.1).
+
+    A density of ``D`` makes each cache CEA hold ``D`` SRAM-CEAs' worth of
+    data.  Estimates in the literature range from 8x to 16x.
+    """
+
+    density: float = 8.0
+
+    name = "dram-cache"
+    label = "DRAM"
+    category = Category.INDIRECT
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.density) or self.density < 1.0:
+            raise ValueError(f"density must be >= 1, got {self.density}")
+
+    def effect(self) -> TechniqueEffect:
+        return TechniqueEffect(on_die_density=self.density)
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        return {
+            AssumptionLevel.PESSIMISTIC: {"density": 4.0},
+            AssumptionLevel.REALISTIC: {"density": 8.0},
+            AssumptionLevel.OPTIMISTIC: {"density": 16.0},
+        }
+
+
+@dataclass(frozen=True)
+class ThreeDStackedCache(Technique):
+    """Stack an extra cache-only die on the processor die (Section 6.1).
+
+    The stacked die adds ``N`` CEAs of cache area.  Its cells are SRAM by
+    default (``layer_density = 1``); pass a higher density for the
+    paper's "3D DRAM (8x/16x)" variants.  When combined with
+    :class:`DRAMCache`, the stacked die inherits the DRAM density
+    automatically (see :meth:`TechniqueEffect.resolved_stacked_density`).
+    """
+
+    layer_density: float = 1.0
+
+    name = "3d-stacked-cache"
+    label = "3D"
+    category = Category.INDIRECT
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.layer_density) or self.layer_density < 1.0:
+            raise ValueError(f"layer_density must be >= 1, got {self.layer_density}")
+
+    def effect(self) -> TechniqueEffect:
+        return TechniqueEffect(stacked_layers=1, stacked_density=self.layer_density)
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        # Table 2 lists a single assumption (an SRAM layer) for 3D.
+        sram_layer = {"layer_density": 1.0}
+        return {
+            AssumptionLevel.PESSIMISTIC: sram_layer,
+            AssumptionLevel.REALISTIC: sram_layer,
+            AssumptionLevel.OPTIMISTIC: sram_layer,
+        }
+
+
+@dataclass(frozen=True)
+class UnusedDataFiltering(Technique):
+    """Evict never-referenced words, keeping only useful ones (Section 6.1).
+
+    If a fraction ``f`` of cached data is never referenced, filtering it
+    out grows the effective capacity by ``1 / (1 - f)``.  Fetches still
+    bring full lines on chip, so there is no direct traffic effect —
+    contrast with :class:`SectoredCache` and :class:`SmallCacheLines`.
+    """
+
+    unused_fraction: float = 0.4
+
+    name = "unused-data-filtering"
+    label = "Fltr"
+    category = Category.INDIRECT
+
+    def __post_init__(self) -> None:
+        _check_unused_fraction(self.unused_fraction)
+
+    def effect(self) -> TechniqueEffect:
+        return TechniqueEffect(capacity_factor=1.0 / (1.0 - self.unused_fraction))
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        return {
+            AssumptionLevel.PESSIMISTIC: {"unused_fraction": 0.1},
+            AssumptionLevel.REALISTIC: {"unused_fraction": 0.4},
+            AssumptionLevel.OPTIMISTIC: {"unused_fraction": 0.8},
+        }
+
+
+@dataclass(frozen=True)
+class SmallerCores(Technique):
+    """Use simpler cores occupying a fraction of a CEA (Section 6.1).
+
+    Frees die area for cache (Equations 10-11).  The paper assumes the
+    smaller core generates the *same traffic per unit of work*; the only
+    modelled benefit is the reallocated area, which is why this technique
+    scores "Low" effectiveness in Table 2.
+    """
+
+    area_fraction: float = 1.0 / 40.0
+
+    name = "smaller-cores"
+    label = "SmCo"
+    category = Category.INDIRECT
+
+    def __post_init__(self) -> None:
+        if not 0 < self.area_fraction <= 1:
+            raise ValueError(
+                f"area_fraction must be in (0, 1], got {self.area_fraction}"
+            )
+
+    @property
+    def area_reduction(self) -> float:
+        """How many times smaller than a base core (Figure 8's x-axis)."""
+        return 1.0 / self.area_fraction
+
+    def effect(self) -> TechniqueEffect:
+        return TechniqueEffect(core_area_fraction=self.area_fraction)
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        return {
+            AssumptionLevel.PESSIMISTIC: {"area_fraction": 1.0 / 9.0},
+            AssumptionLevel.REALISTIC: {"area_fraction": 1.0 / 40.0},
+            AssumptionLevel.OPTIMISTIC: {"area_fraction": 1.0 / 80.0},
+        }
+
+
+@dataclass(frozen=True)
+class LinkCompression(Technique):
+    """Compress data crossing the off-chip link (Section 6.2).
+
+    A *direct* technique: a ratio of ``r`` moves ``1/r`` of the raw bytes,
+    equivalent to growing the bandwidth envelope ``B`` by ``r``.
+    """
+
+    ratio: float = 2.0
+
+    name = "link-compression"
+    label = "LC"
+    category = Category.DIRECT
+
+    def __post_init__(self) -> None:
+        _check_ratio(self.ratio)
+
+    def effect(self) -> TechniqueEffect:
+        return TechniqueEffect(traffic_factor=self.ratio)
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        return {
+            AssumptionLevel.PESSIMISTIC: {"ratio": 1.25},
+            AssumptionLevel.REALISTIC: {"ratio": 2.0},
+            AssumptionLevel.OPTIMISTIC: {"ratio": 3.5},
+        }
+
+
+@dataclass(frozen=True)
+class SectoredCache(Technique):
+    """Fetch only the predicted-useful sectors of a line (Section 6.2).
+
+    Unfetched sectors still occupy cache space, so the cache capacity is
+    unchanged; only the off-chip traffic shrinks, by ``1 / (1 - f)`` for
+    an unused fraction ``f``.
+    """
+
+    unused_fraction: float = 0.4
+
+    name = "sectored-cache"
+    label = "Sect"
+    category = Category.DIRECT
+
+    def __post_init__(self) -> None:
+        _check_unused_fraction(self.unused_fraction)
+
+    def effect(self) -> TechniqueEffect:
+        return TechniqueEffect(traffic_factor=1.0 / (1.0 - self.unused_fraction))
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        return {
+            AssumptionLevel.PESSIMISTIC: {"unused_fraction": 0.1},
+            AssumptionLevel.REALISTIC: {"unused_fraction": 0.4},
+            AssumptionLevel.OPTIMISTIC: {"unused_fraction": 0.8},
+        }
+
+
+@dataclass(frozen=True)
+class SmallCacheLines(Technique):
+    """Word-sized cache lines: never move or store unused words (Section 6.3).
+
+    A *dual* technique (Equation 12): for unused fraction ``f``, the
+    cache behaves ``1 / (1 - f)`` larger *and* the traffic shrinks by
+    ``1 / (1 - f)``.
+    """
+
+    unused_fraction: float = 0.4
+
+    name = "small-cache-lines"
+    label = "SmCl"
+    category = Category.DUAL
+
+    def __post_init__(self) -> None:
+        _check_unused_fraction(self.unused_fraction)
+
+    def effect(self) -> TechniqueEffect:
+        factor = 1.0 / (1.0 - self.unused_fraction)
+        return TechniqueEffect(capacity_factor=factor, traffic_factor=factor)
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        return {
+            AssumptionLevel.PESSIMISTIC: {"unused_fraction": 0.1},
+            AssumptionLevel.REALISTIC: {"unused_fraction": 0.4},
+            AssumptionLevel.OPTIMISTIC: {"unused_fraction": 0.8},
+        }
+
+
+@dataclass(frozen=True)
+class CacheLinkCompression(Technique):
+    """Keep link-compressed data compressed in the cache too (Section 6.3).
+
+    A *dual* technique: one compression ratio ``r`` both inflates the
+    effective cache capacity and deflates the off-chip traffic.
+    """
+
+    ratio: float = 2.0
+
+    name = "cache-link-compression"
+    label = "CC/LC"
+    category = Category.DUAL
+
+    def __post_init__(self) -> None:
+        _check_ratio(self.ratio)
+
+    def effect(self) -> TechniqueEffect:
+        return TechniqueEffect(capacity_factor=self.ratio, traffic_factor=self.ratio)
+
+    @classmethod
+    def _table2_presets(cls) -> dict:
+        return {
+            AssumptionLevel.PESSIMISTIC: {"ratio": 1.25},
+            AssumptionLevel.REALISTIC: {"ratio": 2.0},
+            AssumptionLevel.OPTIMISTIC: {"ratio": 3.5},
+        }
+
+
+#: Every concrete technique type, in the paper's Figure 15 order.
+ALL_TECHNIQUE_TYPES: Tuple[type, ...] = (
+    CacheCompression,
+    DRAMCache,
+    ThreeDStackedCache,
+    UnusedDataFiltering,
+    SmallerCores,
+    LinkCompression,
+    SectoredCache,
+    SmallCacheLines,
+    CacheLinkCompression,
+)

@@ -1,0 +1,137 @@
+"""The CMP memory-traffic model (Section 4.2, Equations 3-5).
+
+With ``P`` cores each owning ``S = C / P`` CEAs of cache and threads that
+do not share data, every core generates miss and write-back traffic
+independently, so chip traffic is
+
+.. math::  M = P \\cdot M_0 \\cdot (S / S_0)^{-\\alpha}
+
+Comparing two configurations (Equation 5):
+
+.. math::
+   M_2 = \\frac{P_2}{P_1} \\cdot
+         \\left(\\frac{S_2}{S_1}\\right)^{-\\alpha} \\cdot M_1
+
+The first factor accounts for the change in core count, the second for
+the change in per-core cache.  :class:`TrafficRatio` exposes exactly that
+decomposition, reproducing the paper's Section 4.2 worked example (8 -> 12
+cores on a 16-CEA die: 2.6x total = 1.5x cores x 1.73x per-core traffic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .area import ChipDesign
+
+__all__ = ["TrafficRatio", "TrafficModel"]
+
+
+@dataclass(frozen=True)
+class TrafficRatio:
+    """Relative traffic between two designs, decomposed per Equation 5.
+
+    Attributes
+    ----------
+    core_factor:
+        ``P2 / P1`` — contribution of the change in core count.
+    cache_factor:
+        ``(S2 / S1) ** -alpha`` — contribution of the change in per-core
+        cache capacity.
+    """
+
+    core_factor: float
+    cache_factor: float
+
+    @property
+    def total(self) -> float:
+        """``M2 / M1`` — the product of both factors."""
+        return self.core_factor * self.cache_factor
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Memory-traffic comparisons for CMP designs with sensitivity ``alpha``.
+
+    Parameters
+    ----------
+    alpha:
+        The power-law exponent of the workload (Section 4.1).
+
+    Examples
+    --------
+    The Section 4.2 worked example:
+
+    >>> from repro.core.area import ChipDesign
+    >>> model = TrafficModel(alpha=0.5)
+    >>> base = ChipDesign(total_ceas=16, core_ceas=8)
+    >>> more_cores = ChipDesign(total_ceas=16, core_ceas=12)
+    >>> ratio = model.relative_traffic(base, more_cores)
+    >>> round(ratio.core_factor, 2), round(ratio.cache_factor, 2), round(ratio.total, 2)
+    (1.5, 1.73, 2.6)
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.alpha) or self.alpha <= 0:
+            raise ValueError(f"alpha must be positive and finite, got {self.alpha}")
+
+    def relative_traffic(
+        self,
+        baseline: ChipDesign,
+        candidate: ChipDesign,
+        *,
+        candidate_cache_per_core: float = None,
+    ) -> TrafficRatio:
+        """``M_candidate / M_baseline`` with its Equation 5 decomposition.
+
+        Parameters
+        ----------
+        baseline, candidate:
+            The two designs to compare.  The workload (``M0``, alpha) must
+            be the same on both, which is the paper's standing assumption.
+        candidate_cache_per_core:
+            Override for the candidate's *effective* cache per core, in
+            CEAs.  Bandwidth-conservation techniques (Section 6) inflate
+            the effective capacity without changing the area; pass the
+            inflated ``S2`` here and leave the design untouched.
+        """
+        s1 = baseline.cache_per_core
+        s2 = (
+            candidate.cache_per_core
+            if candidate_cache_per_core is None
+            else candidate_cache_per_core
+        )
+        if s1 <= 0:
+            raise ValueError("baseline design has no cache; traffic is unbounded")
+        if s2 <= 0:
+            raise ValueError("candidate design has no cache; traffic is unbounded")
+        core_factor = candidate.num_cores / baseline.num_cores
+        cache_factor = (s2 / s1) ** (-self.alpha)
+        return TrafficRatio(core_factor=core_factor, cache_factor=cache_factor)
+
+    def traffic_vs_cores(
+        self,
+        baseline: ChipDesign,
+        total_ceas: float,
+        core_counts,
+    ):
+        """Traffic (relative to ``baseline``) for each core count on a die.
+
+        This is the "New Traffic" curve of Figure 2: sweep ``P2`` on a die
+        of ``total_ceas`` CEAs and report ``M2 / M1``.
+
+        Returns a list of ``(core_count, traffic_ratio)`` pairs.
+        """
+        results = []
+        for p2 in core_counts:
+            if not 0 < p2 < total_ceas:
+                raise ValueError(
+                    f"core count {p2} leaves no room for cache on a "
+                    f"{total_ceas}-CEA die"
+                )
+            candidate = ChipDesign(total_ceas=total_ceas, core_ceas=p2)
+            results.append((p2, self.relative_traffic(baseline, candidate).total))
+        return results

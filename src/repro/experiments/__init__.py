@@ -1,0 +1,21 @@
+"""Per-figure experiment drivers.
+
+One module per paper artifact (Figures 1-17, Table 2); each exposes
+``run(**params) -> result`` returning assertable data and ``main()``
+printing the figure's rows.  Use :func:`repro.experiments.run_experiment`
+or the ``bandwidth-wall`` CLI to dispatch by id.
+"""
+
+from .runner import (
+    EXPERIMENTS,
+    experiment_ids,
+    print_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+    "print_experiment",
+]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the per-figure experiments.
+
+Every experiment uses the paper's Section 5.1 baseline (8 cores + 8 CEAs
+of cache on a 16-CEA die, alpha = 0.5) unless it explicitly varies one
+of those parameters, and reports integer core counts by flooring, as the
+paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.presets import paper_baseline_model
+from ..core.scaling import BandwidthWallModel
+from ..core.techniques import NEUTRAL_EFFECT, TechniqueEffect
+
+__all__ = [
+    "baseline_model",
+    "NEXT_GEN_CEAS",
+    "GENERATION_CEAS",
+    "GENERATION_LABELS",
+    "cores_for_effect",
+    "cores_per_generation",
+]
+
+#: Die size (CEAs) of the single-generation studies (Figures 2, 4-12).
+NEXT_GEN_CEAS = 32.0
+
+#: Die sizes for the four-generation studies (Figures 15-17).
+GENERATION_CEAS: Tuple[float, ...] = (32.0, 64.0, 128.0, 256.0)
+
+#: x-axis labels used by the paper for those generations.
+GENERATION_LABELS: Tuple[str, ...] = ("2x", "4x", "8x", "16x")
+
+
+def baseline_model(alpha: float = 0.5) -> BandwidthWallModel:
+    """The paper's baseline bandwidth-wall model."""
+    return paper_baseline_model(alpha=alpha)
+
+
+def cores_for_effect(
+    effect: TechniqueEffect = NEUTRAL_EFFECT,
+    *,
+    total_ceas: float = NEXT_GEN_CEAS,
+    alpha: float = 0.5,
+    traffic_budget: float = 1.0,
+) -> int:
+    """Supportable cores (floored) for one effect on one die."""
+    model = baseline_model(alpha)
+    return model.supportable_cores(
+        total_ceas, traffic_budget=traffic_budget, effect=effect
+    ).cores
+
+
+def cores_per_generation(
+    effect: TechniqueEffect = NEUTRAL_EFFECT,
+    *,
+    alpha: float = 0.5,
+    ceas: Sequence[float] = GENERATION_CEAS,
+) -> Tuple[int, ...]:
+    """Supportable cores across the four future generations."""
+    model = baseline_model(alpha)
+    return tuple(
+        model.supportable_cores(n, effect=effect).cores for n in ceas
+    )

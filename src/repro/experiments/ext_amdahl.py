@@ -1,0 +1,80 @@
+"""Extension experiment: bandwidth wall x Amdahl's law (Hill & Marty).
+
+The related-work contrast made operational: for parallel fractions from
+0.5 to 0.999 and the four paper generations, which constraint binds —
+software parallelism or off-chip bandwidth?  Reports the binding
+constraint map and the speedup lost to the wall for highly parallel
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis.series import FigureData, Series
+from ..core.amdahl import CombinedWallModel
+from ..core.presets import paper_baseline_model
+
+__all__ = ["ExtAmdahlResult", "run"]
+
+DEFAULT_FRACTIONS: Tuple[float, ...] = (0.5, 0.9, 0.975, 0.99, 0.999)
+
+
+@dataclass(frozen=True)
+class ExtAmdahlResult:
+    figure: FigureData
+    #: (f, area factor) -> (binding constraint, speedup at usable cores)
+    grid: Dict[Tuple[float, float], Tuple[str, float]]
+
+    def binding_at(self, fraction: float, area_factor: float) -> str:
+        return self.grid[(fraction, area_factor)][0]
+
+
+def run(
+    fractions: Tuple[float, ...] = DEFAULT_FRACTIONS,
+    area_factors: Tuple[float, ...] = (2.0, 4.0, 8.0, 16.0),
+    alpha: float = 0.5,
+) -> ExtAmdahlResult:
+    """Evaluate the constraint map over (f, generation)."""
+    model = paper_baseline_model(alpha=alpha)
+    figure = FigureData(
+        figure_id="Ext-Amdahl",
+        title="Binding constraint: parallelism vs bandwidth",
+        x_label="die area factor",
+        y_label="speedup at usable cores",
+        notes="Hill & Marty's bound combined with the bandwidth wall",
+    )
+    grid: Dict[Tuple[float, float], Tuple[str, float]] = {}
+    for fraction in fractions:
+        combined = CombinedWallModel(model, fraction)
+        points = []
+        for factor in area_factors:
+            point = combined.design_point(16 * factor)
+            grid[(fraction, factor)] = (
+                point.binding_constraint, point.speedup
+            )
+            points.append((factor, point.speedup))
+        figure.add(Series(f"f={fraction}", tuple(points)))
+    return ExtAmdahlResult(figure=figure, grid=grid)
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_table
+
+    result = run()
+    rows = [
+        [f, factor, constraint, f"{speedup:.1f}"]
+        for (f, factor), (constraint, speedup) in result.grid.items()
+    ]
+    print(format_table(
+        ["parallel fraction", "area factor", "binding constraint",
+         "speedup"],
+        rows,
+    ))
+    print("\nhighly parallel workloads are bandwidth-bound; serial-heavy "
+          "ones never miss the cores the wall denies.")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,97 @@
+"""Extension experiment: heterogeneous CMPs under the bandwidth wall.
+
+Section 3 excludes heterogeneity from the paper's scope while noting
+its potential.  This experiment evaluates uniform big / base / little
+chips and big+little mixes on the 64-CEA (two-generations-out) die
+under constant traffic, reporting core counts, throughput and
+cache-per-core for each — making the paper's area-efficiency hypothesis
+checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.series import FigureData, Series
+from ..core.heterogeneous import (
+    BASE_CORE,
+    BIG_CORE,
+    LITTLE_CORE,
+    HeterogeneousMix,
+    HeterogeneousWallModel,
+    MixSolution,
+)
+from ..core.presets import paper_baseline_design
+
+__all__ = ["ExtHeterogeneousResult", "run", "DEFAULT_MIXES"]
+
+DEFAULT_MIXES = (
+    HeterogeneousMix.uniform(BIG_CORE),
+    HeterogeneousMix.uniform(BASE_CORE),
+    HeterogeneousMix.uniform(LITTLE_CORE),
+    HeterogeneousMix(((BIG_CORE, 1.0), (LITTLE_CORE, 4.0))),
+    HeterogeneousMix(((BIG_CORE, 1.0), (BASE_CORE, 4.0))),
+    HeterogeneousMix(((BIG_CORE, 2.0), (LITTLE_CORE, 16.0))),
+)
+
+
+@dataclass(frozen=True)
+class ExtHeterogeneousResult:
+    figure: FigureData
+    solutions: List[MixSolution]
+
+    @property
+    def best(self) -> MixSolution:
+        return max(self.solutions, key=lambda s: s.throughput)
+
+
+def run(
+    total_ceas: float = 64.0,
+    alpha: float = 0.5,
+    traffic_budget: float = 1.0,
+    mixes=DEFAULT_MIXES,
+) -> ExtHeterogeneousResult:
+    """Solve every mix on the target die."""
+    model = HeterogeneousWallModel(paper_baseline_design(), alpha=alpha)
+    solutions = [
+        model.solve_mix(mix, total_ceas, traffic_budget=traffic_budget)
+        for mix in mixes
+    ]
+    figure = FigureData(
+        figure_id="Ext-Het",
+        title="Heterogeneous mixes under the bandwidth wall",
+        x_label="mix index",
+        y_label="chip throughput (baseline-core units)",
+        notes="constant traffic on a 64-CEA die; extension of Section 3",
+    )
+    figure.add(Series(
+        "throughput",
+        tuple((float(i), s.throughput) for i, s in enumerate(solutions)),
+    ))
+    figure.add(Series(
+        "total cores",
+        tuple((float(i), s.total_cores) for i, s in enumerate(solutions)),
+    ))
+    return ExtHeterogeneousResult(figure=figure, solutions=solutions)
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_table
+
+    result = run()
+    rows = [
+        [s.mix.label, f"{s.total_cores:.1f}", f"{s.throughput:.2f}",
+         f"{s.cache_per_core:.2f}", f"{s.core_area / s.total_ceas:.0%}"]
+        for s in result.solutions
+    ]
+    print(format_table(
+        ["mix", "cores", "throughput", "cache/core (CEA)", "core area"],
+        rows,
+    ))
+    print(f"\nbest throughput under the wall: {result.best.mix.label} "
+          f"({result.best.throughput:.2f})")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

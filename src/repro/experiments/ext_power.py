@@ -1,0 +1,109 @@
+"""Extension experiment: the power wall vs the bandwidth wall.
+
+The paper excludes power from its scope (Section 3).  This experiment
+puts the two walls side by side across four generations: per-CEA power
+falls 25% per generation (the post-Dennard residual) against a fixed
+socket budget, while the bandwidth budget stays constant (the paper's
+default).  Two findings the combined model produces:
+
+* unaided, the bandwidth wall binds for the first generations — the
+  paper's focus is the right one near-term;
+* once bandwidth-conservation techniques (here 3.5x link compression)
+  relax it, the *power* wall is what they run into — conserving
+  bandwidth shifts the binding constraint rather than removing limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis.series import FigureData, Series
+from ..core.power import PowerAwarePoint, PowerAwareWallModel, PowerParameters
+from ..core.presets import paper_baseline_model
+from ..core.techniques import LinkCompression
+
+__all__ = ["ExtPowerResult", "run"]
+
+GENERATION_CEAS: Tuple[float, ...] = (32.0, 64.0, 128.0, 256.0)
+
+
+@dataclass(frozen=True)
+class ExtPowerResult:
+    figure: FigureData
+    #: (configuration, total CEAs) -> PowerAwarePoint
+    grid: Dict[Tuple[str, float], PowerAwarePoint]
+
+    def binding_at(self, configuration: str, total_ceas: float) -> str:
+        return self.grid[(configuration, total_ceas)].binding_constraint
+
+
+def run(
+    alpha: float = 0.5,
+    per_cea_power_factor_per_generation: float = 0.75,
+    link_ratio: float = 3.5,
+    base_power: PowerParameters = PowerParameters(),
+) -> ExtPowerResult:
+    """Evaluate both walls per generation, with and without relief."""
+    wall = paper_baseline_model(alpha=alpha)
+    figure = FigureData(
+        figure_id="Ext-Power",
+        title="Power wall vs bandwidth wall across generations",
+        x_label="die size (CEAs)",
+        y_label="supportable cores",
+        notes="fixed socket budget; per-CEA power falls "
+              f"{1 - per_cea_power_factor_per_generation:.0%}/generation; "
+              "conservation techniques shift the binding constraint to "
+              "power",
+    )
+    grid: Dict[Tuple[str, float], PowerAwarePoint] = {}
+    series: Dict[str, list] = {
+        "bandwidth wall (base)": [],
+        "power wall": [],
+        f"bandwidth wall (LC {link_ratio:g}x)": [],
+    }
+    for generation, ceas in enumerate(GENERATION_CEAS, start=1):
+        params = base_power.scaled(
+            per_cea_power_factor_per_generation**generation
+        )
+        model = PowerAwareWallModel(wall, params)
+        base_point = model.design_point(ceas)
+        lc_point = model.design_point(
+            ceas, effect=LinkCompression(link_ratio).effect()
+        )
+        grid[("base", ceas)] = base_point
+        grid[("link-compressed", ceas)] = lc_point
+        series["bandwidth wall (base)"].append(
+            (ceas, base_point.bandwidth_cores)
+        )
+        series["power wall"].append((ceas, base_point.power_cores))
+        series[f"bandwidth wall (LC {link_ratio:g}x)"].append(
+            (ceas, lc_point.bandwidth_cores)
+        )
+    for name, points in series.items():
+        figure.add(Series(name, tuple(points)))
+    return ExtPowerResult(figure=figure, grid=grid)
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_table
+
+    result = run()
+    rows = []
+    for (configuration, ceas), point in result.grid.items():
+        rows.append([
+            configuration, f"{ceas:g}",
+            f"{point.bandwidth_cores:.1f}", f"{point.power_cores:.1f}",
+            point.binding_constraint,
+        ])
+    print(format_table(
+        ["configuration", "CEAs", "bandwidth cores", "power cores",
+         "binding"],
+        rows,
+    ))
+    print("\nthe paper's wall binds first; relieve it and the power wall "
+          "is waiting behind.")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,98 @@
+"""Extension experiment: when does the wall bite under real roadmaps?
+
+The paper's studies pin the bandwidth budget by hand (constant, or
++50%).  This experiment drives the scaling model with explicit
+bandwidth roadmaps — flat, ITRS pins-only, pins+frequency+channels —
+and reports the first generation at which proportional core scaling no
+longer fits, with and without one-shot link compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.series import FigureData, Series
+from ..core.presets import paper_baseline_model
+from ..core.roadmap import (
+    FLAT_ROADMAP,
+    ITRS_ROADMAP,
+    OPTIMISTIC_ROADMAP,
+    BandwidthRoadmap,
+    RoadmapPoint,
+    wall_onset,
+)
+
+__all__ = ["ExtRoadmapResult", "run", "DEFAULT_ROADMAPS"]
+
+DEFAULT_ROADMAPS: Tuple[BandwidthRoadmap, ...] = (
+    FLAT_ROADMAP,
+    ITRS_ROADMAP,
+    OPTIMISTIC_ROADMAP,
+)
+
+
+@dataclass(frozen=True)
+class ExtRoadmapResult:
+    figure: FigureData
+    #: (roadmap name, link ratio) -> (onset generation or None, trajectory)
+    studies: Dict[Tuple[str, float], Tuple[Optional[int], List[RoadmapPoint]]]
+
+
+def run(
+    alpha: float = 0.5,
+    max_generations: int = 6,
+    link_ratios: Tuple[float, ...] = (1.0, 2.0),
+    roadmaps: Tuple[BandwidthRoadmap, ...] = DEFAULT_ROADMAPS,
+) -> ExtRoadmapResult:
+    """Trace supportable cores under every roadmap x link-ratio combo."""
+    model = paper_baseline_model(alpha=alpha)
+    figure = FigureData(
+        figure_id="Ext-Roadmap",
+        title="Supportable cores under bandwidth roadmaps",
+        x_label="technology generation",
+        y_label="supportable cores",
+        notes="proportional demand doubles per generation; onset = first "
+              "generation the roadmap cannot keep pace",
+    )
+    studies = {}
+    for roadmap in roadmaps:
+        for ratio in link_ratios:
+            onset, trajectory = wall_onset(
+                model, roadmap, max_generations=max_generations,
+                link_compression_ratio=ratio,
+            )
+            studies[(roadmap.name, ratio)] = (onset, trajectory)
+            suffix = "" if ratio == 1.0 else f" + LC {ratio:g}x"
+            figure.add(Series(
+                f"{roadmap.name}{suffix}",
+                tuple((float(p.generation), float(p.supportable_cores))
+                      for p in trajectory),
+            ))
+    figure.add(Series(
+        "proportional demand",
+        tuple((float(g), 8.0 * 2**g) for g in range(1, max_generations + 1)),
+    ))
+    return ExtRoadmapResult(figure=figure, studies=studies)
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_table
+
+    result = run()
+    rows = []
+    for (name, ratio), (onset, trajectory) in result.studies.items():
+        rows.append([
+            name,
+            f"{ratio:g}x",
+            "never (within horizon)" if onset is None else f"gen {onset}",
+            " ".join(str(p.supportable_cores) for p in trajectory),
+        ])
+    print(format_table(
+        ["roadmap", "link compression", "wall onset", "cores per gen"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

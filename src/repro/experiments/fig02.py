@@ -1,0 +1,79 @@
+"""Figure 2 — memory traffic as the number of CMP cores varies (next gen).
+
+Sweep ``P2`` on a 32-CEA die and plot traffic normalized to the 8-core /
+8-CEA baseline, against the flat bandwidth envelopes B = 1.0 and 1.5.
+Paper checkpoints: the B = 1 envelope crosses at 11 cores (37.5% core
+growth), the optimistic B = 1.5 envelope at 13 (62.5%); doubling cores
+to 16 doubles the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..analysis.series import FigureData, Series
+from .common import NEXT_GEN_CEAS, baseline_model
+
+__all__ = ["Figure2Result", "run"]
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    figure: FigureData
+    supportable_cores_flat: int
+    supportable_cores_optimistic: int
+    traffic_at_16_cores: float
+
+
+def run(
+    total_ceas: float = NEXT_GEN_CEAS,
+    alpha: float = 0.5,
+    core_range: Tuple[int, int] = (1, 28),
+) -> Figure2Result:
+    """Compute the Figure 2 sweep and its envelope crossings."""
+    model = baseline_model(alpha)
+    cores = list(range(core_range[0], core_range[1] + 1))
+    traffic = [model.relative_traffic(total_ceas, p) for p in cores]
+
+    figure = FigureData(
+        figure_id="Figure 2",
+        title="Memory traffic as the number of CMP cores varies "
+              "in the next technology generation",
+        x_label="number of cores",
+        y_label="traffic normalized to 8-core baseline",
+        notes="crossings: B=1.0 at 11 cores, B=1.5 at 13 cores",
+    )
+    figure.add(Series.from_xy("New Traffic", cores, traffic))
+    figure.add(Series.from_xy(
+        "Available off-chip bandwidth (B=1.0)", cores, [1.0] * len(cores)
+    ))
+    figure.add(Series.from_xy(
+        "Optimistic bandwidth (B=1.5)", cores, [1.5] * len(cores)
+    ))
+
+    return Figure2Result(
+        figure=figure,
+        supportable_cores_flat=model.supportable_cores(total_ceas).cores,
+        supportable_cores_optimistic=model.supportable_cores(
+            total_ceas, traffic_budget=1.5
+        ).cores,
+        traffic_at_16_cores=model.relative_traffic(total_ceas, 16),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_figure
+
+    result = run()
+    print(format_figure(result.figure))
+    print(
+        f"\nconstant traffic supports {result.supportable_cores_flat} cores "
+        f"(paper: 11); +50% bandwidth supports "
+        f"{result.supportable_cores_optimistic} (paper: 13); traffic at 16 "
+        f"cores = {result.traffic_at_16_cores:.2f}x (paper: 2x)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,84 @@
+"""Figure 3 — die-area allocation under constant memory traffic.
+
+For transistor-scaling ratios 1x..128x, solve Equation 7 for the number
+of supportable cores and the fraction of die area they may occupy.
+Paper checkpoint: at 16x only ~10% of the die can be cores (24 cores vs
+128 under proportional scaling), and the fraction keeps falling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..analysis.series import FigureData, Series
+from .common import baseline_model
+
+__all__ = ["Figure3Result", "run"]
+
+DEFAULT_RATIOS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    figure: FigureData
+    cores_at_16x: int
+    core_area_share_at_16x: float
+
+
+def run(
+    scaling_ratios: Sequence[float] = DEFAULT_RATIOS,
+    alpha: float = 0.5,
+    traffic_budget: float = 1.0,
+) -> Figure3Result:
+    """Solve the balanced design at each scaling ratio."""
+    model = baseline_model(alpha)
+    base_ceas = model.baseline.total_ceas
+
+    cores = []
+    shares = []
+    for ratio in scaling_ratios:
+        if ratio == 1:
+            cores.append(model.baseline.num_cores)
+            shares.append(model.baseline.core_area_share)
+            continue
+        solution = model.supportable_cores(
+            base_ceas * ratio, traffic_budget=traffic_budget
+        )
+        cores.append(solution.cores)
+        shares.append(solution.core_area_share)
+
+    figure = FigureData(
+        figure_id="Figure 3",
+        title="Die area allocation for cores and supportable cores, "
+              "constant memory traffic",
+        x_label="transistor scaling ratio",
+        y_label="cores (left) / core area share (right)",
+        notes="at 16x: ~24 cores, ~10% of die for cores",
+    )
+    figure.add(Series.from_xy("# of Cores", scaling_ratios, cores))
+    figure.add(Series.from_xy("% of Chip Area for Cores", scaling_ratios,
+                              shares))
+
+    at16 = model.supportable_cores(base_ceas * 16,
+                                   traffic_budget=traffic_budget)
+    return Figure3Result(
+        figure=figure,
+        cores_at_16x=at16.cores,
+        core_area_share_at_16x=at16.core_area_share,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_figure
+
+    result = run()
+    print(format_figure(result.figure))
+    print(
+        f"\nat 16x: {result.cores_at_16x} cores, "
+        f"{result.core_area_share_at_16x:.1%} of die (paper: 24 cores, ~10%)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

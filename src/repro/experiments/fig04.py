@@ -1,0 +1,41 @@
+"""Figure 4 — cores enabled by cache compression (32 CEAs).
+
+Paper checkpoints: ratios 1.3 / 1.7 / 2.0 / 2.5 / 3.0 give 11 / 12 / 13
+/ 14 / 14 cores — a relatively modest benefit unless compression reaches
+the top of the achievable range, because the gain is dampened by the
+``-alpha`` exponent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.techniques import CacheCompression
+from .technique_sweeps import TechniqueSweepResult, print_sweep, sweep_technique
+
+__all__ = ["run", "DEFAULT_RATIOS"]
+
+DEFAULT_RATIOS: Tuple[float, ...] = (1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+def run(ratios: Sequence[float] = DEFAULT_RATIOS,
+        alpha: float = 0.5) -> TechniqueSweepResult:
+    return sweep_technique(
+        "Figure 4",
+        "Increase in number of on-chip cores enabled by cache compression",
+        "compression effectiveness (ratio)",
+        lambda ratio: CacheCompression(ratio),
+        ratios,
+        CacheCompression,
+        alpha=alpha,
+        baseline_label="No Compress",
+        notes="paper: 1.3x->11, 1.7x->12, 2.0x->13, 2.5x->14, 3.0x->14",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print_sweep(run(), "paper realistic (2x): 13 cores")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

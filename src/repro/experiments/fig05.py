@@ -1,0 +1,40 @@
+"""Figure 5 — cores enabled by DRAM caches (32 CEAs).
+
+Paper checkpoints: SRAM L2 supports 11 cores; DRAM L2 at 4x / 8x / 16x
+density supports 16 / 18 / 21 — proportional scaling already at the
+conservative 4x density estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.techniques import DRAMCache
+from .technique_sweeps import TechniqueSweepResult, print_sweep, sweep_technique
+
+__all__ = ["run", "DEFAULT_DENSITIES"]
+
+DEFAULT_DENSITIES: Tuple[float, ...] = (4.0, 8.0, 16.0)
+
+
+def run(densities: Sequence[float] = DEFAULT_DENSITIES,
+        alpha: float = 0.5) -> TechniqueSweepResult:
+    return sweep_technique(
+        "Figure 5",
+        "Increase in number of on-chip cores enabled by DRAM caches",
+        "L2 density relative to SRAM",
+        lambda density: DRAMCache(density),
+        densities,
+        DRAMCache,
+        alpha=alpha,
+        baseline_label="SRAM L2",
+        notes="paper: 4x->16, 8x->18, 16x->21",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print_sweep(run(), "paper realistic (8x): 18 cores")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,40 @@
+"""Figure 6 — cores enabled by 3D-stacked caches (32 CEAs).
+
+Paper checkpoints: no 3D cache -> 11 cores; an extra SRAM die -> 14;
+a DRAM die at 8x / 16x density -> 25 / 32 (super-proportional).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.techniques import ThreeDStackedCache
+from .technique_sweeps import TechniqueSweepResult, print_sweep, sweep_technique
+
+__all__ = ["run", "DEFAULT_LAYER_DENSITIES"]
+
+#: 1.0 = the paper's "3D SRAM" bar; 8 / 16 = "3D DRAM (8x/16x)".
+DEFAULT_LAYER_DENSITIES: Tuple[float, ...] = (1.0, 8.0, 16.0)
+
+
+def run(layer_densities: Sequence[float] = DEFAULT_LAYER_DENSITIES,
+        alpha: float = 0.5) -> TechniqueSweepResult:
+    return sweep_technique(
+        "Figure 6",
+        "Increase in number of on-chip cores enabled by 3D-stacked caches",
+        "stacked-layer density relative to SRAM",
+        lambda density: ThreeDStackedCache(layer_density=density),
+        layer_densities,
+        ThreeDStackedCache,
+        alpha=alpha,
+        baseline_label="No 3D Cache",
+        notes="paper: SRAM layer->14, DRAM 8x->25, DRAM 16x->32",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print_sweep(run(), "paper: 14 / 25 / 32 cores")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

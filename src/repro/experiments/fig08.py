@@ -1,0 +1,41 @@
+"""Figure 8 — cores enabled by smaller cores (32 CEAs).
+
+Paper checkpoint: even 80x-smaller cores cannot reach proportional
+scaling — with infinitesimal cores the per-core cache only doubles while
+proportional scaling needs 4x.  The figure tops out around 12 cores.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.techniques import SmallerCores
+from .technique_sweeps import TechniqueSweepResult, print_sweep, sweep_technique
+
+__all__ = ["run", "DEFAULT_REDUCTIONS"]
+
+#: Area-reduction factors on the paper's x-axis (1x is the base core).
+DEFAULT_REDUCTIONS: Tuple[float, ...] = (9.0, 45.0, 80.0)
+
+
+def run(reductions: Sequence[float] = DEFAULT_REDUCTIONS,
+        alpha: float = 0.5) -> TechniqueSweepResult:
+    return sweep_technique(
+        "Figure 8",
+        "Increase in number of on-chip cores enabled by smaller cores",
+        "reduction in core area (x)",
+        lambda reduction: SmallerCores(1.0 / reduction),
+        reductions,
+        SmallerCores,
+        alpha=alpha,
+        baseline_label="1x (base core)",
+        notes="paper: tops out ~12 cores even at 80x smaller",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print_sweep(run(), "paper: low effectiveness (Table 2)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

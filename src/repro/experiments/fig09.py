@@ -1,0 +1,41 @@
+"""Figure 9 — cores enabled by link compression (32 CEAs).
+
+Paper checkpoints: a 2x ratio reaches exactly proportional scaling (16
+cores); higher ratios are super-proportional.  Direct techniques beat
+indirect ones at equal ratios because they bypass the ``-alpha``
+dampening.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.techniques import LinkCompression
+from .technique_sweeps import TechniqueSweepResult, print_sweep, sweep_technique
+
+__all__ = ["run", "DEFAULT_RATIOS"]
+
+DEFAULT_RATIOS: Tuple[float, ...] = (1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+def run(ratios: Sequence[float] = DEFAULT_RATIOS,
+        alpha: float = 0.5) -> TechniqueSweepResult:
+    return sweep_technique(
+        "Figure 9",
+        "Increase in number of on-chip cores enabled by link compression",
+        "compression effectiveness (ratio)",
+        lambda ratio: LinkCompression(ratio),
+        ratios,
+        LinkCompression,
+        alpha=alpha,
+        baseline_label="No Compress",
+        notes="paper: 2x ratio -> proportional scaling (16 cores)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print_sweep(run(), "paper realistic (2x): 16 cores")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,41 @@
+"""Figure 12 — cores enabled by cache+link compression (32 CEAs).
+
+One compression ratio applied both on the link and in the cache.  Paper
+checkpoint: a moderate 2.0x ratio already gives super-proportional
+scaling (18 cores).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.techniques import CacheLinkCompression
+from .technique_sweeps import TechniqueSweepResult, print_sweep, sweep_technique
+
+__all__ = ["run", "DEFAULT_RATIOS"]
+
+DEFAULT_RATIOS: Tuple[float, ...] = (1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+def run(ratios: Sequence[float] = DEFAULT_RATIOS,
+        alpha: float = 0.5) -> TechniqueSweepResult:
+    return sweep_technique(
+        "Figure 12",
+        "Increase in number of on-chip cores enabled by cache+link "
+        "compression",
+        "compression effectiveness (ratio)",
+        lambda ratio: CacheLinkCompression(ratio),
+        ratios,
+        CacheLinkCompression,
+        alpha=alpha,
+        baseline_label="No Compress",
+        notes="paper: 2x ratio -> 18 cores (super-proportional)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print_sweep(run(), "paper realistic (2x): 18 cores")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,72 @@
+"""Figure 13 — impact of data sharing on memory traffic.
+
+Four curves (proportional scaling to 16 / 32 / 64 / 128 cores), each
+plotting normalized traffic against the fraction of shared data.  Paper
+checkpoint: keeping traffic at 100% requires the sharing fraction to
+grow to ~40% / 63% / 77% / 86% across the generations — the opposite of
+the declining trend Figure 14 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..analysis.series import FigureData, Series
+from ..core.presets import paper_baseline_design
+from ..core.sharing import DataSharingModel
+
+__all__ = ["Figure13Result", "run"]
+
+DEFAULT_FRACTIONS: Tuple[float, ...] = tuple(i / 10 for i in range(1, 11))
+#: (total CEAs, proportionally scaled cores) per future generation.
+GENERATIONS: Tuple[Tuple[float, int], ...] = (
+    (32, 16), (64, 32), (128, 64), (256, 128),
+)
+
+
+@dataclass(frozen=True)
+class Figure13Result:
+    figure: FigureData
+    #: cores -> sharing fraction needed to keep traffic at 100%
+    required_sharing: Dict[int, float]
+
+
+def run(
+    shared_fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    alpha: float = 0.5,
+    shared_cache: bool = True,
+) -> Figure13Result:
+    """Compute the sharing sweep for each proportional generation."""
+    model = DataSharingModel(
+        paper_baseline_design(), alpha=alpha, shared_cache=shared_cache
+    )
+    figure = FigureData(
+        figure_id="Figure 13",
+        title="Impact of data sharing on traffic",
+        x_label="fraction of shared data",
+        y_label="traffic normalized to baseline (1.0 = 100%)",
+        notes="constant traffic requires sharing of ~40/63/77/86% for "
+              "16/32/64/128 cores",
+    )
+    required: Dict[int, float] = {}
+    for total_ceas, cores in GENERATIONS:
+        sweep = model.traffic_sweep(total_ceas, cores, shared_fractions)
+        figure.add(Series(f"{cores} Cores", tuple(sweep)))
+        required[cores] = model.required_sharing_fraction(total_ceas, cores)
+    return Figure13Result(figure=figure, required_sharing=required)
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_figure
+
+    result = run()
+    print(format_figure(result.figure))
+    print("\nsharing needed for constant traffic:")
+    for cores, fraction in result.required_sharing.items():
+        print(f"  {cores:>3d} cores: {fraction:.1%}")
+    print("paper: 40% / 63% / 77% / 86%")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

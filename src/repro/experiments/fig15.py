@@ -1,0 +1,116 @@
+"""Figure 15 — core scaling with each technique, four future generations.
+
+For each technique of Table 2 and each generation (2x / 4x / 8x / 16x
+transistors), the supportable core count under constant traffic at the
+realistic assumption, with the pessimistic-optimistic spread as candle
+bars.  IDEAL is proportional scaling; BASE uses no technique.
+
+Paper observations reproduced here: the IDEAL-BASE gap grows every
+generation; indirect < direct < dual benefits (DRAM caches excepted,
+thanks to the 8x density); the positive-side variability of the
+high-leverage techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.series import FigureData, Series
+from ..core.techniques import ALL_TECHNIQUE_TYPES, AssumptionLevel
+from .common import GENERATION_CEAS, GENERATION_LABELS, cores_per_generation
+
+__all__ = ["Figure15Result", "CandleBar", "run"]
+
+
+@dataclass(frozen=True)
+class CandleBar:
+    """Realistic point plus pessimistic/optimistic spread."""
+
+    label: str
+    generation: str
+    pessimistic: int
+    realistic: int
+    optimistic: int
+
+    def __post_init__(self) -> None:
+        if not (self.pessimistic <= self.realistic <= self.optimistic):
+            raise ValueError(
+                f"candle {self.label}@{self.generation} is not ordered: "
+                f"{self.pessimistic}/{self.realistic}/{self.optimistic}"
+            )
+
+
+@dataclass(frozen=True)
+class Figure15Result:
+    figure: FigureData
+    candles: List[CandleBar]
+    ideal: Tuple[int, ...]
+    base: Tuple[int, ...]
+
+    def candles_for(self, label: str) -> List[CandleBar]:
+        return [c for c in self.candles if c.label == label]
+
+
+def run(alpha: float = 0.5) -> Figure15Result:
+    """Evaluate every technique at every generation and assumption."""
+    figure = FigureData(
+        figure_id="Figure 15",
+        title="Core-scaling with various techniques for four future "
+              "technology generations",
+        x_label="technique / generation",
+        y_label="number of supportable cores",
+        notes="constant traffic; candles span pessimistic..optimistic",
+    )
+
+    ideal = tuple(int(8 * n / 16) for n in GENERATION_CEAS)
+    base = cores_per_generation(alpha=alpha)
+    xs = list(range(len(GENERATION_CEAS)))
+    figure.add(Series.from_xy("IDEAL", xs, ideal))
+    figure.add(Series.from_xy("BASE", xs, base))
+
+    candles: List[CandleBar] = []
+    for technique_type in ALL_TECHNIQUE_TYPES:
+        per_level: Dict[AssumptionLevel, Tuple[int, ...]] = {}
+        for level in AssumptionLevel:
+            technique = technique_type.at_level(level)
+            per_level[level] = cores_per_generation(
+                technique.effect(), alpha=alpha
+            )
+        figure.add(Series.from_xy(
+            technique_type.label, xs,
+            per_level[AssumptionLevel.REALISTIC],
+        ))
+        for gen_index, gen_label in enumerate(GENERATION_LABELS):
+            values = sorted(
+                per_level[level][gen_index] for level in AssumptionLevel
+            )
+            candles.append(CandleBar(
+                label=technique_type.label,
+                generation=gen_label,
+                pessimistic=values[0],
+                realistic=per_level[AssumptionLevel.REALISTIC][gen_index],
+                optimistic=values[-1],
+            ))
+    return Figure15Result(figure=figure, candles=candles, ideal=ideal,
+                          base=base)
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_table
+
+    result = run()
+    rows = []
+    for candle in result.candles:
+        rows.append([
+            candle.label, candle.generation, candle.pessimistic,
+            candle.realistic, candle.optimistic,
+        ])
+    print(f"IDEAL: {result.ideal}   BASE: {result.base}")
+    print(format_table(
+        ["technique", "gen", "pessimistic", "realistic", "optimistic"], rows
+    ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

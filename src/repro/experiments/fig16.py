@@ -1,0 +1,78 @@
+"""Figure 16 — core scaling with combinations of techniques.
+
+The fifteen Figure 16 combinations, each evaluated across the four
+future generations at realistic assumptions under constant traffic.
+Paper checkpoint: the all-techniques combination (CC/LC + DRAM + 3D +
+SmCl) reaches 183 cores at 16x — super-proportional at every generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis.series import FigureData, Series
+from ..core.combos import PAPER_COMBINATIONS, paper_combination
+from ..core.techniques import AssumptionLevel
+from .common import GENERATION_CEAS, cores_per_generation
+
+__all__ = ["Figure16Result", "run"]
+
+
+@dataclass(frozen=True)
+class Figure16Result:
+    figure: FigureData
+    ideal: Tuple[int, ...]
+    base: Tuple[int, ...]
+    #: combination label -> cores per generation
+    combos: Dict[str, Tuple[int, ...]]
+
+    @property
+    def best_at_16x(self) -> Tuple[str, int]:
+        name = max(self.combos, key=lambda n: self.combos[n][-1])
+        return name, self.combos[name][-1]
+
+
+def run(
+    level: AssumptionLevel = AssumptionLevel.REALISTIC,
+    alpha: float = 0.5,
+) -> Figure16Result:
+    """Evaluate all paper combinations across the generations."""
+    figure = FigureData(
+        figure_id="Figure 16",
+        title="Core-scaling with combinations of various techniques for "
+              "four future technology generations",
+        x_label="generation index (0=2x .. 3=16x)",
+        y_label="number of supportable cores",
+        notes="constant traffic, realistic assumptions; all-techniques "
+              "combo reaches 183 cores at 16x",
+    )
+    xs = list(range(len(GENERATION_CEAS)))
+    ideal = tuple(int(8 * n / 16) for n in GENERATION_CEAS)
+    base = cores_per_generation(alpha=alpha)
+    figure.add(Series.from_xy("IDEAL", xs, ideal))
+    figure.add(Series.from_xy("BASE", xs, base))
+
+    combos: Dict[str, Tuple[int, ...]] = {}
+    for name in PAPER_COMBINATIONS:
+        stack = paper_combination(name, level)
+        cores = cores_per_generation(stack.effect(), alpha=alpha)
+        combos[name] = cores
+        figure.add(Series.from_xy(name, xs, cores))
+    return Figure16Result(figure=figure, ideal=ideal, base=base,
+                          combos=combos)
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_table
+
+    result = run()
+    rows = [["IDEAL", *result.ideal], ["BASE", *result.base]]
+    rows += [[name, *cores] for name, cores in result.combos.items()]
+    print(format_table(["combination", "2x", "4x", "8x", "16x"], rows))
+    name, cores = result.best_at_16x
+    print(f"\nbest at 16x: {name} -> {cores} cores (paper: 183)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

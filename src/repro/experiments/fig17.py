@@ -1,0 +1,88 @@
+"""Figure 17 — core scaling at the extreme workload alphas.
+
+The Figure 1 extremes (alpha = 0.25 from the SPEC 2006 average, 0.62
+from OLTP-4) applied to IDEAL, BASE, DRAM, CC/LC+DRAM, and
+CC/LC+DRAM+3D across four generations.  Paper observations: in the BASE
+case a large alpha supports almost twice the cores of a small one; with
+techniques applied the gap widens — a small alpha blocks proportional
+scaling while a large one allows super-proportional scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis.series import FigureData, Series
+from ..core.combos import paper_combination
+from ..core.techniques import DRAMCache
+from .common import GENERATION_CEAS, cores_per_generation
+
+__all__ = ["Figure17Result", "run", "DEFAULT_ALPHAS", "CONFIGURATIONS"]
+
+DEFAULT_ALPHAS: Tuple[float, float] = (0.62, 0.25)
+CONFIGURATIONS: Tuple[str, ...] = (
+    "IDEAL", "BASE", "DRAM", "CC/LC + DRAM", "CC/LC + DRAM + 3D",
+)
+
+
+def _effect_for(configuration: str):
+    if configuration == "DRAM":
+        return DRAMCache.realistic().effect()
+    return paper_combination(configuration).effect()
+
+
+@dataclass(frozen=True)
+class Figure17Result:
+    figure: FigureData
+    #: (configuration, alpha) -> cores per generation
+    cores: Dict[Tuple[str, float], Tuple[int, ...]]
+
+
+def run(alphas: Tuple[float, float] = DEFAULT_ALPHAS) -> Figure17Result:
+    """Evaluate the selected configurations at both alphas."""
+    figure = FigureData(
+        figure_id="Figure 17",
+        title="Core scaling with select techniques for a high and low alpha",
+        x_label="generation index (0=2x .. 3=16x)",
+        y_label="number of supportable cores",
+        notes="alpha from Figure 1 extremes: 0.62 (OLTP-4) and 0.25 "
+              "(SPEC 2006 average)",
+    )
+    xs = list(range(len(GENERATION_CEAS)))
+    cores: Dict[Tuple[str, float], Tuple[int, ...]] = {}
+    for configuration in CONFIGURATIONS:
+        for alpha in alphas:
+            if configuration == "IDEAL":
+                values = tuple(int(8 * n / 16) for n in GENERATION_CEAS)
+            elif configuration == "BASE":
+                values = cores_per_generation(alpha=alpha)
+            else:
+                values = cores_per_generation(
+                    _effect_for(configuration), alpha=alpha
+                )
+            cores[(configuration, alpha)] = values
+            figure.add(Series.from_xy(
+                f"{configuration} (alpha={alpha})", xs, values
+            ))
+    return Figure17Result(figure=figure, cores=cores)
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_table
+
+    result = run()
+    rows = [
+        [config, alpha, *values]
+        for (config, alpha), values in result.cores.items()
+    ]
+    print(format_table(["configuration", "alpha", "2x", "4x", "8x", "16x"],
+                       rows))
+    hi = result.cores[("BASE", DEFAULT_ALPHAS[0])][-1]
+    lo = result.cores[("BASE", DEFAULT_ALPHAS[1])][-1]
+    print(f"\nBASE at 16x: alpha=0.62 -> {hi} cores vs alpha=0.25 -> {lo} "
+          f"(paper: 'almost twice as many')")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,84 @@
+"""Experiment registry and dispatcher.
+
+Maps experiment ids ("fig1".."fig17", "table2") to their modules so the
+CLI and benchmarks can run any paper artifact by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (
+    ext_amdahl,
+    ext_heterogeneous,
+    ext_line_size,
+    ext_overheads,
+    ext_power,
+    ext_private_sharing,
+    ext_roadmap,
+    ext_smt,
+    ext_validation,
+    ext_wall,
+    fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09,
+    fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2,
+)
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment",
+           "print_experiment"]
+
+_MODULES = {
+    "fig1": fig01, "fig2": fig02, "fig3": fig03, "fig4": fig04,
+    "fig5": fig05, "fig6": fig06, "fig7": fig07, "fig8": fig08,
+    "fig9": fig09, "fig10": fig10, "fig11": fig11, "fig12": fig12,
+    "fig13": fig13, "fig14": fig14, "fig15": fig15, "fig16": fig16,
+    "fig17": fig17, "table2": table2,
+    # extensions: the paper's acknowledged limitations, modelled/measured
+    "ext-het": ext_heterogeneous,
+    "ext-roadmap": ext_roadmap,
+    "ext-smt": ext_smt,
+    "ext-amdahl": ext_amdahl,
+    "ext-linesize": ext_line_size,
+    "ext-sharing": ext_private_sharing,
+    "ext-validation": ext_validation,
+    "ext-overheads": ext_overheads,
+    "ext-wall": ext_wall,
+    "ext-power": ext_power,
+}
+
+#: Experiment id -> callable returning that experiment's result object.
+EXPERIMENTS: Dict[str, Callable] = {
+    name: module.run for name, module in _MODULES.items()
+}
+
+
+def experiment_ids() -> List[str]:
+    """All runnable experiment ids, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def _normalise(experiment_id: str) -> str:
+    key = experiment_id.lower().replace("figure", "fig").replace(" ", "")
+    key = key.replace("fig0", "fig") if key.startswith("fig0") else key
+    return key
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id and return its result object."""
+    key = _normalise(experiment_id)
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{experiment_ids()}"
+        )
+    return EXPERIMENTS[key](**kwargs)
+
+
+def print_experiment(experiment_id: str) -> None:
+    """Run one experiment and print its paper-style report."""
+    key = _normalise(experiment_id)
+    if key not in _MODULES:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{experiment_ids()}"
+        )
+    _MODULES[key].main()

@@ -1,0 +1,76 @@
+"""Table 2 — summary of memory-traffic reduction techniques.
+
+Reproduces the paper's qualitative table (assumption levels and the
+Effectiveness / Range / Complexity ratings) and augments it with the
+quantitative next-generation core counts our model computes at each
+assumption level — the numbers the ratings summarise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.presets import TABLE2_ROWS, Table2Row
+from ..core.techniques import AssumptionLevel
+from .common import NEXT_GEN_CEAS, baseline_model
+
+__all__ = ["Table2Entry", "run"]
+
+
+@dataclass(frozen=True)
+class Table2Entry:
+    """One Table 2 row plus computed core counts."""
+
+    row: Table2Row
+    cores_pessimistic: int
+    cores_realistic: int
+    cores_optimistic: int
+
+    @property
+    def spread(self) -> int:
+        """Optimistic minus pessimistic cores (the paper's 'Range')."""
+        return self.cores_optimistic - self.cores_pessimistic
+
+
+def run(total_ceas: float = NEXT_GEN_CEAS,
+        alpha: float = 0.5) -> List[Table2Entry]:
+    """Compute the augmented Table 2."""
+    model = baseline_model(alpha)
+    entries: List[Table2Entry] = []
+    for row in TABLE2_ROWS:
+        cores = {}
+        for level in AssumptionLevel:
+            technique = row.technique_type.at_level(level)
+            cores[level] = model.supportable_cores(
+                total_ceas, effect=technique.effect()
+            ).cores
+        entries.append(Table2Entry(
+            row=row,
+            cores_pessimistic=cores[AssumptionLevel.PESSIMISTIC],
+            cores_realistic=cores[AssumptionLevel.REALISTIC],
+            cores_optimistic=cores[AssumptionLevel.OPTIMISTIC],
+        ))
+    return entries
+
+
+def main() -> None:  # pragma: no cover
+    from ..analysis.tables import format_table
+
+    entries = run()
+    rows = []
+    for e in entries:
+        rows.append([
+            e.row.technique, e.row.label, e.row.realistic,
+            e.row.effectiveness, e.row.variability, e.row.complexity,
+            f"{e.cores_pessimistic}/{e.cores_realistic}/{e.cores_optimistic}",
+        ])
+    print(format_table(
+        ["Technique", "Label", "Realistic", "Effect.", "Range", "Complex.",
+         "cores p/r/o (32 CEAs)"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""Shared machinery for the single-technique figures (4-12).
+
+Each of those figures sweeps one technique parameter and reports the
+number of supportable cores on the next-generation 32-CEA die under
+constant traffic, annotating the paper's pessimistic / realistic /
+optimistic assumption points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..analysis.series import FigureData, Series
+from ..core.techniques import Technique
+from .common import NEXT_GEN_CEAS, baseline_model
+
+__all__ = ["TechniqueSweepResult", "sweep_technique"]
+
+
+@dataclass(frozen=True)
+class TechniqueSweepResult:
+    """Outcome of one technique-parameter sweep."""
+
+    figure: FigureData
+    #: parameter value -> supportable cores
+    cores_by_parameter: Dict[float, int]
+    baseline_cores: int
+    #: cores at the Table 2 assumption levels
+    pessimistic_cores: int
+    realistic_cores: int
+    optimistic_cores: int
+
+
+def sweep_technique(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    make_technique: Callable[[float], Technique],
+    parameter_values: Sequence[float],
+    technique_type: type,
+    *,
+    total_ceas: float = NEXT_GEN_CEAS,
+    alpha: float = 0.5,
+    baseline_label: str = "No technique",
+    notes: str = "",
+) -> TechniqueSweepResult:
+    """Run the sweep and package it as FigureData + checkpoints."""
+    model = baseline_model(alpha)
+    base_cores = model.supportable_cores(total_ceas).cores
+
+    cores_by_parameter: Dict[float, int] = {}
+    for value in parameter_values:
+        effect = make_technique(value).effect()
+        cores_by_parameter[value] = model.supportable_cores(
+            total_ceas, effect=effect
+        ).cores
+
+    def level_cores(technique: Technique) -> int:
+        return model.supportable_cores(
+            total_ceas, effect=technique.effect()
+        ).cores
+
+    figure = FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        y_label=f"number of CMP cores ({total_ceas:.0f} CEAs)",
+        notes=notes,
+    )
+    figure.add(Series.from_xy(
+        "supportable cores",
+        list(cores_by_parameter),
+        list(cores_by_parameter.values()),
+    ))
+    figure.add(Series(baseline_label, ((0.0, float(base_cores)),)))
+
+    return TechniqueSweepResult(
+        figure=figure,
+        cores_by_parameter=cores_by_parameter,
+        baseline_cores=base_cores,
+        pessimistic_cores=level_cores(technique_type.pessimistic()),
+        realistic_cores=level_cores(technique_type.realistic()),
+        optimistic_cores=level_cores(technique_type.optimistic()),
+    )
+
+
+def print_sweep(result: TechniqueSweepResult,
+                paper_note: str = "") -> None:  # pragma: no cover
+    """CLI rendering shared by the figure mains."""
+    from ..analysis.tables import ascii_bars
+
+    labels = ["baseline"] + [f"{v:g}" for v in result.cores_by_parameter]
+    values = [float(result.baseline_cores)] + [
+        float(c) for c in result.cores_by_parameter.values()
+    ]
+    print(ascii_bars(labels, values, unit=" cores"))
+    print(
+        f"\npessimistic / realistic / optimistic: "
+        f"{result.pessimistic_cores} / {result.realistic_cores} / "
+        f"{result.optimistic_cores}"
+    )
+    if paper_note:
+        print(paper_note)

@@ -1,0 +1,35 @@
+"""Memory-system substrate: queueing models and a bounded-bandwidth
+simulation that exhibits the bandwidth-wall throughput plateau."""
+
+from .channel import ChannelRequest, OffChipChannel
+from .latency_model import (
+    ClosedLoopOperatingPoint,
+    ClosedLoopThroughputModel,
+)
+from .queueing import (
+    QueueModel,
+    md1_waiting_time,
+    mm1_waiting_time,
+    saturation_throughput,
+)
+from .system import (
+    AnalyticThroughputModel,
+    BoundedBandwidthSimulation,
+    CoreParameters,
+    SimulatedThroughput,
+)
+
+__all__ = [
+    "ChannelRequest",
+    "OffChipChannel",
+    "QueueModel",
+    "mm1_waiting_time",
+    "md1_waiting_time",
+    "saturation_throughput",
+    "CoreParameters",
+    "AnalyticThroughputModel",
+    "BoundedBandwidthSimulation",
+    "SimulatedThroughput",
+    "ClosedLoopThroughputModel",
+    "ClosedLoopOperatingPoint",
+]

@@ -1,0 +1,78 @@
+"""A cycle-level off-chip channel with finite bandwidth.
+
+Event-driven model of the shared memory link: requests arrive, wait in a
+FIFO, occupy the channel for ``bytes / bytes_per_cycle`` cycles, and
+complete.  Used by :mod:`repro.memory.system` to *demonstrate* (rather
+than assume) the bandwidth-wall plateau: an analytical claim in the
+paper's introduction that our simulation then exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ChannelRequest", "OffChipChannel"]
+
+
+@dataclass
+class ChannelRequest:
+    """One in-flight transfer."""
+
+    core_id: int
+    num_bytes: int
+    issue_cycle: float
+    start_cycle: float = 0.0
+    finish_cycle: float = 0.0
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.start_cycle - self.issue_cycle
+
+    @property
+    def latency(self) -> float:
+        return self.finish_cycle - self.issue_cycle
+
+
+class OffChipChannel:
+    """A single FIFO-served link with fixed bytes/cycle capacity."""
+
+    def __init__(self, bytes_per_cycle: float) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError(
+                f"bytes_per_cycle must be positive, got {bytes_per_cycle}"
+            )
+        self.bytes_per_cycle = bytes_per_cycle
+        self._free_at = 0.0
+        self.completed: List[ChannelRequest] = []
+        self.bytes_transferred = 0
+
+    def submit(self, request: ChannelRequest) -> float:
+        """Schedule a transfer; returns its finish cycle."""
+        if request.num_bytes <= 0:
+            raise ValueError(
+                f"num_bytes must be positive, got {request.num_bytes}"
+            )
+        start = max(request.issue_cycle, self._free_at)
+        duration = request.num_bytes / self.bytes_per_cycle
+        request.start_cycle = start
+        request.finish_cycle = start + duration
+        self._free_at = request.finish_cycle
+        self.completed.append(request)
+        self.bytes_transferred += request.num_bytes
+        return request.finish_cycle
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        if not self.completed:
+            raise ValueError("no transfers completed")
+        return sum(r.queueing_delay for r in self.completed) / len(self.completed)
+
+    def utilisation(self, elapsed_cycles: float) -> float:
+        """Fraction of elapsed time the link spent transferring."""
+        if elapsed_cycles <= 0:
+            raise ValueError(
+                f"elapsed_cycles must be positive, got {elapsed_cycles}"
+            )
+        return min(1.0, (self.bytes_transferred / self.bytes_per_cycle)
+                   / elapsed_cycles)

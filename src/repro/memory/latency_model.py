@@ -1,0 +1,135 @@
+"""Closed-loop performance under queueing delay (the intro's mechanism).
+
+"If the provided off-chip memory bandwidth cannot sustain the rate at
+which memory requests are generated, then the extra queuing delay for
+memory requests will force the performance of the cores to decline
+until the rate of memory requests matches the available off-chip
+bandwidth."  (Section 1.)
+
+That sentence is a fixpoint: per-core request rate depends on memory
+latency (stalls lengthen CPI), and memory latency depends on the
+aggregate request rate (queueing).  :class:`ClosedLoopThroughputModel`
+solves it:
+
+    latency(rate)  = unloaded + W_q(P * rate)          (M/D/1)
+    rate(latency)  = miss_rate / (1/base_ipc + miss_rate * latency)
+
+The fixpoint always exists and is unique on (0, saturation): the
+composed map rate -> rate is decreasing.  Below the wall the solution
+sits at the unloaded latency; past it, latency inflates exactly enough
+to pin the aggregate rate at the channel's capacity — the paper's
+self-throttling, in closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .queueing import QueueModel
+from .system import CoreParameters
+
+__all__ = ["ClosedLoopOperatingPoint", "ClosedLoopThroughputModel"]
+
+
+@dataclass(frozen=True)
+class ClosedLoopOperatingPoint:
+    """The self-consistent operating point of cores + channel."""
+
+    num_cores: int
+    memory_latency: float
+    per_core_ipc: float
+    per_core_request_rate: float
+    channel_utilisation: float
+
+    @property
+    def chip_ipc(self) -> float:
+        return self.num_cores * self.per_core_ipc
+
+
+class ClosedLoopThroughputModel:
+    """Fixpoint solve of the core-rate / queueing-delay feedback loop."""
+
+    def __init__(self, core: CoreParameters, channel: QueueModel) -> None:
+        if core.miss_rate <= 0:
+            raise ValueError(
+                "closed-loop model needs a positive miss rate"
+            )
+        self.core = core
+        self.channel = channel
+
+    def _ipc_at_latency(self, latency: float) -> float:
+        cpi = 1.0 / self.core.base_ipc + self.core.miss_rate * latency
+        return 1.0 / cpi
+
+    def _rate_at_latency(self, latency: float) -> float:
+        """Per-core requests per cycle when memory takes ``latency``."""
+        return self._ipc_at_latency(latency) * self.core.miss_rate
+
+    def operating_point(self, num_cores: int,
+                        tol: float = 1e-10) -> ClosedLoopOperatingPoint:
+        """Solve the fixpoint for ``num_cores`` cores.
+
+        Bisection on the per-core rate: the residual
+        ``rate - rate_at_latency(latency(rate))`` is increasing in rate.
+        """
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        unloaded = self.core.miss_penalty_cycles + 1.0 / (
+            self.channel.service_rate
+        )
+        rate_hi = self._rate_at_latency(unloaded)  # best case
+        # The aggregate can never exceed the channel: cap the bracket.
+        rate_hi = min(rate_hi, self.channel.service_rate / num_cores
+                      * (1 - 1e-9))
+        rate_lo = 0.0
+
+        def residual(rate: float) -> float:
+            latency = unloaded + self.channel.queueing_delay(
+                num_cores * rate
+            )
+            return rate - self._rate_at_latency(latency)
+
+        # residual(rate_hi) >= 0 (queueing only slows cores down);
+        # residual(0) < 0.
+        lo, hi = rate_lo, rate_hi
+        if residual(hi) < 0:
+            rate = hi  # channel effectively unloaded even at best case
+        else:
+            for _ in range(200):
+                mid = 0.5 * (lo + hi)
+                if residual(mid) < 0:
+                    lo = mid
+                else:
+                    hi = mid
+                if hi - lo < tol:
+                    break
+            rate = 0.5 * (lo + hi)
+        latency = unloaded + self.channel.queueing_delay(num_cores * rate)
+        return ClosedLoopOperatingPoint(
+            num_cores=num_cores,
+            memory_latency=latency,
+            per_core_ipc=self._ipc_at_latency(latency),
+            per_core_request_rate=rate,
+            channel_utilisation=min(
+                1.0, num_cores * rate / self.channel.service_rate
+            ),
+        )
+
+    def throughput_curve(self, core_counts):
+        """Operating points across core counts (the wall, closed-loop)."""
+        return [self.operating_point(p) for p in core_counts]
+
+    def knee(self, max_cores: int = 1024) -> int:
+        """First core count whose marginal chip-IPC gain drops below 5%
+        of the single-core IPC — where the wall visibly bends."""
+        if max_cores < 2:
+            raise ValueError(f"max_cores must be >= 2, got {max_cores}")
+        single = self.operating_point(1).chip_ipc
+        previous = single
+        for cores in range(2, max_cores + 1):
+            current = self.operating_point(cores).chip_ipc
+            if current - previous < 0.05 * single:
+                return cores
+            previous = current
+        return max_cores

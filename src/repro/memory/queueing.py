@@ -1,0 +1,133 @@
+"""Queueing-theory view of the off-chip memory interface.
+
+Section 1 of the paper argues that once the memory-request rate reaches
+the available off-chip bandwidth, "the extra queuing delay for memory
+requests will force the performance of the cores to decline until the
+rate of memory requests matches the available off-chip bandwidth".  The
+closed-form models here quantify that: the memory channel is a single
+server; cores offer load; waiting time blows up as utilisation
+approaches 1.
+
+Two classic stations are provided — M/M/1 (exponential service) and
+M/D/1 (deterministic service, the better model for fixed-size line
+transfers) — plus the saturation-throughput law used by
+:mod:`repro.memory.system`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["QueueModel", "mm1_waiting_time", "md1_waiting_time",
+           "saturation_throughput"]
+
+
+def _check_rates(arrival_rate: float, service_rate: float) -> None:
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be > 0, got {service_rate}")
+
+
+def mm1_waiting_time(arrival_rate: float, service_rate: float) -> float:
+    """Mean time in queue (excluding service) for an M/M/1 station.
+
+    ``W_q = rho / (mu - lambda)``; infinite at/beyond saturation.
+    """
+    _check_rates(arrival_rate, service_rate)
+    rho = arrival_rate / service_rate
+    if rho >= 1:
+        return math.inf
+    return rho / (service_rate - arrival_rate)
+
+
+def md1_waiting_time(arrival_rate: float, service_rate: float) -> float:
+    """Mean queueing delay for M/D/1 (deterministic service).
+
+    ``W_q = rho / (2 mu (1 - rho))`` — half the M/M/1 delay, because
+    fixed-size cache-line transfers have no service-time variance.
+    """
+    _check_rates(arrival_rate, service_rate)
+    rho = arrival_rate / service_rate
+    if rho >= 1:
+        return math.inf
+    return rho / (2 * service_rate * (1 - rho))
+
+
+def saturation_throughput(
+    offered_rate: float, service_rate: float
+) -> float:
+    """Accepted request rate: offered load clipped by channel capacity."""
+    _check_rates(offered_rate, service_rate)
+    return min(offered_rate, service_rate)
+
+
+@dataclass(frozen=True)
+class QueueModel:
+    """A memory channel as a queueing station.
+
+    Parameters
+    ----------
+    bytes_per_cycle:
+        Raw channel bandwidth.
+    bytes_per_request:
+        Transfer size (a cache line, possibly compressed).
+    deterministic:
+        Use M/D/1 (True, default — line transfers are fixed-size) or
+        M/M/1.
+    """
+
+    bytes_per_cycle: float
+    bytes_per_request: float
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise ValueError(
+                f"bytes_per_cycle must be positive, got {self.bytes_per_cycle}"
+            )
+        if self.bytes_per_request <= 0:
+            raise ValueError(
+                f"bytes_per_request must be positive, got {self.bytes_per_request}"
+            )
+
+    @property
+    def service_rate(self) -> float:
+        """Requests the channel can complete per cycle."""
+        return self.bytes_per_cycle / self.bytes_per_request
+
+    def utilisation(self, request_rate: float) -> float:
+        """Offered utilisation (may exceed 1 = oversubscribed)."""
+        if request_rate < 0:
+            raise ValueError(f"request_rate must be >= 0, got {request_rate}")
+        return request_rate / self.service_rate
+
+    def queueing_delay(self, request_rate: float) -> float:
+        """Mean cycles a request waits before transfer begins."""
+        if self.deterministic:
+            return md1_waiting_time(request_rate, self.service_rate)
+        return mm1_waiting_time(request_rate, self.service_rate)
+
+    def total_latency(self, request_rate: float) -> float:
+        """Queueing delay plus the transfer itself."""
+        return self.queueing_delay(request_rate) + 1.0 / self.service_rate
+
+    def accepted_rate(self, offered_rate: float) -> float:
+        """Requests per cycle actually served under saturation."""
+        return saturation_throughput(offered_rate, self.service_rate)
+
+    def with_compression(self, ratio: float) -> "QueueModel":
+        """The same channel carrying link-compressed transfers.
+
+        A compression ratio ``r`` shrinks each request to ``1/r`` of its
+        raw size — exactly the ``traffic_factor`` of the analytical
+        model's link-compression technique.
+        """
+        if ratio < 1:
+            raise ValueError(f"compression ratio must be >= 1, got {ratio}")
+        return QueueModel(
+            bytes_per_cycle=self.bytes_per_cycle,
+            bytes_per_request=self.bytes_per_request / ratio,
+            deterministic=self.deterministic,
+        )

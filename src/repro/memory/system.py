@@ -1,0 +1,210 @@
+"""Cores + caches + bounded channel: the bandwidth-wall demonstrator.
+
+The paper's introduction asserts the plateau: "If the provided off-chip
+memory bandwidth cannot sustain the rate at which memory requests are
+generated ... adding more cores to the chip no longer yields any
+additional throughput or performance."  This module *shows* it, two ways:
+
+* :class:`AnalyticThroughputModel` — closed form: per-core throughput is
+  clipped by each core's share of the channel;
+* :class:`BoundedBandwidthSimulation` — an event-driven run where cores
+  compute, miss, and stall on a shared FIFO channel; the measured
+  instructions-per-cycle curve flattens at exactly the analytic
+  saturation point.
+
+Both take the miss rate from the power law, so growing the core count at
+fixed die size (less cache per core) steepens the wall — the same
+coupling Equation 5 captures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List
+
+from .channel import ChannelRequest, OffChipChannel
+
+__all__ = [
+    "CoreParameters",
+    "AnalyticThroughputModel",
+    "SimulatedThroughput",
+    "BoundedBandwidthSimulation",
+]
+
+
+@dataclass(frozen=True)
+class CoreParameters:
+    """A simple in-order core's memory behaviour.
+
+    Parameters
+    ----------
+    miss_rate:
+        Off-chip misses per instruction (from cache size via power law).
+    line_bytes:
+        Transfer size per miss (64B, plus the write-back fraction folded
+        in by the caller if desired).
+    base_ipc:
+        Instructions per cycle with a perfect memory system.
+    miss_penalty_cycles:
+        Unloaded memory latency (DRAM access, no queueing).
+    """
+
+    miss_rate: float
+    line_bytes: int = 64
+    base_ipc: float = 1.0
+    miss_penalty_cycles: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.miss_rate <= 1:
+            raise ValueError(f"miss_rate must be in [0, 1], got {self.miss_rate}")
+        if self.line_bytes <= 0:
+            raise ValueError(f"line_bytes must be positive, got {self.line_bytes}")
+        if self.base_ipc <= 0:
+            raise ValueError(f"base_ipc must be positive, got {self.base_ipc}")
+        if self.miss_penalty_cycles < 0:
+            raise ValueError(
+                f"miss_penalty_cycles must be >= 0, got {self.miss_penalty_cycles}"
+            )
+
+    @property
+    def unloaded_ipc(self) -> float:
+        """IPC with the memory latency but no bandwidth contention."""
+        cpi = 1.0 / self.base_ipc + self.miss_rate * self.miss_penalty_cycles
+        return 1.0 / cpi
+
+    @property
+    def bytes_per_cycle_demand(self) -> float:
+        """Off-chip bytes per cycle one unthrottled core generates."""
+        return self.unloaded_ipc * self.miss_rate * self.line_bytes
+
+
+class AnalyticThroughputModel:
+    """Closed-form chip throughput under a bandwidth envelope."""
+
+    def __init__(self, core: CoreParameters, bytes_per_cycle: float) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError(
+                f"bytes_per_cycle must be positive, got {bytes_per_cycle}"
+            )
+        self.core = core
+        self.bytes_per_cycle = bytes_per_cycle
+
+    def saturation_cores(self) -> float:
+        """Core count at which the channel saturates."""
+        demand = self.core.bytes_per_cycle_demand
+        if demand == 0:
+            return math.inf
+        return self.bytes_per_cycle / demand
+
+    def chip_throughput(self, num_cores: int) -> float:
+        """Aggregate IPC for ``num_cores`` cores.
+
+        Below saturation throughput is linear in cores; above it, the
+        channel caps the miss rate the chip can sustain, so throughput
+        is flat at ``bandwidth / (miss_rate * line_bytes)`` instructions
+        per cycle.
+        """
+        if num_cores < 0:
+            raise ValueError(f"num_cores must be >= 0, got {num_cores}")
+        unconstrained = num_cores * self.core.unloaded_ipc
+        if self.core.miss_rate == 0:
+            return unconstrained
+        cap = self.bytes_per_cycle / (self.core.miss_rate * self.core.line_bytes)
+        return min(unconstrained, cap)
+
+    def per_core_throughput(self, num_cores: int) -> float:
+        if num_cores == 0:
+            return 0.0
+        return self.chip_throughput(num_cores) / num_cores
+
+
+@dataclass(frozen=True)
+class SimulatedThroughput:
+    """Result of one bounded-bandwidth simulation run."""
+
+    num_cores: int
+    instructions: int
+    cycles: float
+    channel_utilisation: float
+    mean_queueing_delay: float
+
+    @property
+    def chip_ipc(self) -> float:
+        if self.cycles == 0:
+            raise ValueError("zero-cycle run")
+        return self.instructions / self.cycles
+
+    @property
+    def per_core_ipc(self) -> float:
+        return self.chip_ipc / self.num_cores
+
+
+class BoundedBandwidthSimulation:
+    """Event-driven cores sharing one off-chip channel.
+
+    Each core repeats: execute ``1 / miss_rate`` instructions (taking
+    ``instructions / base_ipc`` cycles), then issue a line transfer and
+    stall for the unloaded penalty plus any queueing delay.  The
+    simulation is deterministic — the point is the throughput *curve*,
+    not micro-variance.
+    """
+
+    def __init__(self, core: CoreParameters, bytes_per_cycle: float) -> None:
+        if core.miss_rate <= 0:
+            raise ValueError(
+                "simulation needs a positive miss rate (otherwise there is "
+                "no memory traffic to bound)"
+            )
+        self.core = core
+        self.bytes_per_cycle = bytes_per_cycle
+
+    def run(self, num_cores: int, instructions_per_core: int
+            ) -> SimulatedThroughput:
+        """Simulate until every core retires its instruction quota."""
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        if instructions_per_core <= 0:
+            raise ValueError(
+                "instructions_per_core must be positive, got "
+                f"{instructions_per_core}"
+            )
+        core = self.core
+        channel = OffChipChannel(self.bytes_per_cycle)
+        burst_instructions = max(1, round(1.0 / core.miss_rate))
+        compute_cycles = burst_instructions / core.base_ipc
+        bursts = max(1, instructions_per_core // burst_instructions)
+
+        # Event heap of (time, core_id, bursts_remaining).
+        heap: List = [(compute_cycles, core_id, bursts) for core_id in
+                      range(num_cores)]
+        heapq.heapify(heap)
+        finish_time = 0.0
+        while heap:
+            now, core_id, remaining = heapq.heappop(heap)
+            request = ChannelRequest(
+                core_id=core_id,
+                num_bytes=core.line_bytes,
+                issue_cycle=now,
+            )
+            done = channel.submit(request) + core.miss_penalty_cycles
+            finish_time = max(finish_time, done)
+            if remaining > 1:
+                heapq.heappush(
+                    heap, (done + compute_cycles, core_id, remaining - 1)
+                )
+        instructions = num_cores * bursts * burst_instructions
+        return SimulatedThroughput(
+            num_cores=num_cores,
+            instructions=instructions,
+            cycles=finish_time,
+            channel_utilisation=channel.utilisation(finish_time),
+            mean_queueing_delay=channel.mean_queueing_delay,
+        )
+
+    def throughput_curve(
+        self, core_counts, instructions_per_core: int = 20_000
+    ) -> List[SimulatedThroughput]:
+        """Run the simulation for each core count."""
+        return [self.run(p, instructions_per_core) for p in core_counts]

@@ -1,0 +1,73 @@
+"""Address-stream primitives shared by all workload generators.
+
+A workload is an iterable of :class:`MemoryAccess` records.  Generators
+in this package are deterministic given their seed, so every measurement
+in the test suite and benchmarks is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple, Protocol
+
+__all__ = ["MemoryAccess", "AddressStream", "take", "interleave_round_robin"]
+
+
+class MemoryAccess(NamedTuple):
+    """One memory reference.
+
+    Attributes
+    ----------
+    address:
+        Byte address.
+    is_write:
+        Store vs load.
+    core_id:
+        Issuing core (0 for single-threaded streams).
+    """
+
+    address: int
+    is_write: bool = False
+    core_id: int = 0
+
+
+class AddressStream(Protocol):
+    """Anything that can be iterated into :class:`MemoryAccess` records."""
+
+    def __iter__(self) -> Iterator[MemoryAccess]: ...
+
+
+def take(stream: Iterable[MemoryAccess], count: int) -> List[MemoryAccess]:
+    """Materialise the first ``count`` accesses of a stream.
+
+    >>> from itertools import repeat
+    >>> len(take(repeat(MemoryAccess(0)), 5))
+    5
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    out = []
+    for access in stream:
+        if len(out) >= count:
+            break
+        out.append(access)
+    return out
+
+
+def interleave_round_robin(
+    streams: List[Iterable[MemoryAccess]],
+) -> Iterator[MemoryAccess]:
+    """Interleave per-thread streams one access at a time.
+
+    Used to model independent threads time-sharing a memory system; each
+    access keeps its originating stream's ``core_id``.  Stops when any
+    stream is exhausted, keeping the per-core access counts balanced.
+    """
+    iterators = [iter(s) for s in streams]
+    if not iterators:
+        return
+    while True:
+        for iterator in iterators:
+            try:
+                yield next(iterator)
+            except StopIteration:
+                return

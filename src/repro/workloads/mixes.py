@@ -1,0 +1,86 @@
+"""Multiprogrammed workload mixes.
+
+The paper "assume[s] that we always have threads or applications that
+can run on all cores" (Section 3): a CMP's cores run a *mix* of
+independent programs.  :class:`MultiprogrammedMix` builds that mix from
+the single-threaded presets — one program per core, each placed in a
+disjoint address region — so the shared-nothing assumption the traffic
+model makes can be fed to a shared cache and checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .address_stream import MemoryAccess, interleave_round_robin
+from .commercial import COMMERCIAL_WORKLOADS, WorkloadSpec
+
+__all__ = ["MultiprogrammedMix", "round_robin_commercial_mix"]
+
+#: Address-space stride between programs, in bytes (1 GiB regions).
+_REGION_STRIDE = 1 << 30
+
+
+@dataclass(frozen=True)
+class MultiprogrammedMix:
+    """One independent program per core, address-disjoint.
+
+    Parameters
+    ----------
+    programs:
+        One :class:`WorkloadSpec` per core, in core order.
+    """
+
+    programs: Tuple[WorkloadSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise ValueError("a mix needs at least one program")
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.programs)
+
+    def accesses(self, count_per_core: int) -> Iterator[MemoryAccess]:
+        """Interleave the programs round-robin, tagging core ids."""
+        if count_per_core < 0:
+            raise ValueError(
+                f"count_per_core must be >= 0, got {count_per_core}"
+            )
+        streams: List[Iterator[MemoryAccess]] = []
+        for core_id, spec in enumerate(self.programs):
+            generator = spec.generator(
+                address_base=core_id * _REGION_STRIDE,
+                seed=spec.seed + core_id,
+            )
+            streams.append(
+                _with_core_id(generator.accesses(count_per_core), core_id)
+            )
+        return interleave_round_robin(streams)
+
+    @property
+    def average_alpha(self) -> float:
+        """Mean design alpha of the mix (the model's workload input)."""
+        return sum(s.alpha for s in self.programs) / len(self.programs)
+
+
+def _with_core_id(stream: Iterator[MemoryAccess],
+                  core_id: int) -> Iterator[MemoryAccess]:
+    for access in stream:
+        yield MemoryAccess(access.address, access.is_write, core_id)
+
+
+def round_robin_commercial_mix(num_cores: int) -> MultiprogrammedMix:
+    """A mix cycling through the seven commercial presets.
+
+    >>> round_robin_commercial_mix(4).num_cores
+    4
+    """
+    if num_cores < 1:
+        raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+    programs = tuple(
+        COMMERCIAL_WORKLOADS[i % len(COMMERCIAL_WORKLOADS)]
+        for i in range(num_cores)
+    )
+    return MultiprogrammedMix(programs)

@@ -1,0 +1,415 @@
+"""LRU stack distances: sampling them (trace synthesis) and measuring
+them (Mattson profiling).
+
+Why stack distances?  For a fully-associative LRU cache of ``W`` lines,
+an access hits iff its *stack distance* (the number of distinct lines
+touched since the previous access to the same line, counting itself) is
+at most ``W``.  A trace whose stack distances follow a truncated Pareto
+distribution with tail index ``alpha`` therefore produces a miss-rate
+curve ``m(W) ∝ W^-alpha`` — exactly the power law of cache misses the
+paper builds on (Section 4.1).  This lets us synthesise workloads with a
+*chosen* alpha and then re-measure that alpha independently with a cache
+simulator, closing the loop the paper closed with real traces.
+
+Two tools live here:
+
+* :class:`ParetoStackDistanceSampler` + :class:`PowerLawTraceGenerator` —
+  synthesis;
+* :class:`StackDistanceProfiler` — an exact O(log n)-per-access Mattson
+  profiler (Fenwick tree over access times) that produces miss rates for
+  *every* cache size from a single pass over a trace.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .address_stream import MemoryAccess
+
+__all__ = [
+    "ParetoStackDistanceSampler",
+    "PowerLawTraceGenerator",
+    "StackDistanceProfiler",
+    "MissCurve",
+]
+
+
+class ParetoStackDistanceSampler:
+    """Sample integer stack distances with a power-law tail.
+
+    ``P(D > d) = (d / minimum) ** -alpha`` for ``d`` up to ``maximum``
+    (the workload's total working-set size in lines); samples beyond the
+    maximum are treated by callers as *new* lines (cold misses).
+
+    Parameters
+    ----------
+    alpha:
+        Tail index — becomes the workload's cache-sensitivity alpha.
+    maximum:
+        Truncation point, i.e. the working-set size in lines.
+    minimum:
+        Smallest distance (1 = immediate re-reference is possible).
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        maximum: int,
+        minimum: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not math.isfinite(alpha) or alpha <= 0:
+            raise ValueError(f"alpha must be positive and finite, got {alpha}")
+        if minimum < 1:
+            raise ValueError(f"minimum must be >= 1, got {minimum}")
+        if maximum <= minimum:
+            raise ValueError(
+                f"maximum ({maximum}) must exceed minimum ({minimum})"
+            )
+        self.alpha = alpha
+        self.minimum = minimum
+        self.maximum = maximum
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        """One Pareto-tailed integer distance (may exceed ``maximum``)."""
+        u = self._rng.random()
+        # Inverse CDF of the continuous Pareto, floored to an integer.
+        return int(self.minimum * u ** (-1.0 / self.alpha))
+
+    def survival(self, distance: float) -> float:
+        """``P(D > distance)`` of the untruncated distribution."""
+        if distance < self.minimum:
+            return 1.0
+        return (distance / self.minimum) ** (-self.alpha)
+
+
+class PowerLawTraceGenerator:
+    """Synthesise an address stream whose miss curve obeys the power law.
+
+    The generator keeps an explicit LRU stack of line addresses.  For
+    each access it samples a stack distance ``d``:
+
+    * ``d`` within the current stack — re-reference the ``d``-th most
+      recent line (which the stack then moves to the top),
+    * otherwise — touch a brand-new line (compulsory miss / working-set
+      growth), bounded by ``working_set_lines``.
+
+    Addresses are spread over a word within the line chosen by a
+    configurable *spatial profile*: each line has ``words_per_line``
+    words of which only the first ``touched_words`` are ever accessed,
+    which manufactures the unused-data fraction the paper's Sections
+    6.1-6.3 rely on (e.g. ``touched_words = 5`` of 8 ~= 40% unused).
+
+    Parameters
+    ----------
+    alpha:
+        Target power-law exponent.
+    working_set_lines:
+        Total distinct lines the workload ever touches.
+    write_fraction:
+        Fraction of *lines* that are written (all accesses to such a
+        line are stores).  Making dirtiness a per-line property is what
+        produces the paper's Section 4.2 observation that write-backs
+        are an application-specific constant fraction of misses across
+        cache sizes: a written line is dirty for any residency length,
+        so ``r_wb`` equals the written-line fraction at every capacity.
+    touched_words:
+        How many distinct words per line the workload uses (1 to
+        ``words_per_line``).
+    prefill:
+        Start with the whole working set already on the LRU stack
+        (coldest-first), so reuse distances follow the exact Pareto law
+        from the first access.  Without prefill the stack grows as the
+        run proceeds and early out-of-stack samples become extra
+        compulsory misses, flattening short runs' fitted alpha.  Default
+        True; disable to study the warmup transient itself.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        working_set_lines: int = 1 << 16,
+        line_bytes: int = 64,
+        word_bytes: int = 8,
+        write_fraction: float = 0.25,
+        touched_words: Optional[int] = None,
+        seed: int = 0,
+        address_base: int = 0,
+        prefill: bool = True,
+    ) -> None:
+        if working_set_lines < 2:
+            raise ValueError(
+                f"working_set_lines must be >= 2, got {working_set_lines}"
+            )
+        if not 0 <= write_fraction <= 1:
+            raise ValueError(
+                f"write_fraction must be in [0, 1], got {write_fraction}"
+            )
+        self.words_per_line = line_bytes // word_bytes
+        if touched_words is None:
+            touched_words = self.words_per_line
+        if not 1 <= touched_words <= self.words_per_line:
+            raise ValueError(
+                f"touched_words must be in [1, {self.words_per_line}], got "
+                f"{touched_words}"
+            )
+        self.alpha = alpha
+        self.working_set_lines = working_set_lines
+        self.line_bytes = line_bytes
+        self.word_bytes = word_bytes
+        self.write_fraction = write_fraction
+        self.touched_words = touched_words
+        self.address_base = address_base
+        self.prefill = prefill
+        self._sampler = ParetoStackDistanceSampler(
+            alpha=alpha, maximum=working_set_lines, seed=seed
+        )
+        self._rng = random.Random(seed ^ 0x5EED)
+
+    def _line_is_written(self, line: int) -> bool:
+        """Deterministic per-line write classification (Knuth hash)."""
+        hashed = (line * 2654435761) & 0xFFFFFFFF
+        return hashed / 2**32 < self.write_fraction
+
+    def warmup_accesses(self) -> Iterator[MemoryAccess]:
+        """One access per working-set line, deepest-first.
+
+        Feeding this sweep to a cache or profiler (and then resetting its
+        statistics) reproduces the prefilled stack state this generator
+        assumes, so measurement starts *stationary*: every subsequent
+        access's reuse distance is exactly the sampled Pareto distance,
+        with no warmup transient and no compulsory misses.
+        """
+        for line in range(self.working_set_lines - 1, -1, -1):
+            yield MemoryAccess(
+                self.address_base + line * self.line_bytes,
+                self._line_is_written(line),
+                0,
+            )
+
+    def accesses(self, count: int) -> Iterator[MemoryAccess]:
+        """Yield ``count`` accesses."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self.prefill:
+            # Whole working set resident, coldest first (line 0 ends up
+            # deepest so fresh lines still enter at sensible depths).
+            stack: List[int] = list(range(self.working_set_lines - 1, -1, -1))
+            next_line = self.working_set_lines
+        else:
+            stack = []  # most recent at the END (cheap append/pop)
+            next_line = 0
+        rng = self._rng
+        sampler = self._sampler
+        for _ in range(count):
+            distance = sampler.sample()
+            if distance <= len(stack):
+                line = stack[-distance]
+                if distance > 1:
+                    del stack[-distance]
+                    stack.append(line)
+            elif next_line < self.working_set_lines:
+                line = next_line
+                next_line += 1
+                stack.append(line)
+            else:
+                # Working set exhausted: treat as a touch of the coldest
+                # line (the far tail of the reuse distribution).
+                line = stack[0]
+                del stack[0]
+                stack.append(line)
+            word = rng.randrange(self.touched_words)
+            address = (
+                self.address_base
+                + line * self.line_bytes
+                + word * self.word_bytes
+            )
+            yield MemoryAccess(address, self._line_is_written(line), 0)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        """Iterate indefinitely (callers bound with ``take``)."""
+        while True:
+            yield from self.accesses(1 << 14)
+
+
+class _Fenwick:
+    """Fenwick tree of counts over access-time slots."""
+
+    __slots__ = ("_tree", "size")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries [0, index]."""
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+
+class StackDistanceProfiler:
+    """Exact Mattson stack-distance profiling in O(log n) per access.
+
+    Feed line-granularity addresses with :meth:`record`; the profiler
+    maintains a Fenwick tree of "is this time slot the latest access to
+    some line" flags, so a re-reference's stack distance is one range
+    query.  After the pass, :meth:`miss_curve` evaluates the miss rate
+    at any set of cache sizes — simultaneously, from one histogram.
+    """
+
+    #: Stack distance reported for a line's first-ever access.
+    COLD = math.inf
+
+    def __init__(self, expected_accesses: int = 1 << 20) -> None:
+        if expected_accesses < 1:
+            raise ValueError(
+                f"expected_accesses must be positive, got {expected_accesses}"
+            )
+        self._capacity = expected_accesses
+        self._fenwick = _Fenwick(expected_accesses)
+        self._last_time: Dict[int, int] = {}
+        self._time = 0
+        self._histogram: Dict[int, int] = {}
+        self._cold = 0
+        self.accesses = 0
+
+    def reset_statistics(self) -> None:
+        """Clear the histogram and counters but keep the recency state.
+
+        Use after feeding a warmup stream: subsequent measurements see a
+        warm stack without the warmup's cold misses.
+        """
+        self._histogram = {}
+        self._cold = 0
+        self.accesses = 0
+
+    def _grow(self) -> None:
+        new = _Fenwick(self._capacity * 2)
+        for addr, t in self._last_time.items():
+            new.add(t, 1)
+        self._fenwick = new
+        self._capacity *= 2
+
+    def record(self, line_address: int) -> float:
+        """Record one access; returns its stack distance (1 = stack top,
+        ``COLD`` for a first access)."""
+        if self._time >= self._capacity:
+            self._grow()
+        self.accesses += 1
+        previous = self._last_time.get(line_address)
+        if previous is None:
+            distance: float = self.COLD
+            self._cold += 1
+        else:
+            # Lines whose latest access is strictly after `previous` are
+            # above this line in the stack; +1 counts the line itself.
+            above = (
+                self._fenwick.prefix_sum(self._time - 1)
+                - self._fenwick.prefix_sum(previous)
+            )
+            distance = above + 1
+            self._fenwick.add(previous, -1)
+            self._histogram[int(distance)] = (
+                self._histogram.get(int(distance), 0) + 1
+            )
+        self._fenwick.add(self._time, 1)
+        self._last_time[line_address] = self._time
+        self._time += 1
+        return distance
+
+    def record_stream(
+        self, stream: Iterable[MemoryAccess], line_bytes: int = 64
+    ) -> None:
+        """Record every access of a stream at line granularity."""
+        shift = line_bytes.bit_length() - 1
+        for access in stream:
+            self.record(access.address >> shift)
+
+    @property
+    def cold_misses(self) -> int:
+        return self._cold
+
+    def miss_rate(self, cache_lines: int, *,
+                  exclude_cold: bool = False) -> float:
+        """Miss rate of a fully-associative LRU cache of ``cache_lines``.
+
+        ``exclude_cold`` drops compulsory misses from the numerator: over
+        a production-length trace cold misses are negligible, but a short
+        synthetic run overweights them, flattening the fitted power law.
+        Capacity-only rates are the right input for alpha fitting.
+        """
+        if cache_lines < 1:
+            raise ValueError(f"cache_lines must be >= 1, got {cache_lines}")
+        if self.accesses == 0:
+            raise ValueError("no accesses recorded")
+        misses = sum(
+            count
+            for distance, count in self._histogram.items()
+            if distance > cache_lines
+        )
+        if not exclude_cold:
+            misses += self._cold
+        return misses / self.accesses
+
+    def miss_curve(self, cache_line_counts: Sequence[int], *,
+                   exclude_cold: bool = False) -> "MissCurve":
+        """Miss rates at each capacity, computed from one histogram."""
+        sizes = sorted(set(cache_line_counts))
+        if not sizes:
+            raise ValueError("need at least one cache size")
+        # One sweep over the sorted histogram per curve.
+        distances = sorted(self._histogram)
+        rates = []
+        idx = 0
+        beyond = sum(self._histogram.values())
+        consumed = 0
+        cold = 0 if exclude_cold else self._cold
+        for size in sizes:
+            while idx < len(distances) and distances[idx] <= size:
+                consumed += self._histogram[distances[idx]]
+                idx += 1
+            misses = cold + (beyond - consumed)
+            rates.append(misses / self.accesses)
+        return MissCurve(tuple(sizes), tuple(rates))
+
+
+class MissCurve:
+    """A measured miss-rate-vs-cache-size curve (Figure 1 material)."""
+
+    def __init__(self, line_counts: Tuple[int, ...],
+                 miss_rates: Tuple[float, ...]) -> None:
+        if len(line_counts) != len(miss_rates):
+            raise ValueError("sizes and rates must align")
+        self.line_counts = line_counts
+        self.miss_rates = miss_rates
+
+    def __iter__(self):
+        return iter(zip(self.line_counts, self.miss_rates))
+
+    def __len__(self) -> int:
+        return len(self.line_counts)
+
+    def normalized(self) -> "MissCurve":
+        """Normalise rates to the smallest cache size (Figure 1's y-axis)."""
+        if not self.miss_rates or self.miss_rates[0] == 0:
+            raise ValueError("cannot normalise: zero miss rate at base size")
+        base = self.miss_rates[0]
+        return MissCurve(
+            self.line_counts, tuple(r / base for r in self.miss_rates)
+        )
+
+    def sizes_bytes(self, line_bytes: int = 64) -> Tuple[int, ...]:
+        return tuple(count * line_bytes for count in self.line_counts)

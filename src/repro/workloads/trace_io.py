@@ -1,0 +1,111 @@
+"""Trace file I/O: feed real (or saved synthetic) traces to the pipeline.
+
+A production user of this library will eventually want to calibrate the
+model from *their* workload, not a synthetic stand-in.  This module
+defines a minimal, self-describing trace format and streaming
+reader/writer so any address trace can run through the same
+calibration, simulation and fitting machinery.
+
+Format (text, one record per line, ``#`` comments allowed)::
+
+    # repro-trace v1
+    R 0x7f001040 0
+    W 0x7f001048 2
+
+fields: access type (``R``/``W``), byte address (hex or decimal),
+optional core id (default 0).  The writer emits hex addresses.  Gzip is
+transparent: paths ending in ``.gz`` are (de)compressed on the fly.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Union
+
+from .address_stream import MemoryAccess
+
+__all__ = ["write_trace", "read_trace", "TraceFormatError"]
+
+_MAGIC = "# repro-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+def _open(path: Union[str, Path], mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))
+    return open(path, mode)
+
+
+def write_trace(
+    accesses: Iterable[MemoryAccess],
+    path: Union[str, Path],
+) -> int:
+    """Write a stream of accesses; returns the number written."""
+    count = 0
+    with _open(path, "w") as handle:
+        handle.write(_MAGIC + "\n")
+        for access in accesses:
+            kind = "W" if access.is_write else "R"
+            handle.write(
+                f"{kind} {access.address:#x} {access.core_id}\n"
+            )
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
+    """Stream accesses from a trace file.
+
+    Raises :class:`TraceFormatError` on a bad magic line or record.
+    """
+    with _open(path, "r") as handle:
+        first = handle.readline().rstrip("\n")
+        if first != _MAGIC:
+            raise TraceFormatError(
+                f"{path}: expected magic line {_MAGIC!r}, got {first!r}"
+            )
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected 2-3 fields, got "
+                    f"{len(parts)}"
+                )
+            kind = parts[0].upper()
+            if kind not in ("R", "W"):
+                raise TraceFormatError(
+                    f"{path}:{line_number}: access type must be R or W, "
+                    f"got {parts[0]!r}"
+                )
+            try:
+                address = int(parts[1], 0)
+            except ValueError:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: bad address {parts[1]!r}"
+                ) from None
+            if address < 0:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: negative address"
+                )
+            core_id = 0
+            if len(parts) == 3:
+                try:
+                    core_id = int(parts[2])
+                except ValueError:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: bad core id {parts[2]!r}"
+                    ) from None
+                if core_id < 0:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: negative core id"
+                    )
+            yield MemoryAccess(address, kind == "W", core_id)

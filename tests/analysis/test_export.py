@@ -1,0 +1,69 @@
+"""Tests for figure export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import figure_to_csv, figure_to_json, write_figure
+from repro.analysis.series import FigureData, Series
+
+
+@pytest.fixture
+def figure():
+    fig = FigureData("Fig T", "test figure", "cores", "traffic",
+                     notes="a note")
+    fig.add(Series.from_xy("a", [1, 2], [0.5, 1.5]))
+    fig.add(Series.from_xy("b", [1], [3.0]))
+    return fig
+
+
+class TestCSV:
+    def test_long_format(self, figure):
+        text = figure_to_csv(figure)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["series", "x", "y"]
+        assert rows[1] == ["a", "1", "0.5"]
+        assert len(rows) == 4
+
+    def test_roundtrips_through_csv_reader(self, figure):
+        rows = list(csv.DictReader(io.StringIO(figure_to_csv(figure))))
+        assert {row["series"] for row in rows} == {"a", "b"}
+
+
+class TestJSON:
+    def test_metadata_preserved(self, figure):
+        payload = json.loads(figure_to_json(figure))
+        assert payload["figure_id"] == "Fig T"
+        assert payload["x_label"] == "cores"
+        assert payload["notes"] == "a note"
+
+    def test_points_preserved(self, figure):
+        payload = json.loads(figure_to_json(figure))
+        by_name = {s["name"]: s["points"] for s in payload["series"]}
+        assert by_name["a"] == [[1, 0.5], [2, 1.5]]
+        assert by_name["b"] == [[1, 3.0]]
+
+
+class TestWriteFigure:
+    def test_write_csv(self, figure, tmp_path):
+        path = write_figure(figure, tmp_path / "fig.csv")
+        assert path.read_text().startswith("series,x,y")
+
+    def test_write_json(self, figure, tmp_path):
+        path = write_figure(figure, tmp_path / "fig.json")
+        assert json.loads(path.read_text())["figure_id"] == "Fig T"
+
+    def test_unknown_suffix(self, figure, tmp_path):
+        with pytest.raises(ValueError):
+            write_figure(figure, tmp_path / "fig.xlsx")
+
+    def test_real_experiment_exports(self, tmp_path):
+        from repro.experiments import fig03
+
+        figure = fig03.run().figure
+        path = write_figure(figure, tmp_path / "fig3.json")
+        payload = json.loads(path.read_text())
+        names = [s["name"] for s in payload["series"]]
+        assert "# of Cores" in names

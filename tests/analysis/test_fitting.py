@@ -1,0 +1,74 @@
+"""Tests for power-law fitting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.fitting import fit_miss_curve, fit_power_law
+from repro.workloads.stack_distance import MissCurve
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovers_parameters(self):
+        sizes = [2**k for k in range(4, 12)]
+        rates = [0.8 * s**-0.45 for s in sizes]
+        fit = fit_power_law(sizes, rates)
+        assert fit.alpha == pytest.approx(0.45, abs=1e-9)
+        assert fit.coefficient == pytest.approx(0.8, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.conforms
+
+    @given(
+        alpha=st.floats(min_value=0.1, max_value=1.5),
+        coefficient=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_roundtrip_any_parameters(self, alpha, coefficient):
+        sizes = [2.0**k for k in range(3, 11)]
+        rates = [coefficient * s**-alpha for s in sizes]
+        fit = fit_power_law(sizes, rates)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-6)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4, 8], [0.4, 0.2, 0.1, 0.05])
+        assert fit.predict(16) == pytest.approx(0.025, rel=1e-6)
+
+    def test_noisy_curve_has_lower_r_squared(self):
+        sizes = [2**k for k in range(8)]
+        rates = [0.5 * s**-0.5 * (1.5 if k % 2 else 0.7)
+                 for k, s in enumerate(sizes)]
+        fit = fit_power_law(sizes, rates)
+        assert fit.r_squared < 0.95
+        assert not fit.conforms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0.1])
+        with pytest.raises(ValueError):
+            fit_power_law([1], [0.1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 2], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0.1, 0.0])
+        fit = fit_power_law([1, 2], [0.2, 0.1])
+        with pytest.raises(ValueError):
+            fit.predict(0)
+
+
+class TestFitMissCurve:
+    def test_range_restriction(self):
+        # Power law for small sizes, floor at large sizes.
+        sizes = tuple(2**k for k in range(4, 12))
+        rates = tuple(max(0.5 * s**-0.5, 0.02) for s in sizes)
+        full = fit_miss_curve(MissCurve(sizes, rates))
+        trimmed = fit_miss_curve(MissCurve(sizes, rates), max_lines=256)
+        assert abs(trimmed.alpha - 0.5) < abs(full.alpha - 0.5)
+
+    def test_min_lines(self):
+        sizes = (8, 16, 32, 64)
+        rates = (0.9, 0.4, 0.2, 0.1)  # first point off the law
+        fit = fit_miss_curve(MissCurve(sizes, rates), min_lines=16)
+        assert fit.points == 3
+
+    def test_too_few_points_in_range(self):
+        curve = MissCurve((16, 32), (0.2, 0.1))
+        with pytest.raises(ValueError):
+            fit_miss_curve(curve, max_lines=16)

@@ -1,0 +1,50 @@
+"""Tests for the reproduction-report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def small_report(self):
+        return generate_report(experiment_ids=["fig2", "fig5", "table2"])
+
+    def test_contains_requested_sections(self, small_report):
+        assert "## fig2" in small_report
+        assert "## fig5" in small_report
+        assert "## table2" in small_report
+        assert "## fig16" not in small_report
+
+    def test_contains_checkpoints(self, small_report):
+        assert "11 cores at B=1.0" in small_report
+        assert "16/18/21 cores" in small_report
+
+    def test_contains_figure_data(self, small_report):
+        assert "New Traffic" in small_report
+
+    def test_header(self, small_report):
+        assert small_report.startswith(
+            "# Bandwidth-wall reproduction report"
+        )
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "report.md",
+                            experiment_ids=["fig3"])
+        content = path.read_text()
+        assert "## fig3" in content
+        assert "# of Cores" in content
+
+    def test_cli_report_mode(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "cli_report.md"
+        # restrict to a single fast experiment via the default list is
+        # too slow for a unit test? no — analytic figures run in ms;
+        # but keep it bounded anyway by calling write_report directly
+        # through the CLI's default path.
+        assert cli_main(["report", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "fig16" in out.read_text()

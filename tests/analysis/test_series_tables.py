@@ -1,0 +1,93 @@
+"""Tests for the figure-data structures and ASCII rendering."""
+
+import pytest
+
+from repro.analysis.series import FigureData, Series
+from repro.analysis.tables import ascii_bars, format_figure, format_table
+
+
+class TestSeries:
+    def test_from_xy(self):
+        series = Series.from_xy("s", [1, 2], [3, 4])
+        assert series.xs == (1, 2)
+        assert series.ys == (3, 4)
+
+    def test_y_at(self):
+        series = Series.from_xy("s", [1, 2], [3, 4])
+        assert series.y_at(2) == 4
+        with pytest.raises(KeyError):
+            series.y_at(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series("empty", ())
+        with pytest.raises(ValueError):
+            Series.from_xy("s", [1], [2, 3])
+
+
+class TestFigureData:
+    def make_figure(self):
+        figure = FigureData("Fig X", "title", "x", "y")
+        figure.add(Series.from_xy("a", [1, 2], [10, 20]))
+        return figure
+
+    def test_add_and_get(self):
+        figure = self.make_figure()
+        assert figure.get("a").y_at(1) == 10
+        assert figure.series_names == ["a"]
+
+    def test_duplicate_rejected(self):
+        figure = self.make_figure()
+        with pytest.raises(ValueError):
+            figure.add(Series.from_xy("a", [1], [1]))
+
+    def test_missing_series(self):
+        with pytest.raises(KeyError):
+            self.make_figure().get("zzz")
+
+    def test_to_rows(self):
+        rows = self.make_figure().to_rows()
+        assert rows == [
+            {"series": "a", "x": 1, "y": 10},
+            {"series": "a", "x": 2, "y": 20},
+        ]
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["x", 1.23456], ["long", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text
+        assert len(lines) == 4
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_ascii_bars(self):
+        text = ascii_bars(["one", "two"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_ascii_bars_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_ascii_bars_empty(self):
+        assert ascii_bars([], []) == ""
+
+    def test_format_figure(self):
+        figure = FigureData("Fig 99", "demo", "cores", "traffic",
+                            notes="note here")
+        figure.add(Series.from_xy("s", [1], [2]))
+        text = format_figure(figure)
+        assert "Fig 99" in text
+        assert "note here" in text
+        assert "cores" in text
+
+    def test_format_figure_max_rows(self):
+        figure = FigureData("Fig", "t", "x", "y")
+        figure.add(Series.from_xy("s", range(10), range(10)))
+        text = format_figure(figure, max_rows=3)
+        assert text.count("\ns ") == 3

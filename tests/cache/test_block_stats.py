@@ -1,0 +1,100 @@
+"""Tests for cache-line metadata and statistics aggregation."""
+
+import pytest
+
+from repro.cache.block import AccessResult, CacheLine
+from repro.cache.stats import CacheStats
+
+
+class TestCacheLine:
+    def test_touch_accumulates_words_and_sharers(self):
+        line = CacheLine(tag=1)
+        line.touch(core_id=0, word_index=0, is_write=False)
+        line.touch(core_id=2, word_index=3, is_write=False)
+        line.touch(core_id=0, word_index=0, is_write=True)
+        assert line.touched_word_count() == 2
+        assert line.sharers == {0, 2}
+        assert line.dirty
+        assert line.is_shared()
+
+    def test_single_core_line_is_not_shared(self):
+        line = CacheLine(tag=1)
+        line.touch(0, 0, False)
+        line.touch(0, 5, False)
+        assert not line.is_shared()
+
+    def test_read_only_line_stays_clean(self):
+        line = CacheLine(tag=1)
+        line.touch(0, 0, False)
+        assert not line.dirty
+
+
+class TestAccessResult:
+    def test_miss_property(self):
+        assert AccessResult(hit=False).miss
+        assert not AccessResult(hit=True).miss
+
+    def test_traffic_bytes_sums_both_directions(self):
+        result = AccessResult(hit=False, bytes_fetched=64,
+                              bytes_written_back=64)
+        assert result.traffic_bytes == 128
+
+
+class TestCacheStats:
+    def test_record_access_counts(self):
+        stats = CacheStats()
+        stats.record(AccessResult(hit=True))
+        stats.record(AccessResult(hit=False, bytes_fetched=64))
+        assert stats.accesses == 2
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.miss_rate == 0.5
+        assert stats.bytes_fetched == 64
+
+    def test_writeback_ratio(self):
+        stats = CacheStats()
+        for wb in (True, False, True, False):
+            stats.record(AccessResult(hit=False, writeback=wb,
+                                      bytes_fetched=64,
+                                      bytes_written_back=64 if wb else 0))
+        assert stats.writeback_ratio == 0.5
+        assert stats.traffic_per_access == (4 * 64 + 2 * 64) / 4
+
+    def test_eviction_metadata(self):
+        stats = CacheStats(words_per_line=8)
+        shared = CacheLine(tag=1)
+        shared.touch(0, 0, False)
+        shared.touch(1, 1, False)
+        private = CacheLine(tag=2)
+        private.touch(0, 0, False)
+        stats.record_eviction(shared)
+        stats.record_eviction(private)
+        assert stats.shared_line_fraction == 0.5
+        assert stats.unused_word_fraction == pytest.approx(1 - 3 / 16)
+
+    def test_empty_stats_raise_on_derived_metrics(self):
+        stats = CacheStats()
+        with pytest.raises(ValueError):
+            stats.miss_rate
+        with pytest.raises(ValueError):
+            stats.writeback_ratio
+        with pytest.raises(ValueError):
+            stats.unused_word_fraction
+        with pytest.raises(ValueError):
+            stats.shared_line_fraction
+        with pytest.raises(ValueError):
+            stats.traffic_per_access
+
+    def test_merge(self):
+        a = CacheStats()
+        b = CacheStats()
+        a.record(AccessResult(hit=True))
+        b.record(AccessResult(hit=False, bytes_fetched=64))
+        merged = a.merge(b)
+        assert merged.accesses == 2
+        assert merged.hits == 1
+        assert merged.misses == 1
+
+    def test_merge_rejects_mismatched_geometry(self):
+        with pytest.raises(ValueError):
+            CacheStats(words_per_line=8).merge(CacheStats(words_per_line=16))

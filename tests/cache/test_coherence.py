@@ -1,0 +1,180 @@
+"""Tests for the MSI private-cache system (footnote 1's apparatus)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.coherence import MSIState, PrivateCacheSystem
+from repro.workloads.parsec_like import ParsecLikeWorkload
+
+
+def make_system(cores=2, per_core_bytes=1024):
+    return PrivateCacheSystem(num_cores=cores,
+                              l2_bytes_per_core=per_core_bytes,
+                              line_bytes=64, associativity=2)
+
+
+class TestBasicCoherence:
+    def test_cold_miss_fetches_offchip(self):
+        system = make_system()
+        assert not system.access(0, core_id=0)
+        assert system.stats.offchip_fetches == 1
+
+    def test_local_hit(self):
+        system = make_system()
+        system.access(0, core_id=0)
+        assert system.access(0, core_id=0)
+        assert system.stats.hits == 1
+
+    def test_peer_copy_serves_read_without_offchip(self):
+        system = make_system()
+        system.access(0, core_id=0)
+        system.access(0, core_id=1)  # miss, served cache-to-cache
+        assert system.stats.offchip_fetches == 1
+        assert system.stats.cache_to_cache_transfers == 1
+
+    def test_write_invalidates_peers(self):
+        system = make_system()
+        system.access(0, core_id=0)
+        system.access(0, core_id=1)
+        system.access(0, core_id=1, is_write=True)  # upgrade
+        assert system.stats.upgrades == 1
+        assert system.stats.invalidations_sent == 1
+        # core 0 must now miss
+        assert not system.access(0, core_id=0)
+
+    def test_write_miss_invalidates_and_transfers(self):
+        system = make_system()
+        system.access(0, core_id=0)
+        assert not system.access(0, core_id=1, is_write=True)
+        assert system.stats.invalidations_sent == 1
+        assert not system.access(0, core_id=0)  # invalidated
+
+    def test_read_of_modified_downgrades(self):
+        system = make_system()
+        system.access(0, core_id=0, is_write=True)
+        system.access(0, core_id=1)  # downgrade M -> S, dirty sharing
+        system.check_invariants()
+        # both can now read-hit
+        assert system.access(0, core_id=0)
+        assert system.access(0, core_id=1)
+
+    def test_dirty_eviction_writes_back(self):
+        system = make_system()
+        stride = 64 * 8  # same set in the 8-set per-core cache
+        system.access(0, core_id=0, is_write=True)
+        system.access(stride, core_id=0)
+        system.access(2 * stride, core_id=0)  # evicts the dirty line
+        assert system.stats.writebacks == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivateCacheSystem(0, 1024)
+        with pytest.raises(ValueError):
+            PrivateCacheSystem(2, 100)
+        system = make_system()
+        with pytest.raises(ValueError):
+            system.access(0, core_id=5)
+        with pytest.raises(ValueError):
+            system.access(-1, core_id=0)
+
+
+class TestInvariants:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_msi_safety_under_random_traffic(self, seed):
+        rng = random.Random(seed)
+        system = make_system(cores=4, per_core_bytes=1024)
+        for _ in range(600):
+            system.access(
+                rng.randrange(64) * 64,
+                core_id=rng.randrange(4),
+                is_write=rng.random() < 0.3,
+            )
+        system.check_invariants()
+
+    def test_modified_is_exclusive(self):
+        system = make_system(cores=3)
+        system.access(0, core_id=0)
+        system.access(0, core_id=1)
+        system.access(0, core_id=2, is_write=True)
+        system.check_invariants()
+        assert system._caches[2].lookup(0) is MSIState.MODIFIED
+        assert system._caches[0].lookup(0) is None
+        assert system._caches[1].lookup(0) is None
+
+
+class TestReplicationMeasurement:
+    def test_no_sharing_means_no_replication(self):
+        system = make_system(cores=4, per_core_bytes=4096)
+        for core in range(4):
+            for line in range(8):
+                # disjoint address ranges per core
+                system.access((core * 1000 + line) * 64, core_id=core)
+        assert system.replication_factor == pytest.approx(1.0)
+
+    def test_full_sharing_replicates_everywhere(self):
+        system = make_system(cores=4, per_core_bytes=4096)
+        for core in range(4):
+            for line in range(8):
+                system.access(line * 64, core_id=core)
+        assert system.replication_factor == pytest.approx(4.0)
+
+    def test_parsec_like_replication_between_extremes(self):
+        workload = ParsecLikeWorkload(num_threads=4, shared_lines=512,
+                                      private_lines_per_thread=512,
+                                      shared_access_fraction=0.4, seed=3)
+        system = PrivateCacheSystem(num_cores=4,
+                                    l2_bytes_per_core=64 * 1024)
+        for access in workload.accesses(30_000):
+            system.access(access.address, core_id=access.core_id,
+                          is_write=access.is_write)
+        system.check_invariants()
+        assert 1.0 < system.replication_factor < 4.0
+
+    def test_replication_is_footnote1_capacity_penalty(self):
+        """The private organisation stores shared lines once per
+        sharer; a shared L2 would store distinct lines once."""
+        system = make_system(cores=4, per_core_bytes=4096)
+        for core in range(4):
+            for line in range(8):
+                system.access(line * 64, core_id=core)
+        assert system.resident_copies == 32
+        assert system.distinct_resident_lines == 8
+
+    def test_empty_system_raises(self):
+        with pytest.raises(ValueError):
+            make_system().replication_factor
+
+
+class TestSharingTrafficEffect:
+    def test_cache_to_cache_transfers_save_offchip_fetches(self):
+        """Sharing's direct traffic benefit survives private caches:
+        every cache-to-cache transfer is a miss that did NOT go
+        off-chip.  On a sharing workload that saving is substantial."""
+        workload = ParsecLikeWorkload(num_threads=4, shared_lines=1024,
+                                      private_lines_per_thread=1024,
+                                      shared_access_fraction=0.6, seed=9)
+        system = PrivateCacheSystem(num_cores=4,
+                                    l2_bytes_per_core=32 * 1024)
+        for access in workload.accesses(20_000):
+            system.access(access.address, core_id=access.core_id,
+                          is_write=access.is_write)
+        stats = system.stats
+        assert stats.cache_to_cache_transfers > 0
+        without_sharing = (
+            stats.offchip_fetches + stats.cache_to_cache_transfers
+        )
+        assert stats.offchip_fetches < 0.9 * without_sharing
+
+    def test_no_transfers_without_sharing(self):
+        workload = ParsecLikeWorkload(num_threads=4, shared_lines=1024,
+                                      private_lines_per_thread=1024,
+                                      shared_access_fraction=0.0, seed=9)
+        system = PrivateCacheSystem(num_cores=4,
+                                    l2_bytes_per_core=32 * 1024)
+        for access in workload.accesses(10_000):
+            system.access(access.address, core_id=access.core_id,
+                          is_write=access.is_write)
+        assert system.stats.cache_to_cache_transfers == 0

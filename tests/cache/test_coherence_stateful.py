@@ -1,0 +1,69 @@
+"""Stateful (model-based) testing of the MSI private-cache system.
+
+Hypothesis drives random access sequences against both the coherent
+system and a trivially correct reference model (a dict of line -> the
+set of cores that should observe a hit), checking hit/miss agreement
+and the MSI safety invariants after every step.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cache.coherence import PrivateCacheSystem
+
+_CORES = 3
+_LINES = 12  # small enough that caches never evict (capacity below)
+
+
+class CoherenceMachine(RuleBasedStateMachine):
+    """Reference model: with caches bigger than the line universe there
+    are no evictions, so a core hits iff it holds a valid copy, which
+    the reference tracks as line -> set of holders (+ writer)."""
+
+    @initialize()
+    def setup(self):
+        # 64 lines per core >> 12-line universe: no capacity evictions.
+        self.system = PrivateCacheSystem(
+            num_cores=_CORES, l2_bytes_per_core=64 * 64,
+            line_bytes=64, associativity=64,
+        )
+        self.holders = {}  # line -> set of cores with a valid copy
+
+    @rule(
+        line=st.integers(0, _LINES - 1),
+        core=st.integers(0, _CORES - 1),
+        is_write=st.booleans(),
+    )
+    def access(self, line, core, is_write):
+        expected_hit = core in self.holders.get(line, set())
+        actual_hit = self.system.access(line * 64, core_id=core,
+                                        is_write=is_write)
+        assert actual_hit == expected_hit, (line, core, is_write)
+        if is_write:
+            self.holders[line] = {core}
+        else:
+            self.holders.setdefault(line, set()).add(core)
+
+    @invariant()
+    def msi_safety(self):
+        if hasattr(self, "system"):
+            self.system.check_invariants()
+
+    @invariant()
+    def directory_matches_reference(self):
+        if not hasattr(self, "system"):
+            return
+        for line, holders in self.holders.items():
+            assert self.system._holders(line) == holders
+
+
+CoherenceMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestCoherenceMachine = CoherenceMachine.TestCase

@@ -1,0 +1,113 @@
+"""Tests for the compressed cache (Section 6.1's cache compression)."""
+
+import pytest
+
+from repro.cache.compressed import CompressedCache, FixedRatioCompressor
+
+
+def make_cache(ratio=2.0, tag_factor=2, size=1024):
+    return CompressedCache(
+        size_bytes=size,
+        compressor=FixedRatioCompressor(ratio),
+        line_bytes=64,
+        associativity=4,
+        tag_factor=tag_factor,
+    )
+
+
+class TestFixedRatioCompressor:
+    def test_size(self):
+        assert FixedRatioCompressor(2.0).compressed_size(0) == 32
+        assert FixedRatioCompressor(1.0).compressed_size(0) == 64
+
+    def test_rejects_sub_unity_ratio(self):
+        with pytest.raises(ValueError):
+            FixedRatioCompressor(0.5)
+
+
+class TestCapacityGain:
+    def test_holds_more_lines_when_compressed(self):
+        """2x compression with 2x tags should hold ~2x the lines."""
+        plain = make_cache(ratio=1.0)
+        compressed = make_cache(ratio=2.0)
+        # Touch twice the nominal capacity of lines, twice.
+        lines = 2 * (1024 // 64)
+        for _ in range(2):
+            for line in range(lines):
+                plain.access(line * 64)
+                compressed.access(line * 64)
+        assert compressed.stats.misses < plain.stats.misses
+        assert compressed.resident_lines > plain.resident_lines
+
+    def test_effective_capacity_ratio_approaches_compression(self):
+        cache = make_cache(ratio=2.0)
+        for line in range(256):
+            cache.access(line * 64)
+        assert cache.effective_capacity_ratio == pytest.approx(2.0, abs=0.1)
+
+    def test_tag_factor_caps_gain(self):
+        """With tag_factor=1 a 4x ratio cannot hold more lines than tags."""
+        cache = make_cache(ratio=4.0, tag_factor=1)
+        for line in range(256):
+            cache.access(line * 64)
+        assert cache.resident_lines <= cache.num_sets * cache.max_tags
+        assert cache.effective_capacity_ratio <= 1.0 + 1e-9
+
+
+class TestAccessPath:
+    def test_hit_after_fill(self):
+        cache = make_cache()
+        assert cache.access(0).miss
+        assert cache.access(0).hit
+
+    def test_eviction_writes_back_compressed_size(self):
+        cache = CompressedCache(
+            size_bytes=256,  # one 4-way set
+            compressor=FixedRatioCompressor(2.0),
+            line_bytes=64,
+            associativity=4,
+            tag_factor=1,
+        )
+        cache.access(0, is_write=True)
+        for line in range(1, 5):
+            cache.access(line * 64)
+        wb_bytes = cache.stats.bytes_written_back
+        assert wb_bytes == 32  # compressed line, not 64
+
+    def test_multi_eviction_for_one_fill(self):
+        """An incompressible fill may evict several compressed lines."""
+        class Alternating:
+            def __init__(self):
+                self.count = 0
+
+            def compressed_size(self, line_address):
+                # Lines 0..7 compress to 8B; later lines are full size.
+                return 8 if line_address < 8 else 64
+
+        cache = CompressedCache(
+            size_bytes=256, compressor=Alternating(), line_bytes=64,
+            associativity=4, tag_factor=2,
+        )
+        for line in range(8):  # 8 tiny lines: 64B used, 8 tags (max)
+            cache.access(line * 64)
+        resident_before = cache.resident_lines
+        cache.access(100 * 64)  # 64B fill forces multiple evictions
+        assert cache.resident_lines < resident_before + 1
+
+    def test_data_budget_respected(self):
+        cache = make_cache(ratio=1.5)
+        for line in range(512):
+            cache.access(line * 64)
+        for set_index in range(cache.num_sets):
+            used = sum(l.size for l in cache._sets[set_index])
+            assert used <= cache.set_data_budget
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            make_cache(size=100)
+        with pytest.raises(ValueError):
+            CompressedCache(1024, FixedRatioCompressor(2.0), tag_factor=0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            make_cache().access(-1)

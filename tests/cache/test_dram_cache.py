@@ -1,0 +1,90 @@
+"""Tests for the dense (DRAM/3D) last-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.dram_cache import DenseCacheHierarchy
+from repro.workloads.stack_distance import PowerLawTraceGenerator
+
+
+class TestGeometry:
+    def test_density_scales_llc_capacity(self):
+        sram = DenseCacheHierarchy(l2_bytes=64 * 1024,
+                                   llc_area_bytes=256 * 1024,
+                                   llc_density=1.0)
+        dram = DenseCacheHierarchy(l2_bytes=64 * 1024,
+                                   llc_area_bytes=256 * 1024,
+                                   llc_density=8.0)
+        assert dram.llc_bytes == 8 * sram.llc_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DenseCacheHierarchy(llc_density=0.5)
+        with pytest.raises(ValueError):
+            DenseCacheHierarchy(l2_bytes=1024 * 1024,
+                                llc_area_bytes=64 * 1024,
+                                llc_density=1.0)
+
+
+class TestAccessPath:
+    def test_l2_hit_skips_llc(self):
+        hierarchy = DenseCacheHierarchy(l2_bytes=64 * 1024,
+                                        llc_area_bytes=256 * 1024)
+        hierarchy.access(0)
+        before = hierarchy.llc.stats.accesses
+        assert hierarchy.access(0).hit
+        assert hierarchy.llc.stats.accesses == before
+
+    def test_llc_filters_l2_misses(self):
+        hierarchy = DenseCacheHierarchy(l2_bytes=8 * 1024,
+                                        llc_area_bytes=64 * 1024,
+                                        llc_density=4.0)
+        # Working set bigger than L2, smaller than LLC.
+        for _ in range(3):
+            for line in range(1024):
+                hierarchy.access(line * 64)
+        assert hierarchy.llc.stats.misses == 1024  # cold only
+        assert hierarchy.offchip_miss_rate < 0.4
+
+    def test_no_accesses_raises(self):
+        hierarchy = DenseCacheHierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.offchip_miss_rate
+        with pytest.raises(ValueError):
+            hierarchy.offchip_bytes_per_access
+
+
+class TestDensityBenefit:
+    """The measured counterpart of Figures 5/6: denser LLC, less
+    off-chip traffic, following the power law."""
+
+    @pytest.fixture(scope="class")
+    def rates(self):
+        rates = {}
+        for density in (1.0, 4.0, 8.0):
+            hierarchy = DenseCacheHierarchy(
+                l2_bytes=8 * 1024,
+                llc_area_bytes=32 * 1024,
+                llc_density=density,
+                llc_associativity=8,
+            )
+            gen = PowerLawTraceGenerator(alpha=0.5,
+                                         working_set_lines=1 << 13,
+                                         seed=31)
+            for access in gen.warmup_accesses():
+                hierarchy.access(access.address, is_write=access.is_write)
+            hierarchy.l2.reset_statistics()
+            hierarchy.llc.reset_statistics()
+            for access in gen.accesses(80_000):
+                hierarchy.access(access.address, is_write=access.is_write)
+            rates[density] = hierarchy.offchip_miss_rate
+        return rates
+
+    def test_denser_llc_cuts_offchip_misses(self, rates):
+        assert rates[4.0] < rates[1.0]
+        assert rates[8.0] < rates[4.0]
+
+    def test_reduction_tracks_power_law(self, rates):
+        """With alpha = 0.5, 4x the LLC capacity should halve off-chip
+        misses and 8x should cut them by ~sqrt(8) ~= 2.8."""
+        assert rates[1.0] / rates[4.0] == pytest.approx(2.0, rel=0.2)
+        assert rates[1.0] / rates[8.0] == pytest.approx(2.83, rel=0.2)

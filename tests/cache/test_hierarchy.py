@@ -1,0 +1,67 @@
+"""Tests for the private two-level hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import PrivateCacheHierarchy
+
+
+def make_hierarchy():
+    return PrivateCacheHierarchy(l1_bytes=512, l2_bytes=4096, line_bytes=64,
+                                 l1_associativity=2, l2_associativity=4)
+
+
+class TestHierarchy:
+    def test_l1_hit_short_circuits(self):
+        h = make_hierarchy()
+        h.access(0)
+        before = h.l2.stats.accesses
+        assert h.access(0).hit
+        assert h.l2.stats.accesses == before  # L2 untouched on L1 hit
+
+    def test_l1_miss_goes_to_l2(self):
+        h = make_hierarchy()
+        h.access(0)
+        assert h.l2.stats.accesses == 1
+        assert h.l2.stats.misses == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        # L1 is 8 lines (2-way x 4 sets); walk enough lines to evict 0
+        # from L1 while it stays in the larger L2.
+        for line in range(0, 16):
+            h.access(line * 64)
+        result = h.access(0)
+        assert result.hit  # served by L2
+        assert h.l2.stats.misses == 16  # no extra off-chip miss
+
+    def test_dirty_l1_victim_marks_l2_copy(self):
+        h = make_hierarchy()
+        h.access(0, is_write=True)
+        # Evict line 0 from L1 with conflicting lines (same L1 set).
+        l1_sets = h.l1.num_sets
+        for k in range(1, 3):
+            h.access(k * 64 * l1_sets)
+        # Now force line 0 out of the L2 too and check a write-back.
+        l2_sets = h.l2.num_sets
+        baseline_wb = h.l2.stats.writebacks
+        for k in range(1, h.l2.associativity + 1):
+            h.access(k * 64 * l2_sets)
+        assert h.l2.stats.writebacks > baseline_wb
+
+    def test_offchip_miss_rate(self):
+        h = make_hierarchy()
+        for line in range(4):
+            h.access(line * 64)
+        for line in range(4):
+            h.access(line * 64)
+        # 4 cold L2 misses over 8 L1 accesses (plus any L1 write-backs).
+        assert h.offchip_miss_rate == pytest.approx(0.5)
+        assert h.l2_local_miss_rate <= 1.0
+
+    def test_rejects_l1_not_smaller(self):
+        with pytest.raises(ValueError):
+            PrivateCacheHierarchy(l1_bytes=4096, l2_bytes=4096)
+
+    def test_no_accesses_raises(self):
+        with pytest.raises(ValueError):
+            make_hierarchy().offchip_miss_rate

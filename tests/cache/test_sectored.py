@@ -1,0 +1,104 @@
+"""Tests for the sectored cache (Section 6.2's direct technique)."""
+
+import pytest
+
+from repro.cache.sectored import OraclePredictor, SectoredCache, StaticPredictor
+
+
+def make_cache(predictor=None):
+    return SectoredCache(size_bytes=1024, line_bytes=64, sector_bytes=8,
+                         associativity=2, predictor=predictor)
+
+
+class TestBasics:
+    def test_geometry(self):
+        cache = make_cache()
+        assert cache.num_sectors == 8
+        assert cache.num_sets == 8
+
+    def test_default_fetches_only_needed_sector(self):
+        cache = make_cache()
+        result = cache.access(0)
+        assert result.miss
+        assert result.bytes_fetched == 8  # one sector, not 64
+
+    def test_sector_miss_on_present_line(self):
+        cache = make_cache()
+        cache.access(0)           # line fetched with sector 0 only
+        result = cache.access(16)  # sector 2 of the same line
+        assert result.miss
+        assert result.bytes_fetched == 8
+        assert cache.sector_misses == 1
+        assert cache.access(16).hit  # now present
+
+    def test_full_hit_after_sector_fill(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SectoredCache(size_bytes=1024, line_bytes=64, sector_bytes=7)
+        with pytest.raises(ValueError):
+            SectoredCache(size_bytes=100, line_bytes=64)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            make_cache().access(-5)
+
+
+class TestPredictors:
+    def test_static_predictor_prefetches_neighbours(self):
+        cache = make_cache(predictor=StaticPredictor(extra=2))
+        result = cache.access(0)
+        assert result.bytes_fetched == 24  # sectors 0,1,2
+        assert cache.access(8).hit   # sector 1 prefetched
+        assert cache.access(16).hit  # sector 2 prefetched
+        assert cache.access(24).miss  # sector 3 not fetched
+
+    def test_static_predictor_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StaticPredictor(extra=-1)
+
+    def test_oracle_predictor_fetches_exact_mask(self):
+        # Oracle says words 0 and 5 will be used for every line.
+        oracle = OraclePredictor(lambda line: 0b100001)
+        cache = make_cache(predictor=oracle)
+        result = cache.access(0)
+        assert result.bytes_fetched == 16
+        assert cache.access(40).hit  # sector 5 was fetched
+
+    def test_oracle_always_includes_requested_sector(self):
+        oracle = OraclePredictor(lambda line: 0)  # claims nothing used
+        cache = make_cache(predictor=oracle)
+        result = cache.access(24)  # sector 3 requested anyway
+        assert result.bytes_fetched == 8
+        assert cache.access(24).hit
+
+
+class TestTrafficReduction:
+    def test_fetch_traffic_ratio_under_partial_use(self):
+        """Touching 3 of 8 sectors per line should move ~3/8 the bytes of
+        a conventional cache (with the oracle predictor)."""
+        oracle = OraclePredictor(lambda line: 0b00000111)
+        cache = SectoredCache(size_bytes=4096, line_bytes=64, sector_bytes=8,
+                              associativity=4, predictor=oracle)
+        for line in range(128):       # working set 2x the cache
+            for sector in range(3):
+                cache.access(line * 64 + sector * 8)
+        assert cache.fetch_traffic_ratio == pytest.approx(3 / 8, abs=0.02)
+
+    def test_writeback_only_fetched_sectors(self):
+        cache = make_cache()
+        step = 64 * cache.num_sets
+        cache.access(0, is_write=True)       # 1 sector, dirty
+        cache.access(step)
+        result = cache.access(2 * step)      # evicts the dirty line
+        assert result.writeback
+        assert result.bytes_written_back == 8
+
+    def test_flush_records_residency(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.flush()
+        assert cache.stats.lines_evicted == 1

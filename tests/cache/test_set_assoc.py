@@ -1,0 +1,211 @@
+"""Unit tests for the set-associative cache simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.replacement import LRUPolicy, make_policy
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+class TestGeometry:
+    def test_derived_sets(self):
+        cache = SetAssociativeCache(size_bytes=8192, line_bytes=64,
+                                    associativity=4)
+        assert cache.num_sets == 32
+        assert cache.words_per_line == 8
+
+    def test_fully_associative_constructor(self):
+        cache = SetAssociativeCache.fully_associative(4096, 64)
+        assert cache.num_sets == 1
+        assert cache.associativity == 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=100, line_bytes=64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=1024, line_bytes=60)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=64, line_bytes=64, associativity=2)
+        with pytest.raises(ValueError):
+            # 3 sets is not a power of two
+            SetAssociativeCache(size_bytes=3 * 64 * 2, line_bytes=64,
+                                associativity=2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=1024, line_bytes=64, word_bytes=128)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        assert cache.access(0).miss
+        assert cache.access(0).hit
+        assert cache.access(8).hit  # same line, different word
+
+    def test_different_lines_miss_independently(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        assert cache.access(0).miss
+        assert cache.access(64).miss
+        assert cache.access(0).hit
+        assert cache.access(64).hit
+
+    def test_lru_eviction_order(self):
+        # one set: 8 sets of 2 ways at 1 KB/64B; use set 0 addresses.
+        cache = SetAssociativeCache(1024, 64, 2)
+        step = 64 * cache.num_sets  # stride that stays in set 0
+        cache.access(0 * step)
+        cache.access(1 * step)
+        cache.access(0 * step)          # refresh line 0
+        result = cache.access(2 * step)  # evicts line 1 (LRU)
+        assert result.evicted is not None
+        assert cache.access(0 * step).hit
+        assert cache.access(1 * step).miss
+
+    def test_writeback_only_for_dirty_victims(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        step = 64 * cache.num_sets
+        cache.access(0 * step, is_write=True)
+        cache.access(1 * step, is_write=False)
+        third = cache.access(2 * step)   # evicts dirty line 0
+        assert third.writeback
+        assert third.bytes_written_back == 64
+        fourth = cache.access(3 * step)  # evicts clean line 1
+        assert not fourth.writeback
+
+    def test_miss_fetches_full_line(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        assert cache.access(0).bytes_fetched == 64
+        assert cache.access(8).bytes_fetched == 0
+
+    def test_rejects_negative_address(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        with pytest.raises(ValueError):
+            cache.access(-1)
+
+    def test_resident_lines_counter(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        for i in range(5):
+            cache.access(i * 64)
+        assert cache.resident_lines == 5
+
+    def test_flush_empties_and_counts(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        cache.access(0, is_write=True)
+        cache.access(64)
+        dirty = cache.flush()
+        assert dirty == 1
+        assert cache.resident_lines == 0
+        assert cache.stats.lines_evicted == 2
+        assert cache.stats.writebacks == 1
+
+    def test_reset_statistics_keeps_contents(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        cache.access(0)
+        cache.reset_statistics()
+        assert cache.stats.accesses == 0
+        assert cache.access(0).hit  # still resident
+
+
+class TestWordUsageTracking:
+    def test_touched_words_recorded_on_eviction(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        step = 64 * cache.num_sets
+        cache.access(0)       # word 0
+        cache.access(8)       # word 1
+        cache.access(24)      # word 3
+        cache.access(1 * step)
+        result = cache.access(2 * step)  # may evict line 0 or line step
+        cache.flush()
+        # 3 words touched on line 0, 1 word on each other line
+        assert cache.stats.words_touched_total == 3 + 1 + 1
+
+    def test_unused_word_fraction(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        cache.access(0)  # 1 of 8 words
+        cache.flush()
+        assert cache.stats.unused_word_fraction == pytest.approx(7 / 8)
+
+
+class TestAgainstReferenceModel:
+    """Cross-check the simulator against a brute-force LRU model."""
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_fully_associative_matches_reference(self, seed):
+        rng = random.Random(seed)
+        lines = 16
+        cache = SetAssociativeCache.fully_associative(lines * 64, 64)
+        reference = []  # LRU list of line ids, most recent last
+        for _ in range(300):
+            line = rng.randrange(64)
+            result = cache.access(line * 64)
+            expected_hit = line in reference
+            assert result.hit == expected_hit, (seed, line)
+            if line in reference:
+                reference.remove(line)
+            reference.append(line)
+            if len(reference) > lines:
+                reference.pop(0)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_set_assoc_matches_per_set_reference(self, seed):
+        rng = random.Random(seed)
+        cache = SetAssociativeCache(2048, 64, 4)  # 8 sets x 4 ways
+        per_set = {s: [] for s in range(cache.num_sets)}
+        for _ in range(400):
+            line = rng.randrange(128)
+            set_index = line % cache.num_sets
+            result = cache.access(line * 64)
+            stack = per_set[set_index]
+            assert result.hit == (line in stack)
+            if line in stack:
+                stack.remove(line)
+            stack.append(line)
+            if len(stack) > cache.associativity:
+                stack.pop(0)
+
+
+class TestPolicies:
+    def test_fifo_differs_from_lru(self):
+        lru = SetAssociativeCache(256, 64, 4, policy=make_policy("lru"))
+        fifo = SetAssociativeCache(256, 64, 4, policy=make_policy("fifo"))
+        # Pattern where refreshing matters: A B C A D E -> LRU evicts B,
+        # FIFO evicts A.
+        for cache in (lru, fifo):
+            for line in (0, 1, 2, 0, 3):
+                cache.access(line * 64)
+            cache.access(4 * 64)  # eviction decision differs here
+        assert lru.access(0).hit      # LRU kept A
+        assert fifo.access(0).miss    # FIFO evicted A
+
+    def test_random_policy_is_seeded(self):
+        a = SetAssociativeCache(256, 64, 4,
+                                policy=make_policy("random", seed=7))
+        b = SetAssociativeCache(256, 64, 4,
+                                policy=make_policy("random", seed=7))
+        pattern = [random.Random(3).randrange(32) for _ in range(200)]
+        hits_a = sum(a.access(l * 64).hit for l in pattern)
+        hits_b = sum(b.access(l * 64).hit for l in pattern)
+        assert hits_a == hits_b
+
+    def test_tree_plru_requires_power_of_two_ways(self):
+        policy = make_policy("tree-plru")
+        with pytest.raises(ValueError):
+            policy.new_set_state(3)
+
+    def test_tree_plru_behaves_reasonably(self):
+        cache = SetAssociativeCache(256, 64, 4,
+                                    policy=make_policy("tree-plru"))
+        for line in (0, 1, 2, 3):
+            cache.access(line * 64)
+        cache.access(0)        # refresh way holding line 0
+        cache.access(4 * 64)   # eviction must not pick line 0
+        assert cache.access(0).hit
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            make_policy("belady")

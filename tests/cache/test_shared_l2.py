@@ -1,0 +1,77 @@
+"""Tests for the shared L2 and its sharing measurement (Figure 14)."""
+
+import pytest
+
+from repro.cache.shared_l2 import SharedL2Cache
+
+
+def make_cache(cores=4, size=2048):
+    return SharedL2Cache(size_bytes=size, num_cores=cores, line_bytes=64,
+                         associativity=4)
+
+
+class TestAccessPath:
+    def test_basic_hit_miss(self):
+        cache = make_cache()
+        assert cache.access(0, core_id=0).miss
+        assert cache.access(0, core_id=1).hit
+
+    def test_core_id_validated(self):
+        cache = make_cache(cores=2)
+        with pytest.raises(ValueError):
+            cache.access(0, core_id=2)
+        with pytest.raises(ValueError):
+            cache.access(0, core_id=-1)
+
+    def test_drained_cache_refuses_access(self):
+        cache = make_cache()
+        cache.access(0, core_id=0)
+        cache.drain()
+        with pytest.raises(RuntimeError):
+            cache.access(64, core_id=0)
+
+    def test_miss_rate_exposed(self):
+        cache = make_cache()
+        cache.access(0, core_id=0)
+        cache.access(0, core_id=0)
+        assert cache.miss_rate == 0.5
+
+
+class TestSharingMeasurement:
+    def test_line_shared_when_two_cores_touch(self):
+        cache = make_cache()
+        cache.access(0, core_id=0)
+        cache.access(0, core_id=1)
+        cache.access(64, core_id=2)  # private line
+        assert cache.shared_line_fraction() == pytest.approx(0.5)
+
+    def test_same_core_twice_is_not_sharing(self):
+        cache = make_cache()
+        cache.access(0, core_id=3)
+        cache.access(0, core_id=3)
+        assert cache.shared_line_fraction() == 0.0
+
+    def test_sharing_counted_per_residency(self):
+        """A line's sharer set resets when it is evicted and refetched."""
+        cache = SharedL2Cache(size_bytes=256, num_cores=2, line_bytes=64,
+                              associativity=4)  # single 4-way set
+        cache.access(0, core_id=0)
+        cache.access(0, core_id=1)        # shared residency
+        for line in range(1, 5):          # evict line 0
+            cache.access(line * 64, core_id=0)
+        cache.access(0, core_id=0)        # new residency, single core
+        fraction = cache.shared_line_fraction()
+        evicted_shared = cache.stats.shared_lines_evicted
+        assert evicted_shared == 1
+        assert 0 < fraction < 1
+
+    def test_drain_includes_resident_lines(self):
+        cache = make_cache()
+        cache.access(0, core_id=0)
+        cache.access(0, core_id=1)
+        # Nothing evicted yet; the fraction must still count the line.
+        assert cache.shared_line_fraction() == 1.0
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            SharedL2Cache(size_bytes=2048, num_cores=0)

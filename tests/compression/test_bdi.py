@@ -1,0 +1,93 @@
+"""Tests for Base-Delta-Immediate compression."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression import bdi
+
+
+def pack64(*values):
+    return struct.pack("<%dQ" % len(values),
+                       *(v & (2**64 - 1) for v in values))
+
+
+class TestSchemes:
+    def test_zero_line(self):
+        enc = bdi.compress(bytes(64))
+        assert enc.scheme == "zeros"
+        assert enc.size_bytes == 1
+
+    def test_repeated_value(self):
+        enc = bdi.compress(pack64(*([0xDEADBEEFCAFEBABE] * 8)))
+        assert enc.scheme == "repeat"
+        assert enc.size_bytes == 9
+
+    def test_base8_delta1(self):
+        base = 0x1000_0000_0000
+        enc = bdi.compress(pack64(*(base + d for d in range(8))))
+        assert enc.scheme == "b8d1"
+        # 1 meta + 8 base + 1 mask + 8 deltas
+        assert enc.size_bytes == 18
+
+    def test_immediate_mixes_with_base(self):
+        """Small absolute values coexist with near-base values."""
+        base = 0x5555_0000_0000
+        values = [base + 3, 7, base - 2, 0, base, 12, base + 1, 9]
+        enc = bdi.compress(pack64(*values))
+        assert enc.scheme.startswith("b8")
+
+    def test_incompressible(self):
+        import random
+
+        rng = random.Random(9)
+        line = bytes(rng.randrange(256) for _ in range(64))
+        enc = bdi.compress(line)
+        assert enc.scheme == "uncompressed"
+        assert enc.size_bytes == 64
+
+    def test_small_base_scheme(self):
+        # 16-bit values near a common base -> b2d1 applies.
+        values = struct.pack("<32H", *(1000 + i for i in range(32)))
+        enc = bdi.compress(values)
+        assert enc.scheme in ("b2d1", "b4d1", "b4d2", "b8d1", "b8d2", "b8d4")
+        assert enc.size_bytes < 64
+
+
+class TestRoundTrip:
+    @given(st.binary(min_size=8, max_size=64).filter(lambda b: len(b) % 8 == 0))
+    def test_random_bytes(self, data):
+        assert bdi.decompress(bdi.compress(data)) == data
+
+    @given(
+        base=st.integers(0, 2**60),
+        deltas=st.lists(st.integers(-120, 120), min_size=2, max_size=8),
+    )
+    def test_near_base_values(self, base, deltas):
+        data = pack64(*(base + d for d in deltas))
+        assert bdi.decompress(bdi.compress(data)) == data
+
+    def test_wraparound_values(self):
+        data = pack64(2**64 - 1, 2**64 - 2, 0, 1)
+        assert bdi.decompress(bdi.compress(data)) == data
+
+
+class TestSizes:
+    def test_size_never_exceeds_line(self):
+        import random
+
+        rng = random.Random(4)
+        for _ in range(200):
+            n = rng.choice([8, 16, 32, 64])
+            line = bytes(rng.randrange(256) for _ in range(n))
+            assert bdi.compressed_size_bytes(line) <= n
+
+    def test_ratio_helper(self):
+        assert bdi.compression_ratio(bytes(64)) == 64.0
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            bdi.compress(b"")
+        with pytest.raises(ValueError):
+            bdi.compress(b"1234567")

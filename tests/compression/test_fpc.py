@@ -1,0 +1,123 @@
+"""Tests for Frequent Pattern Compression."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression import fpc
+
+
+def pack32(*words):
+    return struct.pack("<%dI" % len(words), *(w & 0xFFFFFFFF for w in words))
+
+
+class TestPatterns:
+    def test_zero_run(self):
+        tokens = fpc.compress(bytes(32))  # 8 zero words -> one run token
+        assert len(tokens) == 1
+        assert tokens[0].prefix == 0b000
+        assert tokens[0].bits == 6
+
+    def test_zero_run_splits_at_eight(self):
+        tokens = fpc.compress(bytes(40))  # 10 zero words -> 2 tokens
+        assert len(tokens) == 2
+
+    def test_4bit_sign_extended(self):
+        tokens = fpc.compress(pack32(5, -3))
+        assert [t.prefix for t in tokens] == [0b001, 0b001]
+
+    def test_8bit_sign_extended(self):
+        tokens = fpc.compress(pack32(100, -100))
+        assert all(t.prefix == 0b010 for t in tokens)
+
+    def test_16bit_sign_extended(self):
+        tokens = fpc.compress(pack32(30000, -30000))
+        assert all(t.prefix == 0b011 for t in tokens)
+
+    def test_zero_padded_halfword(self):
+        tokens = fpc.compress(pack32(0xABCD0000))
+        assert tokens[0].prefix == 0b100
+
+    def test_two_sign_extended_bytes(self):
+        word = (0x0042 << 16) | 0xFF85  # +0x42 and -0x7B halfwords
+        tokens = fpc.compress(pack32(word))
+        assert tokens[0].prefix == 0b101
+
+    def test_repeated_bytes(self):
+        tokens = fpc.compress(pack32(0x5A5A5A5A))
+        assert tokens[0].prefix == 0b110
+
+    def test_uncompressed_fallback(self):
+        tokens = fpc.compress(pack32(0x12345678))
+        assert tokens[0].prefix == 0b111
+        assert tokens[0].bits == 35
+
+
+class TestRoundTrip:
+    @given(st.binary(min_size=4, max_size=64).filter(lambda b: len(b) % 4 == 0))
+    def test_random_bytes(self, data):
+        assert fpc.decompress(fpc.compress(data)) == data
+
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), min_size=1, max_size=16))
+    def test_integer_words(self, words):
+        data = pack32(*words)
+        assert fpc.decompress(fpc.compress(data)) == data
+
+    def test_pattern_boundaries(self):
+        boundary_values = [0, 7, 8, -8, -9, 127, 128, -128, -129,
+                           32767, 32768, -32768, -32769, 0x7FFFFFFF,
+                           -0x80000000]
+        data = pack32(*boundary_values)
+        assert fpc.decompress(fpc.compress(data)) == data
+
+
+class TestSizes:
+    def test_compressed_size_bits(self):
+        assert fpc.compressed_size_bits(bytes(32)) == 6
+
+    def test_size_bytes_never_exceeds_line(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            line = bytes(rng.randrange(256) for _ in range(64))
+            assert fpc.compressed_size_bytes(line) <= 64
+
+    def test_compression_ratio_of_zero_line(self):
+        assert fpc.compression_ratio(bytes(64)) >= 20
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            fpc.compress(b"abc")
+
+    def test_invalid_prefix_decode(self):
+        with pytest.raises(ValueError):
+            fpc.decompress([fpc.FPCToken(prefix=8, payload=0, payload_bits=0)])
+
+
+class TestLiteratureBands:
+    """The measured ratios must land in the ranges the paper cites [1,2,3]."""
+
+    def _ratio(self, mix_name, homogeneous=False):
+        from repro.workloads.values import VALUE_MIXES, ValueGenerator
+
+        gen = ValueGenerator(VALUE_MIXES[mix_name], seed=42,
+                             homogeneous=homogeneous)
+        raw = stored = 0
+        for line in gen.lines(300):
+            raw += len(line)
+            stored += fpc.compressed_size_bytes(line)
+        return raw / stored
+
+    def test_commercial_band(self):
+        # paper: 1.4x - 2.1x for commercial workloads
+        assert 1.4 <= self._ratio("commercial") <= 2.3
+
+    def test_integer_band(self):
+        # paper: 1.7x - 2.4x for SPECint
+        assert 1.7 <= self._ratio("integer") <= 2.9
+
+    def test_floating_point_band(self):
+        # paper: 1.0x - 1.3x for SPECfp
+        assert 1.0 <= self._ratio("floating-point") <= 1.3

@@ -1,0 +1,82 @@
+"""Tests for value-cache link compression."""
+
+import pytest
+
+from repro.compression.link import (
+    LinkCompressor,
+    LinkDecompressor,
+    measure_link_ratio,
+)
+
+
+class TestValueCacheLink:
+    def test_repeated_values_compress(self):
+        compressor = LinkCompressor(entries=16)
+        line = (42).to_bytes(8, "little") * 8
+        compressor.transfer(line)       # first transfer trains the table
+        compressor.transfer(line)       # second is nearly all index hits
+        assert compressor.achieved_ratio > 2.0
+
+    def test_unique_values_expand_slightly(self):
+        compressor = LinkCompressor(entries=16)
+        lines = [i.to_bytes(8, "little") * 8 for i in range(100, 120)]
+        for i, line in enumerate(lines):
+            # every word within a line repeats, so even "unique" lines
+            # hit after the first word; use fully unique words instead
+            pass
+        compressor = LinkCompressor(entries=16)
+        import struct
+
+        unique = struct.pack("<8Q", *range(1000, 1008))
+        compressor.transfer(unique)
+        # all misses: 1 flag bit overhead per word
+        assert compressor.achieved_ratio == pytest.approx(64 / 65, rel=1e-6)
+
+    def test_roundtrip_through_decompressor(self):
+        import random
+        import struct
+
+        rng = random.Random(8)
+        compressor = LinkCompressor(entries=64)
+        decompressor = LinkDecompressor(entries=64)
+        pool = [rng.getrandbits(64) for _ in range(32)]
+        for _ in range(200):
+            line = struct.pack("<8Q", *(rng.choice(pool) for _ in range(8)))
+            tokens = compressor.transfer(line)
+            assert decompressor.receive(tokens) == line
+
+    def test_tables_stay_synchronized_under_eviction(self):
+        import struct
+
+        compressor = LinkCompressor(entries=4)
+        decompressor = LinkDecompressor(entries=4)
+        # Cycle through more values than entries to force evictions.
+        for round_index in range(6):
+            for value in range(8):
+                line = struct.pack("<8Q", *([value] * 8))
+                assert decompressor.receive(compressor.transfer(line)) == line
+
+    def test_ratio_measurement_helper(self):
+        ratio = measure_link_ratio([bytes(64)] * 20, entries=16)
+        assert ratio > 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkCompressor(entries=3)
+        with pytest.raises(ValueError):
+            LinkCompressor(word_bytes=2)
+        with pytest.raises(ValueError):
+            LinkCompressor().transfer(b"123")
+        with pytest.raises(ValueError):
+            LinkCompressor().achieved_ratio
+
+
+class TestLiteratureBand:
+    def test_commercial_band(self):
+        """Thuresson et al.: ~50% bandwidth reduction (2x) on commercial
+        workloads; our commercial value mix lands in a 1.5x-2.5x band."""
+        from repro.workloads.values import VALUE_MIXES, ValueGenerator
+
+        gen = ValueGenerator(VALUE_MIXES["commercial"], seed=21)
+        ratio = measure_link_ratio(gen.lines(400))
+        assert 1.5 <= ratio <= 2.5

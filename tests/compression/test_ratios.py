@@ -1,0 +1,72 @@
+"""Tests for the ratio-measurement bridge (engines -> model inputs)."""
+
+import pytest
+
+from repro.compression.ratios import (
+    ENGINES,
+    engine_by_name,
+    measure_all,
+    measure_cache_ratio,
+)
+from repro.workloads.values import VALUE_MIXES, ValueGenerator
+
+
+class TestMeasureCacheRatio:
+    def test_report_fields(self):
+        report = measure_cache_ratio([bytes(64)] * 10, ENGINES["fpc"],
+                                     engine_name="fpc")
+        assert report.lines == 10
+        assert report.uncompressed_bytes == 640
+        assert report.ratio > 10
+
+    def test_fixed_size_function(self):
+        report = measure_cache_ratio([bytes(64)] * 4, lambda line: 16)
+        assert report.ratio == 4.0
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            measure_cache_ratio([], ENGINES["fpc"])
+
+    def test_zero_compressed_rejected(self):
+        report = measure_cache_ratio([bytes(64)], lambda line: 0)
+        with pytest.raises(ValueError):
+            report.ratio
+
+
+class TestEngineRegistry:
+    def test_both_engines_registered(self):
+        assert set(ENGINES) == {"fpc", "bdi"}
+
+    def test_lookup(self):
+        assert engine_by_name("fpc") is ENGINES["fpc"]
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            engine_by_name("lz77")
+
+
+class TestMeasureAll:
+    def test_all_engines_measured(self):
+        gen_seed = [0]
+
+        def factory():
+            gen = ValueGenerator(VALUE_MIXES["commercial"], seed=17)
+            return list(gen.lines(100))
+
+        results = measure_all(factory)
+        assert set(results) == {"fpc", "bdi", "link"}
+        assert all(r >= 1.0 for r in results.values())
+
+    def test_ratio_feeds_model(self):
+        """End to end: measured FPC ratio -> CacheCompression -> cores."""
+        from repro.core import CacheCompression, paper_baseline_model
+
+        gen = ValueGenerator(VALUE_MIXES["commercial"], seed=17)
+        report = measure_cache_ratio(gen.lines(200), ENGINES["fpc"],
+                                     engine_name="fpc")
+        model = paper_baseline_model()
+        cores = model.supportable_cores(
+            32, effect=CacheCompression(report.ratio).effect()
+        ).cores
+        # a ~2x measured ratio lands on the paper's 13-core point
+        assert 12 <= cores <= 14

@@ -1,0 +1,131 @@
+"""Tests for the Hill & Marty model and its bandwidth-wall combination."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.amdahl import (
+    CombinedWallModel,
+    asymmetric_speedup,
+    best_symmetric_design,
+    dynamic_speedup,
+    perf,
+    symmetric_speedup,
+)
+from repro.core.presets import paper_baseline_model
+from repro.core.techniques import DRAMCache
+
+
+class TestHillMartyFormulas:
+    def test_perf_is_sqrt(self):
+        assert perf(4) == 2.0
+        assert perf(1) == 1.0
+
+    def test_famous_symmetric_number(self):
+        """Hill & Marty's headline: f=0.999, n=256, r=1 -> ~204x."""
+        assert symmetric_speedup(0.999, 256, 1) == pytest.approx(204, abs=1)
+
+    def test_fully_serial_prefers_one_big_core(self):
+        small = symmetric_speedup(0.0, 256, 1)
+        big = symmetric_speedup(0.0, 256, 256)
+        assert big == pytest.approx(16.0)  # sqrt(256)
+        assert big > small
+
+    def test_fully_parallel_prefers_many_small_cores(self):
+        many = symmetric_speedup(1.0, 256, 1)
+        one = symmetric_speedup(1.0, 256, 256)
+        assert many == pytest.approx(256.0)
+        assert many > one
+
+    @given(f=st.floats(min_value=0.0, max_value=1.0),
+           r=st.floats(min_value=1.0, max_value=64.0))
+    def test_asymmetric_dominates_symmetric(self, f, r):
+        """Hill & Marty's key result: asymmetric >= symmetric always."""
+        n = 64.0
+        assert asymmetric_speedup(f, n, r) >= (
+            symmetric_speedup(f, n, r) - 1e-9
+        )
+
+    @given(f=st.floats(min_value=0.0, max_value=1.0),
+           r=st.floats(min_value=1.0, max_value=64.0))
+    def test_dynamic_dominates_asymmetric(self, f, r):
+        n = 64.0
+        assert dynamic_speedup(f, n, r) >= (
+            asymmetric_speedup(f, n, r) - 1e-9
+        )
+
+    def test_best_symmetric_design_tracks_f(self):
+        serial_r = best_symmetric_design(0.5, 256)
+        parallel_r = best_symmetric_design(0.999, 256)
+        assert serial_r > parallel_r
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symmetric_speedup(1.5, 16, 1)
+        with pytest.raises(ValueError):
+            symmetric_speedup(0.5, 16, 32)
+        with pytest.raises(ValueError):
+            symmetric_speedup(0.5, 0, 1)
+        with pytest.raises(ValueError):
+            perf(0)
+        with pytest.raises(ValueError):
+            best_symmetric_design(0.5, 0.5)
+
+
+class TestCombinedWallModel:
+    @pytest.fixture
+    def combined(self):
+        return CombinedWallModel(paper_baseline_model(), 0.99)
+
+    def test_bandwidth_binds_for_parallel_workloads(self, combined):
+        point = combined.design_point(256)
+        assert point.binding_constraint == "bandwidth"
+        assert point.usable_cores == pytest.approx(
+            point.bandwidth_cores
+        )
+
+    def test_techniques_relax_the_binding_constraint(self, combined):
+        plain = combined.design_point(256)
+        boosted = combined.design_point(
+            256, effect=DRAMCache(8.0).effect()
+        )
+        assert boosted.usable_cores > plain.usable_cores
+
+    def test_speedup_bounded_by_amdahl(self, combined):
+        point = combined.design_point(256)
+        # with f = 0.99 the ceiling is 100 regardless of cores
+        assert point.speedup < 100.0
+
+    def test_crossover_fraction_semantics(self, combined):
+        f_cross = combined.crossover_fraction(256)
+        assert f_cross is not None
+        assert 0 < f_cross < 1
+        # below the crossover, the wall's denial costs < 1% speedup
+        wall = combined.design_point(256).bandwidth_cores
+        area = combined.design_point(256).amdahl_cores
+        f_lo = f_cross * 0.5
+
+        def gain(f):
+            s_wall = 1 / ((1 - f) + f / wall)
+            s_area = 1 / ((1 - f) + f / area)
+            return s_area / s_wall - 1
+
+        assert gain(f_lo) < 0.01
+        assert gain(min(1.0, f_cross * 1.5)) > 0.01
+
+    def test_no_crossover_when_wall_does_not_bind(self):
+        generous = CombinedWallModel(paper_baseline_model(), 0.9)
+        point = generous.design_point(256, traffic_budget=1000.0)
+        # with a huge budget the wall admits essentially the whole die
+        assert point.bandwidth_cores == pytest.approx(256, abs=1)
+        assert generous.crossover_fraction(
+            256, traffic_budget=1000.0
+        ) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombinedWallModel(paper_baseline_model(), 1.5)
+        combined = CombinedWallModel(paper_baseline_model(), 0.5)
+        with pytest.raises(ValueError):
+            combined.design_point(256, core_bces=0.5)

@@ -1,0 +1,120 @@
+"""Unit tests for die-area accounting (repro.core.area)."""
+
+import math
+
+import pytest
+
+from repro.core.area import (
+    CEA_BYTES_DEFAULT,
+    ChipDesign,
+    cache_bytes_for_ceas,
+    ceas_for_cache_bytes,
+)
+
+
+class TestChipDesign:
+    def test_paper_baseline_split(self):
+        base = ChipDesign(total_ceas=16, core_ceas=8)
+        assert base.num_cores == 8
+        assert base.cache_ceas == 8
+        assert base.cache_per_core == 1.0
+        assert base.core_area_share == 0.5
+        assert base.cache_area_share == 0.5
+
+    def test_cache_shrinks_as_cores_grow(self):
+        for cores in range(1, 16):
+            design = ChipDesign(total_ceas=16, core_ceas=cores)
+            assert design.cache_ceas == 16 - cores
+
+    def test_area_shares_sum_to_one(self):
+        design = ChipDesign(total_ceas=32, core_ceas=11)
+        assert design.core_area_share + design.cache_area_share == pytest.approx(1.0)
+
+    def test_smaller_cores_free_cache_area(self):
+        full = ChipDesign(total_ceas=16, core_ceas=8)
+        small = ChipDesign(total_ceas=16, core_ceas=8, core_area_fraction=0.25)
+        assert small.num_cores == full.num_cores
+        assert small.occupied_core_area == 2.0
+        assert small.cache_ceas == 14.0
+        assert small.cache_per_core == pytest.approx(14 / 8)
+
+    def test_rejects_overfull_die(self):
+        with pytest.raises(ValueError, match="exceed"):
+            ChipDesign(total_ceas=16, core_ceas=17)
+
+    def test_small_cores_may_exceed_cea_count(self):
+        # 100 cores of 1/10 CEA each fit on a 16-CEA die.
+        design = ChipDesign(total_ceas=16, core_ceas=100, core_area_fraction=0.1)
+        assert design.occupied_core_area == pytest.approx(10.0)
+        assert design.cache_ceas == pytest.approx(6.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            ChipDesign(total_ceas=0, core_ceas=1)
+        with pytest.raises(ValueError):
+            ChipDesign(total_ceas=16, core_ceas=0)
+        with pytest.raises(ValueError):
+            ChipDesign(total_ceas=16, core_ceas=8, core_area_fraction=0)
+        with pytest.raises(ValueError):
+            ChipDesign(total_ceas=16, core_ceas=8, core_area_fraction=1.5)
+        with pytest.raises(ValueError):
+            ChipDesign(total_ceas=math.nan, core_ceas=8)
+
+    def test_with_cores_returns_new_design(self):
+        base = ChipDesign(total_ceas=16, core_ceas=8)
+        more = base.with_cores(12)
+        assert more.num_cores == 12
+        assert base.num_cores == 8  # original untouched
+
+    def test_scaled_grows_die_only(self):
+        base = ChipDesign(total_ceas=16, core_ceas=8)
+        scaled = base.scaled(2)
+        assert scaled.total_ceas == 32
+        assert scaled.num_cores == 8
+
+    def test_proportionally_scaled_grows_both(self):
+        base = ChipDesign(total_ceas=16, core_ceas=8)
+        scaled = base.proportionally_scaled(4)
+        assert scaled.total_ceas == 64
+        assert scaled.num_cores == 32
+        assert scaled.cache_per_core == base.cache_per_core
+
+    def test_scaling_rejects_nonpositive_factor(self):
+        base = ChipDesign(total_ceas=16, core_ceas=8)
+        with pytest.raises(ValueError):
+            base.scaled(0)
+        with pytest.raises(ValueError):
+            base.proportionally_scaled(-1)
+
+    def test_immutability(self):
+        base = ChipDesign(total_ceas=16, core_ceas=8)
+        with pytest.raises(AttributeError):
+            base.core_ceas = 10
+
+
+class TestCeaConversions:
+    def test_paper_baseline_is_4mb(self):
+        # 8 CEAs of L2 "roughly corresponding to 4MB in capacity".
+        assert cache_bytes_for_ceas(8) == 4 * 1024 * 1024
+
+    def test_roundtrip(self):
+        for num_bytes in (0, 512 * 1024, 3 * 1024 * 1024 + 17):
+            assert cache_bytes_for_ceas(ceas_for_cache_bytes(num_bytes)) == (
+                pytest.approx(num_bytes)
+            )
+
+    def test_custom_cea_size(self):
+        assert ceas_for_cache_bytes(1024, cea_bytes=256) == 4.0
+
+    def test_default_cea_is_half_megabyte(self):
+        assert CEA_BYTES_DEFAULT == 512 * 1024
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ceas_for_cache_bytes(-1)
+        with pytest.raises(ValueError):
+            ceas_for_cache_bytes(10, cea_bytes=0)
+        with pytest.raises(ValueError):
+            cache_bytes_for_ceas(-0.1)
+        with pytest.raises(ValueError):
+            cache_bytes_for_ceas(1, cea_bytes=-5)

@@ -1,0 +1,145 @@
+"""Tests for uncore and interconnect area overheads."""
+
+import math
+
+import pytest
+
+from repro.core.area_overheads import (
+    InterconnectModel,
+    OverheadAwareWallModel,
+    UncoreModel,
+)
+from repro.core.presets import paper_baseline_model
+from repro.core.techniques import TechniqueEffect
+
+
+@pytest.fixture
+def plain():
+    return OverheadAwareWallModel(paper_baseline_model())
+
+
+@pytest.fixture
+def taxed():
+    return OverheadAwareWallModel(
+        paper_baseline_model(),
+        uncore=UncoreModel(0.1),
+        interconnect=InterconnectModel(base_tax=0.05,
+                                       growth_exponent=1.0),
+    )
+
+
+class TestUncoreModel:
+    def test_usable_area(self):
+        assert UncoreModel(0.25).usable_ceas(32) == 24.0
+        assert UncoreModel().usable_ceas(32) == 32.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UncoreModel(1.0)
+        with pytest.raises(ValueError):
+            UncoreModel(-0.1)
+
+
+class TestInterconnectModel:
+    def test_tax_at_reference(self):
+        model = InterconnectModel(base_tax=0.05, growth_exponent=0.5,
+                                  reference_cores=8)
+        assert model.tax_per_core(8) == pytest.approx(0.05)
+        assert model.tax_per_core(32) == pytest.approx(0.10)
+
+    def test_zero_exponent_is_flat(self):
+        model = InterconnectModel(base_tax=0.1, growth_exponent=0.0)
+        assert model.tax_per_core(8) == model.tax_per_core(128)
+
+    def test_total_area_superlinear(self):
+        model = InterconnectModel(base_tax=0.05, growth_exponent=1.0)
+        assert model.total_area(16) > 2 * model.total_area(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectModel(base_tax=-1)
+        with pytest.raises(ValueError):
+            InterconnectModel(growth_exponent=-0.1)
+        with pytest.raises(ValueError):
+            InterconnectModel(reference_cores=0)
+        with pytest.raises(ValueError):
+            InterconnectModel().tax_per_core(0)
+
+
+class TestOverheadAwareSolve:
+    def test_no_overheads_matches_base_model(self, plain):
+        base = paper_baseline_model().supportable_cores(32)
+        assert plain.supportable_cores(32) == pytest.approx(
+            base.continuous_cores, rel=1e-9
+        )
+
+    def test_overheads_cost_cores(self, plain, taxed):
+        assert taxed.supportable_cores(32) < plain.supportable_cores(32)
+
+    def test_uncore_alone_scales_like_a_smaller_die(self):
+        uncore_only = OverheadAwareWallModel(
+            paper_baseline_model(), uncore=UncoreModel(0.25)
+        )
+        shrunk_die = paper_baseline_model().supportable_cores(24)
+        assert uncore_only.supportable_cores(32) == pytest.approx(
+            shrunk_die.continuous_cores, rel=1e-9
+        )
+
+    def test_traffic_infinite_when_overheads_eat_the_cache(self, taxed):
+        assert taxed.relative_traffic(32, 28) == math.inf
+
+    def test_validation(self, taxed):
+        with pytest.raises(ValueError):
+            taxed.supportable_cores(0)
+        with pytest.raises(ValueError):
+            taxed.supportable_cores(32, traffic_budget=0)
+
+
+class TestSmallerCoreLimit:
+    """Section 6.1's interconnect caveat, quantified."""
+
+    FRACTIONS = (1.0, 1 / 4, 1 / 20, 1 / 80, 1 / 400)
+
+    def test_without_tax_benefit_saturates(self, plain):
+        curve = plain.smaller_core_limit(32, self.FRACTIONS)
+        cores = [c for _, c in curve]
+        assert cores == sorted(cores)  # monotone...
+        # ...but saturating: the last shrink step buys < 1% more cores
+        assert cores[-1] / cores[-2] < 1.01
+
+    def test_smaller_cores_always_weakly_help(self):
+        """Structural property: the router tax depends on the solved
+        core count, not the core size, so shrinking cores can never
+        reduce the supportable count — the caveat is a ceiling, not a
+        cliff."""
+        steep = OverheadAwareWallModel(
+            paper_baseline_model(),
+            interconnect=InterconnectModel(base_tax=0.3,
+                                           growth_exponent=2.0),
+        )
+        cores = [c for _, c in steep.smaller_core_limit(32, self.FRACTIONS)]
+        assert cores == sorted(cores)
+
+    def test_overheads_lower_the_asymptote(self, plain):
+        steep = OverheadAwareWallModel(
+            paper_baseline_model(),
+            interconnect=InterconnectModel(base_tax=0.3,
+                                           growth_exponent=2.0),
+        )
+        plain_tail = plain.smaller_core_limit(32, self.FRACTIONS)[-1][1]
+        steep_tail = steep.smaller_core_limit(32, self.FRACTIONS)[-1][1]
+        assert steep_tail < plain_tail
+
+    def test_steep_tax_narrows_the_relative_gain(self, plain):
+        """A superlinear interconnect makes the small-core payoff
+        smaller in relative terms (no uncore, to isolate the effect)."""
+        steep = OverheadAwareWallModel(
+            paper_baseline_model(),
+            interconnect=InterconnectModel(base_tax=0.2,
+                                           growth_exponent=1.5),
+        )
+        plain_curve = dict(plain.smaller_core_limit(32, self.FRACTIONS))
+        steep_curve = dict(steep.smaller_core_limit(32, self.FRACTIONS))
+        plain_gain = plain_curve[1 / 400] / plain_curve[1.0]
+        steep_gain = steep_curve[1 / 400] / steep_curve[1.0]
+        assert steep_gain < plain_gain

@@ -1,0 +1,161 @@
+"""Tests for technique combinations (Section 6.4, Figure 16)."""
+
+import pytest
+
+from repro.core.area import ChipDesign
+from repro.core.combos import (
+    PAPER_COMBINATIONS,
+    TechniqueStack,
+    paper_combination,
+)
+from repro.core.scaling import BandwidthWallModel
+from repro.core.techniques import (
+    AssumptionLevel,
+    CacheCompression,
+    CacheLinkCompression,
+    DRAMCache,
+    LinkCompression,
+    SmallCacheLines,
+    ThreeDStackedCache,
+)
+
+
+@pytest.fixture
+def model():
+    return BandwidthWallModel(ChipDesign(16, 8), alpha=0.5)
+
+
+class TestTechniqueStack:
+    def test_label_joins_technique_labels(self):
+        stack = TechniqueStack((CacheLinkCompression(2.0), DRAMCache(8.0)))
+        assert stack.label == "CC/LC + DRAM"
+
+    def test_effect_folds_all_techniques(self):
+        stack = TechniqueStack(
+            (CacheCompression(2.0), LinkCompression(3.0))
+        )
+        effect = stack.effect()
+        assert effect.capacity_factor == 2.0
+        assert effect.traffic_factor == 3.0
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            TechniqueStack(())
+
+    def test_duplicate_technique_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TechniqueStack((CacheCompression(2.0), CacheCompression(3.0)))
+
+    def test_order_does_not_matter_for_effect(self):
+        forward = TechniqueStack(
+            (CacheLinkCompression(2.0), DRAMCache(8.0), ThreeDStackedCache())
+        )
+        backward = TechniqueStack(
+            (ThreeDStackedCache(), DRAMCache(8.0), CacheLinkCompression(2.0))
+        )
+        assert forward.effect() == backward.effect()
+
+
+class TestHeadlineCombination:
+    """The paper's strongest result: CC/LC + DRAM + 3D + SmCl."""
+
+    def test_183_cores_at_16x(self, model):
+        """'we can increase the number of cores on a chip to 183'."""
+        stack = paper_combination("CC/LC + DRAM + 3D + SmCl")
+        solution = model.supportable_cores(256, effect=stack.effect())
+        assert solution.cores == 183
+
+    def test_71_percent_die_area(self, model):
+        """'(71% of the die area)'."""
+        stack = paper_combination("CC/LC + DRAM + 3D + SmCl")
+        solution = model.supportable_cores(256, effect=stack.effect())
+        assert solution.core_area_share == pytest.approx(0.715, abs=0.01)
+
+    def test_super_proportional_all_four_generations(self, model):
+        """'super-proportional scaling is possible for all four future
+        technology generations'."""
+        stack = paper_combination("CC/LC + DRAM + 3D + SmCl")
+        points = model.generation_study(effect=stack.effect())
+        assert all(p.is_super_proportional for p in points)
+
+    def test_direct_reduction_70_percent(self):
+        """'link compression and small cache lines alone can directly
+        reduce memory traffic by 70%'."""
+        stack = TechniqueStack((LinkCompression(2.0), SmallCacheLines(0.4)))
+        assert stack.direct_traffic_reduction == pytest.approx(0.7)
+
+    def test_dram_on_3d_rule_is_load_bearing(self, model):
+        """Without DRAM density on the stacked die the combination falls
+        well short of 183 cores (the ablation of DESIGN.md section 6.4)."""
+        effect = stack_without_dram_on_3d()
+        solution = model.supportable_cores(256, effect=effect)
+        assert solution.cores < 160
+
+
+def stack_without_dram_on_3d():
+    """Manually composed effect where the 3D layer stays SRAM."""
+    from repro.core.techniques import TechniqueEffect
+
+    return TechniqueEffect(
+        capacity_factor=2.0 / 0.6,  # CC/LC ratio * SmCl factor
+        traffic_factor=2.0 / 0.6,
+        on_die_density=1.0,  # suppress the DRAM-on-die rule...
+        stacked_layers=1,
+        stacked_density=1.0,  # ...and keep the stack SRAM
+    )
+
+
+class TestPaperCombinations:
+    def test_all_fifteen_present(self):
+        assert len(PAPER_COMBINATIONS) == 15
+        assert PAPER_COMBINATIONS[0] == "CC + DRAM + 3D"
+        assert PAPER_COMBINATIONS[-1] == "CC/LC + DRAM + 3D + SmCl"
+
+    def test_every_combination_builds_and_solves(self, model):
+        for name in PAPER_COMBINATIONS:
+            stack = paper_combination(name)
+            solution = model.supportable_cores(256, effect=stack.effect())
+            assert solution.cores > 24  # all beat BASE at 16x
+
+    def test_unknown_combination_raises(self):
+        with pytest.raises(KeyError):
+            paper_combination("CC + WARP")
+
+    def test_assumption_levels_ordered(self, model):
+        for name in PAPER_COMBINATIONS:
+            counts = [
+                model.supportable_cores(
+                    64, effect=paper_combination(name, level).effect()
+                ).continuous_cores
+                for level in (
+                    AssumptionLevel.PESSIMISTIC,
+                    AssumptionLevel.REALISTIC,
+                    AssumptionLevel.OPTIMISTIC,
+                )
+            ]
+            assert counts == sorted(counts)
+
+    def test_combination_beats_best_member(self, model):
+        """A stack must support at least as many cores as any member."""
+        stack = paper_combination("CC/LC + DRAM + 3D + SmCl")
+        combined = model.supportable_cores(64, effect=stack.effect())
+        for technique in stack.techniques:
+            alone = model.supportable_cores(64, effect=technique.effect())
+            assert combined.continuous_cores >= alone.continuous_cores
+
+
+class TestEffectiveCapacityMultiplier:
+    def test_plain_stack_is_identity(self):
+        stack = TechniqueStack((LinkCompression(2.0),))
+        assert stack.effective_capacity_multiplier(256, 128) == pytest.approx(1.0)
+
+    def test_section64_53x_neighbourhood(self):
+        """'3D-stacked DRAM cache, cache compression, and small cache
+        lines, can increase the effective cache capacity by 53x' — with a
+        DRAM 3D layer over an SRAM die at the combination's ~117-core
+        design point, the multiplier lands in the paper's ballpark."""
+        stack = TechniqueStack(
+            (CacheCompression(2.0), ThreeDStackedCache(8.0), SmallCacheLines(0.4))
+        )
+        multiplier = stack.effective_capacity_multiplier(256, 117)
+        assert multiplier == pytest.approx(53, rel=0.03)

@@ -1,0 +1,166 @@
+"""Tests for the heterogeneous-CMP extension."""
+
+import math
+
+import pytest
+
+from repro.core.area import ChipDesign
+from repro.core.heterogeneous import (
+    BASE_CORE,
+    BIG_CORE,
+    LITTLE_CORE,
+    CoreType,
+    HeterogeneousMix,
+    HeterogeneousWallModel,
+)
+
+
+@pytest.fixture
+def model():
+    return HeterogeneousWallModel(ChipDesign(16, 8), alpha=0.5)
+
+
+class TestCoreType:
+    def test_bandwidth_efficiency(self):
+        assert BASE_CORE.bandwidth_efficiency == 1.0
+        assert BIG_CORE.bandwidth_efficiency < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreType("bad", area=0)
+        with pytest.raises(ValueError):
+            CoreType("bad", traffic_rate=-1)
+        with pytest.raises(ValueError):
+            CoreType("bad", throughput=0)
+
+
+class TestHeterogeneousMix:
+    def test_unit_accounting(self):
+        mix = HeterogeneousMix(((BIG_CORE, 1.0), (LITTLE_CORE, 4.0)))
+        assert mix.cores_per_unit() == 5.0
+        assert mix.area_per_unit() == pytest.approx(4.0 + 4 * 0.25)
+        assert mix.throughput_per_unit() == pytest.approx(2.0 + 4 * 0.45)
+
+    def test_label(self):
+        mix = HeterogeneousMix(((BIG_CORE, 1.0), (LITTLE_CORE, 4.0)))
+        assert mix.label == "1xbig + 4xlittle"
+
+    def test_uniform_constructor(self):
+        mix = HeterogeneousMix.uniform(BASE_CORE)
+        assert mix.cores_per_unit() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousMix(())
+        with pytest.raises(ValueError):
+            HeterogeneousMix(((BIG_CORE, 1.0), (BIG_CORE, 2.0)))
+        with pytest.raises(ValueError):
+            HeterogeneousMix(((BIG_CORE, 0.0),))
+
+
+class TestUniformConsistency:
+    def test_base_mix_matches_uniform_model(self, model):
+        """A homogeneous base-core mix must reproduce the uniform
+        model's answer exactly (11 cores at 32 CEAs)."""
+        from repro.core.scaling import BandwidthWallModel
+
+        uniform = BandwidthWallModel(ChipDesign(16, 8), alpha=0.5)
+        mix = HeterogeneousMix.uniform(BASE_CORE)
+        solution = model.solve_mix(mix, 32)
+        assert solution.total_cores == pytest.approx(
+            uniform.supportable_cores(32).continuous_cores
+        )
+
+    def test_traffic_matches_equation5_for_base_cores(self, model):
+        from repro.core.scaling import BandwidthWallModel
+
+        uniform = BandwidthWallModel(ChipDesign(16, 8), alpha=0.5)
+        mix = HeterogeneousMix.uniform(BASE_CORE)
+        assert model.relative_traffic(mix, 12.0, 32) == pytest.approx(
+            uniform.relative_traffic(32, 12.0)
+        )
+
+
+class TestMixSolutions:
+    def test_little_cores_fit_more_cores(self, model):
+        base = model.solve_mix(HeterogeneousMix.uniform(BASE_CORE), 64)
+        little = model.solve_mix(HeterogeneousMix.uniform(LITTLE_CORE), 64)
+        assert little.total_cores > base.total_cores
+
+    def test_big_cores_fit_fewer_cores(self, model):
+        base = model.solve_mix(HeterogeneousMix.uniform(BASE_CORE), 64)
+        big = model.solve_mix(HeterogeneousMix.uniform(BIG_CORE), 64)
+        assert big.total_cores < base.total_cores
+
+    def test_mixed_design_sits_between(self, model):
+        big = model.solve_mix(HeterogeneousMix.uniform(BIG_CORE), 64)
+        little = model.solve_mix(HeterogeneousMix.uniform(LITTLE_CORE), 64)
+        mixed = model.solve_mix(
+            HeterogeneousMix(((BIG_CORE, 1.0), (LITTLE_CORE, 8.0))), 64
+        )
+        assert big.total_cores < mixed.total_cores < little.total_cores
+
+    def test_solution_meets_budget(self, model):
+        mix = HeterogeneousMix(((BIG_CORE, 1.0), (BASE_CORE, 2.0)))
+        solution = model.solve_mix(mix, 64, traffic_budget=1.5)
+        achieved = model.relative_traffic(mix, solution.scale, 64)
+        assert achieved == pytest.approx(1.5, rel=1e-6)
+
+    def test_counts_and_areas_consistent(self, model):
+        mix = HeterogeneousMix(((BIG_CORE, 1.0), (LITTLE_CORE, 4.0)))
+        solution = model.solve_mix(mix, 64)
+        assert sum(solution.counts.values()) == pytest.approx(
+            solution.total_cores
+        )
+        assert solution.core_area + solution.cache_ceas == pytest.approx(64)
+
+    def test_generous_budget_fills_most_of_the_die(self, model):
+        tiny = CoreType("tiny", area=0.01, traffic_rate=0.01,
+                        throughput=0.01)
+        solution = model.solve_mix(
+            HeterogeneousMix.uniform(tiny), 32, traffic_budget=100.0
+        )
+        # traffic diverges as cache -> 0, so some cache always remains,
+        # but a generous budget pushes cores across most of the die
+        assert solution.core_area > 0.8 * 32
+        assert solution.cache_ceas > 0
+
+    def test_best_mix_picks_highest_throughput(self, model):
+        mixes = [
+            HeterogeneousMix.uniform(BIG_CORE),
+            HeterogeneousMix.uniform(BASE_CORE),
+            HeterogeneousMix.uniform(LITTLE_CORE),
+        ]
+        best = model.best_mix(mixes, 64)
+        throughputs = [
+            model.solve_mix(mix, 64).throughput for mix in mixes
+        ]
+        assert best.throughput == pytest.approx(max(throughputs))
+
+    def test_paper_hypothesis_area_efficiency(self, model):
+        """Section 3's hypothesis: a more area-efficient (smaller) core
+        leaves more die for cache, so each core sees a bigger cache."""
+        base = model.solve_mix(HeterogeneousMix.uniform(BASE_CORE), 64)
+        little = model.solve_mix(HeterogeneousMix.uniform(LITTLE_CORE), 64)
+        # per-core cache of the little design is smaller (more cores),
+        # but per-CEA-of-core cache is larger:
+        base_cache_per_core_area = base.cache_ceas / base.core_area
+        little_cache_per_core_area = little.cache_ceas / little.core_area
+        assert little_cache_per_core_area > base_cache_per_core_area
+
+    def test_validation(self, model):
+        mix = HeterogeneousMix.uniform(BASE_CORE)
+        with pytest.raises(ValueError):
+            model.solve_mix(mix, 0)
+        with pytest.raises(ValueError):
+            model.solve_mix(mix, 32, traffic_budget=0)
+        with pytest.raises(ValueError):
+            model.relative_traffic(mix, 0, 32)
+        with pytest.raises(ValueError):
+            model.best_mix([], 32)
+        with pytest.raises(ValueError):
+            HeterogeneousWallModel(ChipDesign(16, 8), alpha=0)
+
+    def test_overfull_die_is_infinite_traffic(self, model):
+        mix = HeterogeneousMix.uniform(BIG_CORE)
+        assert model.relative_traffic(mix, 100.0, 32) == math.inf

@@ -1,0 +1,184 @@
+"""Property-based tests on the analytical model as a whole.
+
+Hypothesis sweeps the model's parameter space checking the structural
+guarantees the paper's arguments rest on: monotonicity in budget, die
+size and technique strength; composition soundness; and dominance
+relations between technique categories.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.area import ChipDesign
+from repro.core.scaling import BandwidthWallModel
+from repro.core.techniques import (
+    CacheCompression,
+    CacheLinkCompression,
+    DRAMCache,
+    LinkCompression,
+    SectoredCache,
+    SmallCacheLines,
+    TechniqueEffect,
+    ThreeDStackedCache,
+    UnusedDataFiltering,
+)
+
+alphas = st.floats(min_value=0.15, max_value=1.0)
+dies = st.floats(min_value=24.0, max_value=512.0)
+ratios = st.floats(min_value=1.0, max_value=6.0)
+fractions = st.floats(min_value=0.0, max_value=0.9)
+
+
+def model(alpha: float) -> BandwidthWallModel:
+    return BandwidthWallModel(ChipDesign(16, 8), alpha=alpha)
+
+
+class TestMonotonicity:
+    @given(alpha=alphas, die=dies)
+    def test_bigger_die_never_fewer_cores(self, alpha, die):
+        small = model(alpha).supportable_cores(die).continuous_cores
+        large = model(alpha).supportable_cores(die * 1.5).continuous_cores
+        assert large > small
+
+    @given(alpha=alphas, die=dies, ratio=ratios)
+    def test_stronger_compression_never_fewer_cores(self, alpha, die,
+                                                    ratio):
+        weak = model(alpha).supportable_cores(
+            die, effect=CacheCompression(ratio).effect()
+        )
+        strong = model(alpha).supportable_cores(
+            die, effect=CacheCompression(ratio * 1.2).effect()
+        )
+        assert strong.continuous_cores >= weak.continuous_cores
+
+    @given(alpha=alphas, die=dies, fraction=fractions)
+    def test_more_unused_data_never_fewer_cores(self, alpha, die, fraction):
+        weak = model(alpha).supportable_cores(
+            die, effect=SmallCacheLines(fraction).effect()
+        )
+        strong = model(alpha).supportable_cores(
+            die, effect=SmallCacheLines(min(0.95, fraction + 0.05)).effect()
+        )
+        assert strong.continuous_cores >= weak.continuous_cores
+
+
+class TestCategoryDominance:
+    @given(alpha=alphas, die=dies, ratio=st.floats(min_value=1.05,
+                                                   max_value=6.0))
+    def test_direct_beats_indirect_at_equal_ratio(self, alpha, die, ratio):
+        """Section 6.2's central claim, for every alpha < 1."""
+        direct = model(alpha).supportable_cores(
+            die, effect=LinkCompression(ratio).effect()
+        )
+        indirect = model(alpha).supportable_cores(
+            die, effect=CacheCompression(ratio).effect()
+        )
+        assert direct.continuous_cores >= indirect.continuous_cores
+
+    @given(alpha=alphas, die=dies, ratio=st.floats(min_value=1.05,
+                                                   max_value=6.0))
+    def test_dual_beats_both_components(self, alpha, die, ratio):
+        dual = model(alpha).supportable_cores(
+            die, effect=CacheLinkCompression(ratio).effect()
+        )
+        direct = model(alpha).supportable_cores(
+            die, effect=LinkCompression(ratio).effect()
+        )
+        indirect = model(alpha).supportable_cores(
+            die, effect=CacheCompression(ratio).effect()
+        )
+        assert dual.continuous_cores >= direct.continuous_cores - 1e-9
+        assert dual.continuous_cores >= indirect.continuous_cores - 1e-9
+
+    @given(alpha=alphas, die=dies, fraction=st.floats(min_value=0.05,
+                                                      max_value=0.9))
+    def test_small_lines_dominate_sectored_dominate_filtering(
+        self, alpha, die, fraction
+    ):
+        smcl = model(alpha).supportable_cores(
+            die, effect=SmallCacheLines(fraction).effect()
+        ).continuous_cores
+        sect = model(alpha).supportable_cores(
+            die, effect=SectoredCache(fraction).effect()
+        ).continuous_cores
+        fltr = model(alpha).supportable_cores(
+            die, effect=UnusedDataFiltering(fraction).effect()
+        ).continuous_cores
+        assert smcl >= sect - 1e-9
+        assert sect >= fltr - 1e-9
+
+
+class TestComposition:
+    @given(alpha=alphas, die=dies, ratio=ratios,
+           density=st.floats(min_value=1.0, max_value=16.0))
+    def test_combining_never_hurts(self, alpha, die, ratio, density):
+        """Adding a technique to a stack never reduces the core count."""
+        single = model(alpha).supportable_cores(
+            die, effect=DRAMCache(density).effect()
+        )
+        combined = model(alpha).supportable_cores(
+            die,
+            effect=DRAMCache(density).effect().combine(
+                CacheCompression(ratio).effect()
+            ),
+        )
+        assert combined.continuous_cores >= single.continuous_cores - 1e-9
+
+    @given(alpha=alphas, die=dies, ratio=ratios)
+    def test_link_compression_equals_budget_growth(self, alpha, die, ratio):
+        """LinkCompression(r) must be *identical* to a budget of r."""
+        via_technique = model(alpha).supportable_cores(
+            die, effect=LinkCompression(ratio).effect()
+        )
+        via_budget = model(alpha).supportable_cores(
+            die, traffic_budget=ratio
+        )
+        assert via_technique.continuous_cores == pytest.approx(
+            via_budget.continuous_cores, rel=1e-9
+        )
+
+    @given(alpha=alphas, die=dies,
+           f=st.floats(min_value=1.05, max_value=8.0))
+    def test_capacity_factor_equals_density_on_flat_designs(self, alpha,
+                                                            die, f):
+        """Without 3D, a capacity factor F and an on-die density F are
+        interchangeable (both scale the whole pool)."""
+        via_factor = model(alpha).supportable_cores(
+            die, effect=TechniqueEffect(capacity_factor=f)
+        )
+        via_density = model(alpha).supportable_cores(
+            die, effect=TechniqueEffect(on_die_density=f)
+        )
+        assert via_factor.continuous_cores == pytest.approx(
+            via_density.continuous_cores, rel=1e-9
+        )
+
+    @given(alpha=alphas, die=dies)
+    @settings(max_examples=30)
+    def test_3d_beats_flat_at_same_added_capacity_cost_free(self, alpha,
+                                                            die):
+        """An extra die of cache strictly beats no extra die."""
+        flat = model(alpha).supportable_cores(die)
+        stacked = model(alpha).supportable_cores(
+            die, effect=ThreeDStackedCache().effect()
+        )
+        assert stacked.continuous_cores > flat.continuous_cores
+
+
+class TestSolutionStructure:
+    @given(alpha=alphas, die=dies,
+           budget=st.floats(min_value=0.5, max_value=4.0))
+    def test_floored_cores_never_exceed_continuous(self, alpha, die, budget):
+        solution = model(alpha).supportable_cores(die,
+                                                  traffic_budget=budget)
+        assert solution.cores <= solution.continuous_cores + 1e-9
+        assert solution.cores >= solution.continuous_cores - 1
+
+    @given(alpha=alphas, die=dies)
+    def test_design_accounting_consistent(self, alpha, die):
+        solution = model(alpha).supportable_cores(die)
+        design = solution.design
+        assert design.total_ceas == pytest.approx(die)
+        assert design.core_area_share + design.cache_area_share == (
+            pytest.approx(1.0)
+        )

@@ -1,0 +1,138 @@
+"""Tests for the power-wall extension."""
+
+import pytest
+
+from repro.core.power import (
+    PowerAwareWallModel,
+    PowerParameters,
+)
+from repro.core.presets import paper_baseline_model
+from repro.core.techniques import (
+    DRAMCache,
+    LinkCompression,
+    SmallerCores,
+    ThreeDStackedCache,
+)
+
+
+@pytest.fixture
+def model():
+    return PowerAwareWallModel(paper_baseline_model(), PowerParameters())
+
+
+class TestPowerParameters:
+    def test_baseline_chip_power(self, model):
+        """8 cores x 8 W + 8 CEAs x 1 W = 72 W for the baseline chip."""
+        assert model.chip_power(16, 8) == pytest.approx(72.0)
+
+    def test_smaller_cores_burn_less(self):
+        params = PowerParameters()
+        assert params.core_power(0.25) == pytest.approx(2.0)
+        assert params.core_power(1.0) == pytest.approx(8.0)
+
+    def test_scaled_keeps_budget(self):
+        params = PowerParameters().scaled(0.5)
+        assert params.core_watts == 4.0
+        assert params.sram_watts_per_cea == 0.5
+        assert params.budget_watts == PowerParameters().budget_watts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerParameters(core_watts=-1)
+        with pytest.raises(ValueError):
+            PowerParameters().scaled(0)
+        with pytest.raises(ValueError):
+            PowerParameters().core_power(0)
+        with pytest.raises(ValueError):
+            PowerParameters().core_power(1.5)
+
+
+class TestChipPower:
+    def test_increasing_in_cores(self, model):
+        assert model.chip_power(32, 16) > model.chip_power(32, 8)
+
+    def test_dram_cache_uses_refresh_power(self, model):
+        sram = model.chip_power(32, 8)
+        dram = model.chip_power(32, 8, DRAMCache(8.0).effect())
+        # 24 CEAs of cache: SRAM 24 W vs DRAM 24 * 8 * 0.25 = 48 W
+        assert dram == pytest.approx(sram - 24 + 48)
+
+    def test_3d_layer_adds_power(self, model):
+        flat = model.chip_power(32, 8)
+        stacked = model.chip_power(32, 8, ThreeDStackedCache().effect())
+        assert stacked == pytest.approx(flat + 32.0)  # SRAM layer
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.chip_power(32, 0)
+        with pytest.raises(ValueError):
+            model.chip_power(16, 20)
+
+
+class TestPowerLimitedCores:
+    def test_budget_met_exactly(self, model):
+        cores = model.power_limited_cores(32)
+        assert model.chip_power(32, cores) == pytest.approx(
+            PowerParameters().budget_watts, rel=1e-6
+        )
+
+    def test_dark_silicon_returns_zero(self):
+        tight = PowerAwareWallModel(
+            paper_baseline_model(),
+            PowerParameters(budget_watts=50.0),
+        )
+        # 128 CEAs of SRAM alone burns 128 W > 50 W
+        assert tight.power_limited_cores(128) == 0.0
+
+    def test_cheap_cores_are_area_limited(self):
+        generous = PowerAwareWallModel(
+            paper_baseline_model(),
+            PowerParameters(core_watts=0.5, sram_watts_per_cea=1.0,
+                            budget_watts=1000.0),
+        )
+        # a core burns less than the cache it displaces: fill the die
+        assert generous.power_limited_cores(32) == pytest.approx(32.0)
+
+    def test_smaller_cores_raise_the_power_limit(self, model):
+        full = model.power_limited_cores(32)
+        small = model.power_limited_cores(
+            32, SmallerCores(1 / 4).effect()
+        )
+        assert small > full
+
+
+class TestDesignPoint:
+    def test_bandwidth_binds_first_generation(self, model):
+        point = model.design_point(32)
+        assert point.binding_constraint == "bandwidth"
+        assert point.cores == pytest.approx(point.bandwidth_cores)
+
+    def test_relieving_bandwidth_exposes_power(self, model):
+        relieved = model.design_point(
+            32, effect=LinkCompression(3.5).effect()
+        )
+        assert relieved.binding_constraint == "power"
+
+    def test_generation_scaling_flips_the_binding(self):
+        """With per-CEA power falling 25%/generation against a fixed
+        budget, the power wall overtakes by the fourth generation."""
+        wall = paper_baseline_model()
+        bindings = []
+        for generation, ceas in enumerate((32, 64, 128, 256), start=1):
+            params = PowerParameters().scaled(0.75**generation)
+            point = PowerAwareWallModel(wall, params).design_point(ceas)
+            bindings.append(point.binding_constraint)
+        assert bindings[0] == "bandwidth"
+        assert bindings[-1] == "power"
+
+    def test_crossover_budget(self, model):
+        watts = model.crossover_budget_watts(32)
+        assert watts is not None
+        # at exactly that budget the two walls meet
+        pinned = PowerAwareWallModel(
+            paper_baseline_model(),
+            PowerParameters(budget_watts=watts),
+        )
+        point = pinned.design_point(32)
+        assert point.bandwidth_cores == pytest.approx(point.power_cores,
+                                                      rel=1e-6)

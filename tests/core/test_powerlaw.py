@@ -1,0 +1,148 @@
+"""Unit and property tests for the power law of cache misses."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.powerlaw import (
+    ALPHA_AVERAGE,
+    ALPHA_COMMERCIAL_AVG,
+    ALPHA_COMMERCIAL_MAX,
+    ALPHA_COMMERCIAL_MIN,
+    ALPHA_SPEC2006_AVG,
+    PowerLawMissModel,
+)
+
+alphas = st.floats(min_value=0.05, max_value=2.0)
+sizes = st.floats(min_value=1e-3, max_value=1e9)
+
+
+class TestMissRate:
+    def test_baseline_is_identity(self):
+        law = PowerLawMissModel(alpha=0.5, baseline_miss_rate=0.04,
+                                baseline_cache_size=1024)
+        assert law.miss_rate(1024) == pytest.approx(0.04)
+
+    def test_sqrt2_rule(self):
+        # alpha = 0.5: doubling the cache divides misses by sqrt(2).
+        law = PowerLawMissModel(alpha=0.5, baseline_miss_rate=0.1,
+                                baseline_cache_size=100)
+        assert law.miss_rate(200) == pytest.approx(0.1 / math.sqrt(2))
+
+    def test_quadrupling_halves_misses_at_half_alpha(self):
+        law = PowerLawMissModel(alpha=0.5, baseline_miss_rate=0.04,
+                                baseline_cache_size=1024)
+        assert law.miss_rate(4096) == pytest.approx(0.02)
+
+    @given(alpha=alphas, c=sizes)
+    def test_monotone_decreasing_in_cache_size(self, alpha, c):
+        law = PowerLawMissModel(alpha=alpha, baseline_miss_rate=0.5,
+                                baseline_cache_size=1.0)
+        assert law.miss_rate(c * 2) < law.miss_rate(c)
+
+    @given(alpha=alphas, c1=sizes, c2=sizes)
+    def test_scale_invariance(self, alpha, c1, c2):
+        """The law depends only on the size *ratio*, not absolute sizes."""
+        law = PowerLawMissModel(alpha=alpha, baseline_miss_rate=0.2,
+                                baseline_cache_size=c1)
+        direct = law.miss_rate(c2)
+        via_ratio = 0.2 * (c2 / c1) ** (-alpha)
+        assert direct == pytest.approx(via_ratio, rel=1e-9)
+
+    def test_rejects_nonpositive_cache(self):
+        law = PowerLawMissModel(alpha=0.5)
+        with pytest.raises(ValueError):
+            law.miss_rate(0)
+        with pytest.raises(ValueError):
+            law.miss_rate(-3)
+
+
+class TestTraffic:
+    def test_writeback_scales_traffic(self):
+        law = PowerLawMissModel(alpha=0.5, baseline_miss_rate=0.1,
+                                baseline_cache_size=1.0, writeback_ratio=0.3)
+        assert law.traffic(1.0) == pytest.approx(0.13)
+
+    @given(alpha=alphas, rwb=st.floats(min_value=0, max_value=2),
+           c=st.floats(min_value=0.01, max_value=100))
+    def test_writeback_cancels_in_ratio(self, alpha, rwb, c):
+        """Equation 2: traffic ratios are independent of r_wb."""
+        with_wb = PowerLawMissModel(alpha=alpha, baseline_miss_rate=0.1,
+                                    baseline_cache_size=1.0, writeback_ratio=rwb)
+        without = PowerLawMissModel(alpha=alpha, baseline_miss_rate=0.1,
+                                    baseline_cache_size=1.0)
+        assert with_wb.traffic(c) / with_wb.traffic(1.0) == pytest.approx(
+            without.traffic(c) / without.traffic(1.0), rel=1e-9
+        )
+
+    def test_traffic_ratio_matches_explicit_division(self):
+        law = PowerLawMissModel(alpha=0.4, baseline_miss_rate=0.05,
+                                baseline_cache_size=64, writeback_ratio=0.25)
+        assert law.traffic_ratio(256, 64) == pytest.approx(
+            law.traffic(256) / law.traffic(64)
+        )
+
+
+class TestInversions:
+    @given(alpha=alphas, target=st.floats(min_value=1e-6, max_value=0.5))
+    def test_cache_size_inversion_roundtrips(self, alpha, target):
+        law = PowerLawMissModel(alpha=alpha, baseline_miss_rate=0.5,
+                                baseline_cache_size=10.0)
+        size = law.cache_size_for_miss_rate(target)
+        assert law.miss_rate(size) == pytest.approx(target, rel=1e-6)
+
+    def test_section6_dampening_example_alpha_half(self):
+        # "if alpha = 0.5, to reduce memory traffic by half, the cache size
+        #  per core needs to be increased by a factor of 4x"
+        law = PowerLawMissModel(alpha=0.5)
+        assert law.capacity_factor_for_traffic_reduction(2) == pytest.approx(4.0)
+
+    def test_section6_dampening_example_alpha_09(self):
+        # "... if alpha = 0.9, by a factor of 2.16x"
+        law = PowerLawMissModel(alpha=0.9)
+        assert law.capacity_factor_for_traffic_reduction(2) == pytest.approx(
+            2.16, abs=0.005
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self):
+        for bad in (0, -0.5, math.inf, math.nan):
+            with pytest.raises(ValueError):
+                PowerLawMissModel(alpha=bad)
+
+    def test_rejects_bad_miss_rate(self):
+        with pytest.raises(ValueError):
+            PowerLawMissModel(alpha=0.5, baseline_miss_rate=1.5)
+        with pytest.raises(ValueError):
+            PowerLawMissModel(alpha=0.5, baseline_miss_rate=-0.1)
+
+    def test_rejects_bad_baseline_size(self):
+        with pytest.raises(ValueError):
+            PowerLawMissModel(alpha=0.5, baseline_cache_size=0)
+
+    def test_rejects_negative_writeback(self):
+        with pytest.raises(ValueError):
+            PowerLawMissModel(alpha=0.5, writeback_ratio=-0.1)
+
+    def test_with_alpha_preserves_other_fields(self):
+        law = PowerLawMissModel(alpha=0.5, baseline_miss_rate=0.2,
+                                baseline_cache_size=7, writeback_ratio=0.4)
+        other = law.with_alpha(0.3)
+        assert other.alpha == 0.3
+        assert other.baseline_miss_rate == 0.2
+        assert other.baseline_cache_size == 7
+        assert other.writeback_ratio == 0.4
+
+
+class TestPaperConstants:
+    def test_figure1_alphas(self):
+        assert ALPHA_AVERAGE == 0.5
+        assert ALPHA_COMMERCIAL_AVG == 0.48
+        assert ALPHA_COMMERCIAL_MIN == 0.36
+        assert ALPHA_COMMERCIAL_MAX == 0.62
+        assert ALPHA_SPEC2006_AVG == 0.25
+
+    def test_hartstein_range_contains_commercial_fit(self):
+        assert 0.3 <= ALPHA_COMMERCIAL_AVG <= 0.7

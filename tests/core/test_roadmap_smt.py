@@ -1,0 +1,169 @@
+"""Tests for the bandwidth-roadmap and SMT extensions."""
+
+import pytest
+
+from repro.core.multithreading import MultithreadedWallModel, SMTParameters
+from repro.core.presets import paper_baseline_model
+from repro.core.roadmap import (
+    FLAT_ROADMAP,
+    ITRS_ROADMAP,
+    OPTIMISTIC_ROADMAP,
+    BandwidthRoadmap,
+    wall_onset,
+)
+
+
+class TestBandwidthRoadmap:
+    def test_flat_roadmap_is_unity(self):
+        assert FLAT_ROADMAP.growth_per_generation == pytest.approx(1.0)
+        assert FLAT_ROADMAP.budget_at(4) == pytest.approx(1.0)
+
+    def test_itrs_pins_compound(self):
+        # 10%/year over 1.5 years/generation ~= 15.4%/generation
+        assert ITRS_ROADMAP.growth_per_generation == pytest.approx(
+            1.10**1.5
+        )
+        assert ITRS_ROADMAP.budget_at(2) == pytest.approx(
+            ITRS_ROADMAP.growth_per_generation**2
+        )
+
+    def test_optimistic_exceeds_itrs(self):
+        assert (OPTIMISTIC_ROADMAP.growth_per_generation
+                > ITRS_ROADMAP.growth_per_generation)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthRoadmap("bad", pin_growth_per_year=0)
+        with pytest.raises(ValueError):
+            ITRS_ROADMAP.budget_at(-1)
+
+
+class TestWallOnset:
+    @pytest.fixture
+    def model(self):
+        return paper_baseline_model()
+
+    def test_flat_budget_hits_wall_immediately(self, model):
+        onset, trajectory = wall_onset(model, FLAT_ROADMAP)
+        assert onset == 1
+        assert trajectory[0].supportable_cores == 11
+        assert not trajectory[0].keeps_pace
+
+    def test_itrs_pins_only_delay_nothing(self, model):
+        """The paper's core observation: ~15%/generation of extra pins
+        cannot keep up with 2x/generation core demand."""
+        onset, trajectory = wall_onset(model, ITRS_ROADMAP)
+        assert onset == 1
+        # but the budget does help relative to flat
+        flat = wall_onset(model, FLAT_ROADMAP)[1]
+        for itrs_point, flat_point in zip(trajectory, flat):
+            assert (itrs_point.supportable_cores
+                    >= flat_point.supportable_cores)
+
+    def test_doubling_roadmap_always_keeps_pace(self, model):
+        doubling = BandwidthRoadmap("2x/gen",
+                                    pin_growth_per_year=2 ** (1 / 1.5))
+        onset, trajectory = wall_onset(model, doubling)
+        assert onset is None
+        assert all(point.keeps_pace for point in trajectory)
+
+    def test_link_compression_buys_one_generation_or_so(self, model):
+        onset_plain, plain = wall_onset(model, OPTIMISTIC_ROADMAP)
+        onset_lc, compressed = wall_onset(
+            model, OPTIMISTIC_ROADMAP, link_compression_ratio=2.0
+        )
+        # one-shot compression shifts the whole trajectory up...
+        for lc_point, plain_point in zip(compressed, plain):
+            assert (lc_point.supportable_cores
+                    > plain_point.supportable_cores)
+        # ...and can only delay (never hasten) the onset
+        if onset_plain is not None and onset_lc is not None:
+            assert onset_lc >= onset_plain
+
+    def test_trajectory_shape(self, model):
+        _, trajectory = wall_onset(model, ITRS_ROADMAP, max_generations=5)
+        assert [p.generation for p in trajectory] == [1, 2, 3, 4, 5]
+        assert [p.area_factor for p in trajectory] == [2, 4, 8, 16, 32]
+        cores = [p.supportable_cores for p in trajectory]
+        assert cores == sorted(cores)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            wall_onset(model, ITRS_ROADMAP, max_generations=0)
+        with pytest.raises(ValueError):
+            wall_onset(model, ITRS_ROADMAP, link_compression_ratio=0.5)
+
+
+class TestSMT:
+    @pytest.fixture
+    def model(self):
+        return paper_baseline_model()
+
+    def test_single_thread_is_identity(self, model):
+        smt = MultithreadedWallModel(
+            model, SMTParameters(threads_per_core=1)
+        )
+        assert smt.supportable_cores(32).cores == 11
+        assert smt.severity_vs_single_threaded(32) == pytest.approx(0.0)
+
+    def test_smt_worsens_the_wall(self, model):
+        """The paper's Section 3 claim: single-threaded cores
+        underestimate the severity."""
+        smt = MultithreadedWallModel(
+            model, SMTParameters(threads_per_core=4,
+                                 marginal_utilisation=0.6)
+        )
+        assert smt.severity_vs_single_threaded(32) > 0
+        assert smt.supportable_cores(32).cores < 11
+
+    def test_more_threads_more_severity(self, model):
+        severities = [
+            MultithreadedWallModel(
+                model, SMTParameters(threads_per_core=t,
+                                     marginal_utilisation=0.5)
+            ).severity_vs_single_threaded(64)
+            for t in (1, 2, 4, 8)
+        ]
+        assert severities == sorted(severities)
+
+    def test_shared_working_set_softens_the_penalty(self, model):
+        split = MultithreadedWallModel(
+            model, SMTParameters(threads_per_core=4,
+                                 marginal_utilisation=0.5,
+                                 shared_working_set=False)
+        )
+        shared = MultithreadedWallModel(
+            model, SMTParameters(threads_per_core=4,
+                                 marginal_utilisation=0.5,
+                                 shared_working_set=True)
+        )
+        assert (shared.supportable_cores(64).continuous_cores
+                > split.supportable_cores(64).continuous_cores)
+
+    def test_zero_marginal_utilisation_only_splits_cache(self, model):
+        smt = MultithreadedWallModel(
+            model, SMTParameters(threads_per_core=2,
+                                 marginal_utilisation=0.0)
+        )
+        assert smt.smt.traffic_rate == 1.0
+        # still worse than single-threaded: working sets split the cache
+        assert smt.supportable_cores(64).continuous_cores < (
+            model.supportable_cores(64).continuous_cores
+        )
+
+    def test_throughput_proxy_can_favour_smt(self, model):
+        """SMT loses cores but each does more work; the proxy captures
+        the trade."""
+        smt = MultithreadedWallModel(
+            model, SMTParameters(threads_per_core=2,
+                                 marginal_utilisation=0.3,
+                                 shared_working_set=True)
+        )
+        single = model.supportable_cores(64).continuous_cores
+        assert smt.throughput_proxy(64) > 0.75 * single
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SMTParameters(threads_per_core=0)
+        with pytest.raises(ValueError):
+            SMTParameters(marginal_utilisation=1.5)

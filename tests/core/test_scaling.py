@@ -1,0 +1,327 @@
+"""Golden-number tests: every core-count claim in the paper.
+
+Each test cites the figure or section the expected value comes from.
+These are the reproduction's anchor: if any of them breaks, the model no
+longer matches the paper.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.area import ChipDesign
+from repro.core.scaling import (
+    PAPER_GENERATION_FACTORS,
+    BandwidthWallModel,
+)
+from repro.core.techniques import (
+    CacheCompression,
+    CacheLinkCompression,
+    DRAMCache,
+    LinkCompression,
+    SectoredCache,
+    SmallCacheLines,
+    SmallerCores,
+    ThreeDStackedCache,
+    UnusedDataFiltering,
+)
+
+
+@pytest.fixture
+def model():
+    return BandwidthWallModel(ChipDesign(16, 8), alpha=0.5)
+
+
+class TestBaselineScaling:
+    def test_figure2_constant_traffic_crossing(self, model):
+        """'the new CMP configuration can only support 11 cores'."""
+        assert model.supportable_cores(32).cores == 11
+
+    def test_figure2_optimistic_bandwidth_crossing(self, model):
+        """'Even when ... grow by an optimistic 50% ... 13 [cores]'."""
+        assert model.supportable_cores(32, traffic_budget=1.5).cores == 13
+
+    def test_abstract_four_generations(self, model):
+        """'the number of cores can only scale to 24' at 16x."""
+        assert model.supportable_cores(256).cores == 24
+
+    def test_figure3_die_area_at_16x(self, model):
+        """'only 10% of the die area can be allocated for cores'."""
+        solution = model.supportable_cores(256)
+        assert solution.core_area_share == pytest.approx(0.096, abs=0.01)
+
+    def test_figure15_base_series(self, model):
+        """BASE bars of Figure 15 across the four generations."""
+        cores = [
+            model.supportable_cores(16 * factor).cores
+            for factor in PAPER_GENERATION_FACTORS
+        ]
+        assert cores == [11, 14, 19, 24]
+
+    def test_ideal_series(self, model):
+        points = model.generation_study()
+        assert [p.ideal_cores for p in points] == [16, 32, 64, 128]
+
+    def test_doubling_cores_doubles_traffic(self, model):
+        assert model.relative_traffic(32, 16) == pytest.approx(2.0)
+
+
+class TestCacheCompression:
+    """Figure 4: 'the number of supportable cores grows to 11, 12, 13, 14,
+    and 14' for ratios 1.3, 1.7, 2.0, 2.5, 3.0."""
+
+    @pytest.mark.parametrize(
+        "ratio,expected",
+        [(1.3, 11), (1.7, 12), (2.0, 13), (2.5, 14), (3.0, 14)],
+    )
+    def test_figure4(self, model, ratio, expected):
+        effect = CacheCompression(ratio).effect()
+        assert model.supportable_cores(32, effect=effect).cores == expected
+
+    def test_cc_at_16x(self, model):
+        """'cache compression can enable only 30' (intro bullet)."""
+        effect = CacheCompression(2.0).effect()
+        assert model.supportable_cores(256, effect=effect).cores == 30
+
+
+class TestDRAMCache:
+    """Figure 5: 'proportional scaling of 16 cores is possible even
+    assuming a conservative density increase of 4x ... 8x and 16x ...
+    18 and 21 cores'."""
+
+    @pytest.mark.parametrize("density,expected", [(4, 16), (8, 18), (16, 21)])
+    def test_figure5(self, model, density, expected):
+        effect = DRAMCache(density).effect()
+        assert model.supportable_cores(32, effect=effect).cores == expected
+
+    def test_dram_at_16x(self, model):
+        """'using DRAM caches allows the number of cores to increase to 47
+        in four technology generations'."""
+        effect = DRAMCache(8).effect()
+        assert model.supportable_cores(256, effect=effect).cores == 47
+
+
+class TestThreeDStackedCache:
+    """Figure 6: 'adding a die layer of SRAM caches allows 14 cores ...
+    and 25 and 32 cores when DRAM caches are used with 8x or 16x'."""
+
+    def test_3d_sram(self, model):
+        effect = ThreeDStackedCache().effect()
+        assert model.supportable_cores(32, effect=effect).cores == 14
+
+    @pytest.mark.parametrize("density,expected", [(8, 25), (16, 32)])
+    def test_3d_dram(self, model, density, expected):
+        effect = ThreeDStackedCache(layer_density=density).effect()
+        assert model.supportable_cores(32, effect=effect).cores == expected
+
+
+class TestUnusedDataFiltering:
+    def test_figure7_realistic(self, model):
+        """'40% of cached data goes unused, the technique provides a much
+        more modest benefit of one additional core' (11 -> 12)."""
+        effect = UnusedDataFiltering(0.4).effect()
+        assert model.supportable_cores(32, effect=effect).cores == 12
+
+    def test_figure7_optimistic(self, model):
+        """'80% of cached data goes unused ... proportional scaling to 16
+        cores can be achieved'."""
+        effect = UnusedDataFiltering(0.8).effect()
+        assert model.supportable_cores(32, effect=effect).cores == 16
+
+    def test_five_x_capacity_equivalence(self, model):
+        """80% unused corresponds to 'a 5x effective increase in cache
+        capacity'."""
+        filtering = UnusedDataFiltering(0.8).effect()
+        compression = CacheCompression(5.0).effect()
+        assert (
+            model.supportable_cores(32, effect=filtering).continuous_cores
+            == pytest.approx(
+                model.supportable_cores(32, effect=compression).continuous_cores
+            )
+        )
+
+
+class TestSmallerCores:
+    def test_figure8_80x(self, model):
+        """Even 80x smaller cores scale poorly (Figure 8 tops out ~12)."""
+        effect = SmallerCores(1 / 80).effect()
+        assert model.supportable_cores(32, effect=effect).cores == 12
+
+    def test_infinitesimal_core_limit(self, model):
+        """'even when the core is infinitesimally small ... the amount of
+        cache per core only increases by 2x, whereas for proportional core
+        scaling the cache needs to grow by 4x' — so even f_sm -> 0 cannot
+        reach 16 cores."""
+        effect = SmallerCores(1e-9).effect()
+        solution = model.supportable_cores(32, effect=effect)
+        assert solution.cores < 16
+        # At P2=16 with no core area, cache/core = 32/16 = 2 = 2x baseline.
+        assert effect.effective_cache_ceas(32, 16) / 16 == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    def test_monotone_in_core_size(self, model):
+        counts = [
+            model.supportable_cores(
+                32, effect=SmallerCores(1 / reduction).effect()
+            ).continuous_cores
+            for reduction in (1.0001, 9, 45, 80)
+        ]
+        assert counts == sorted(counts)
+
+
+class TestLinkCompression:
+    def test_figure9_proportional_at_2x(self, model):
+        """'proportional scaling is achievable' — 2x compression gives
+        exactly 16 cores (the equation lands on the proportional point)."""
+        effect = LinkCompression(2.0).effect()
+        solution = model.supportable_cores(32, effect=effect)
+        assert solution.cores == 16
+        assert solution.continuous_cores == pytest.approx(16.0, rel=1e-9)
+
+    def test_lc_at_16x(self, model):
+        """'link compression can enable 38 cores' in four generations."""
+        effect = LinkCompression(2.0).effect()
+        assert model.supportable_cores(256, effect=effect).cores == 38
+
+    def test_direct_beats_indirect(self, model):
+        """Section 6.4: direct techniques beat indirect at equal ratios."""
+        lc = model.supportable_cores(32, effect=LinkCompression(2.0).effect())
+        cc = model.supportable_cores(32, effect=CacheCompression(2.0).effect())
+        assert lc.continuous_cores > cc.continuous_cores
+
+
+class TestSectoredCache:
+    def test_figure10_beats_filtering(self, model):
+        """'Sectored Caches have more potential ... compared to Unused
+        Data Filtering'."""
+        for fraction in (0.1, 0.2, 0.4, 0.8):
+            sect = model.supportable_cores(
+                32, effect=SectoredCache(fraction).effect()
+            )
+            fltr = model.supportable_cores(
+                32, effect=UnusedDataFiltering(fraction).effect()
+            )
+            assert sect.continuous_cores > fltr.continuous_cores
+
+    def test_figure10_realistic(self, model):
+        effect = SectoredCache(0.4).effect()
+        assert model.supportable_cores(32, effect=effect).cores == 14
+
+    def test_figure10_optimistic(self, model):
+        effect = SectoredCache(0.8).effect()
+        assert model.supportable_cores(32, effect=effect).cores == 23
+
+
+class TestSmallCacheLines:
+    def test_figure11_realistic_enables_proportional(self, model):
+        """'a 40% reduction in memory traffic enables proportional scaling
+        (16 cores in a 32-CEA)'."""
+        effect = SmallCacheLines(0.4).effect()
+        assert model.supportable_cores(32, effect=effect).cores == 16
+
+    def test_dominates_both_parents(self, model):
+        """Dual beats the pure-direct and pure-indirect versions."""
+        dual = model.supportable_cores(32, effect=SmallCacheLines(0.4).effect())
+        direct = model.supportable_cores(32, effect=SectoredCache(0.4).effect())
+        indirect = model.supportable_cores(
+            32, effect=UnusedDataFiltering(0.4).effect()
+        )
+        assert dual.continuous_cores > direct.continuous_cores
+        assert dual.continuous_cores > indirect.continuous_cores
+
+
+class TestCacheLinkCompression:
+    def test_figure12_realistic(self, model):
+        """'even a moderate compression ratio of 2.0 is sufficient to allow
+        a super-proportional scaling to 18 cores'."""
+        effect = CacheLinkCompression(2.0).effect()
+        solution = model.supportable_cores(32, effect=effect)
+        assert solution.cores == 18
+        assert solution.continuous_cores > 16  # super-proportional
+
+
+class TestGenerationStudy:
+    def test_base_generation_points(self, model):
+        points = model.generation_study()
+        assert [p.cores for p in points] == [11, 14, 19, 24]
+        assert all(not p.is_super_proportional for p in points)
+
+    def test_gap_grows_each_generation(self, model):
+        points = model.generation_study()
+        shortfalls = [p.shortfall for p in points]
+        assert shortfalls == sorted(shortfalls)
+
+    def test_super_proportional_flag(self, model):
+        effect = CacheLinkCompression(2.0).effect()
+        points = model.generation_study(effect=effect)
+        assert points[0].is_super_proportional
+
+    def test_bandwidth_growth_compounds(self, model):
+        grown = model.generation_study(bandwidth_growth_per_generation=2.0)
+        # Traffic allowed to double per generation = proportional scaling.
+        assert [p.cores for p in grown] == [16, 32, 64, 128]
+
+    def test_area_limited_cap(self):
+        """A huge 3D stack with tiny cores can fill the die with cores."""
+        model = BandwidthWallModel(ChipDesign(16, 8), alpha=0.5)
+        effect = ThreeDStackedCache(layer_density=16).effect()
+        solution = model.supportable_cores(
+            32, traffic_budget=1000.0, effect=effect
+        )
+        assert solution.area_limited
+        assert solution.continuous_cores == pytest.approx(32.0)
+
+
+class TestModelValidation:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            BandwidthWallModel(ChipDesign(16, 8), alpha=0)
+
+    def test_rejects_cacheless_baseline(self):
+        with pytest.raises(ValueError):
+            BandwidthWallModel(ChipDesign(16, 16), alpha=0.5)
+
+    def test_rejects_bad_solve_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.supportable_cores(0)
+        with pytest.raises(ValueError):
+            model.supportable_cores(32, traffic_budget=0)
+        with pytest.raises(ValueError):
+            model.relative_traffic(32, 0)
+
+    def test_with_alpha(self, model):
+        other = model.with_alpha(0.25)
+        assert other.alpha == 0.25
+        assert other.baseline == model.baseline
+
+
+class TestSolutionInvariants:
+    @given(
+        alpha=st.floats(min_value=0.15, max_value=1.0),
+        factor=st.sampled_from([2.0, 4.0, 8.0, 16.0]),
+        budget=st.floats(min_value=0.5, max_value=8.0),
+    )
+    def test_solution_meets_budget_exactly(self, alpha, factor, budget):
+        model = BandwidthWallModel(ChipDesign(16, 8), alpha=alpha)
+        solution = model.supportable_cores(16 * factor, traffic_budget=budget)
+        achieved = model.relative_traffic(
+            16 * factor, solution.continuous_cores
+        )
+        assert achieved == pytest.approx(budget, rel=1e-6)
+
+    @given(alpha=st.floats(min_value=0.15, max_value=1.0))
+    def test_higher_alpha_supports_more_cores(self, alpha):
+        """Figure 17's direction: larger alpha -> more supportable cores."""
+        lo = BandwidthWallModel(ChipDesign(16, 8), alpha=alpha)
+        hi = BandwidthWallModel(ChipDesign(16, 8), alpha=alpha + 0.05)
+        assert (
+            hi.supportable_cores(64).continuous_cores
+            >= lo.supportable_cores(64).continuous_cores
+        )
+
+    @given(budget=st.floats(min_value=0.2, max_value=16.0))
+    def test_more_budget_never_hurts(self, budget):
+        model = BandwidthWallModel(ChipDesign(16, 8), alpha=0.5)
+        small = model.supportable_cores(64, traffic_budget=budget)
+        large = model.supportable_cores(64, traffic_budget=budget * 1.5)
+        assert large.continuous_cores > small.continuous_cores

@@ -1,0 +1,83 @@
+"""Tests for the sensitivity/elasticity analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.presets import paper_baseline_model
+from repro.core.sensitivity import elasticities, tornado
+from repro.core.techniques import DRAMCache
+
+
+class TestElasticities:
+    def test_budget_elasticity_matches_closed_form(self):
+        """dlogP/dlogB = 1 / (1 + a N / (N - P)) for the plain model."""
+        model = paper_baseline_model()
+        result = elasticities(model, 64)
+        p = result.cores
+        expected = 1.0 / (1.0 + 0.5 * 64 / (64 - p))
+        assert result.budget == pytest.approx(expected, rel=1e-3)
+
+    def test_dampening_equals_alpha(self):
+        """capacity/budget elasticity ratio IS the paper's -alpha
+        dampening — exactly alpha for the plain model."""
+        for alpha in (0.25, 0.5, 0.62):
+            model = paper_baseline_model(alpha=alpha)
+            result = elasticities(model, 64)
+            assert result.dampening == pytest.approx(alpha, rel=1e-3)
+
+    def test_budget_elasticity_below_one(self):
+        """A 10% bandwidth gift never buys a full 10% more cores."""
+        model = paper_baseline_model()
+        for die in (32.0, 64.0, 256.0):
+            assert elasticities(model, die).budget < 1.0
+
+    def test_alpha_gradient_positive(self):
+        model = paper_baseline_model()
+        assert elasticities(model, 64).alpha_gradient > 0
+
+    @given(die=st.floats(min_value=24, max_value=512))
+    @settings(max_examples=20, deadline=None)
+    def test_elasticities_positive(self, die):
+        model = paper_baseline_model()
+        result = elasticities(model, die)
+        assert result.budget > 0
+        assert result.capacity > 0
+
+    def test_works_with_technique_stack(self):
+        model = paper_baseline_model()
+        result = elasticities(model, 64,
+                              effect=DRAMCache(8.0).effect())
+        assert result.cores > elasticities(model, 64).cores
+        assert result.dampening == pytest.approx(0.5, rel=1e-2)
+
+
+class TestTornado:
+    def test_ranked_by_swing_width(self):
+        model = paper_baseline_model()
+        bars = tornado(model, 64)
+        widths = [abs(high - low) for _, low, high in bars]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_bandwidth_is_the_biggest_lever(self):
+        """At equal ±25% swings, the direct knob dominates — the
+        paper's direct-beats-indirect, as a tornado bar."""
+        model = paper_baseline_model()
+        bars = {name: (low, high) for name, low, high in tornado(model, 64)}
+        bw_width = bars["bandwidth budget"][1] - bars["bandwidth budget"][0]
+        cap_width = (bars["effective capacity"][1]
+                     - bars["effective capacity"][0])
+        assert bw_width > cap_width
+
+    def test_all_bars_bracket_the_base_point(self):
+        model = paper_baseline_model()
+        base = model.supportable_cores(64).continuous_cores
+        for name, low, high in tornado(model, 64):
+            assert low <= base + 1e-6, name
+            assert high >= base - 1e-6, name
+
+    def test_swing_validation(self):
+        model = paper_baseline_model()
+        with pytest.raises(ValueError):
+            tornado(model, 64, swing=0.0)
+        with pytest.raises(ValueError):
+            tornado(model, 64, swing=1.0)

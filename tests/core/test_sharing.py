@@ -1,0 +1,148 @@
+"""Tests for the data-sharing model (Section 6.3, Equations 13-14)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.area import ChipDesign
+from repro.core.sharing import DataSharingModel
+
+
+@pytest.fixture
+def model():
+    return DataSharingModel(ChipDesign(16, 8), alpha=0.5)
+
+
+class TestIndependentCores:
+    def test_no_sharing_keeps_all_cores(self, model):
+        assert model.independent_cores(16, 0.0) == 16
+
+    def test_full_sharing_collapses_to_one(self, model):
+        assert model.independent_cores(16, 1.0) == 1.0
+
+    def test_equation14(self, model):
+        assert model.independent_cores(16, 0.25) == 0.25 + 0.75 * 16
+
+    @given(
+        cores=st.floats(min_value=1, max_value=512),
+        f=st.floats(min_value=0, max_value=1),
+    )
+    def test_bounded_between_one_and_p(self, cores, f):
+        model = DataSharingModel(ChipDesign(16, 8), alpha=0.5)
+        p_eff = model.independent_cores(cores, f)
+        assert 1.0 <= p_eff + 1e-12
+        assert p_eff <= cores + 1e-12
+
+    def test_rejects_bad_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.independent_cores(0, 0.5)
+        with pytest.raises(ValueError):
+            model.independent_cores(16, 1.5)
+
+
+class TestTrafficWithSharing:
+    def test_zero_sharing_matches_plain_model(self, model):
+        """With f_sh = 0 Equation 13 degenerates to Equation 5."""
+        from repro.core.scaling import BandwidthWallModel
+
+        plain = BandwidthWallModel(ChipDesign(16, 8), alpha=0.5)
+        assert model.relative_traffic(32, 16, 0.0) == pytest.approx(
+            plain.relative_traffic(32, 16)
+        )
+
+    @given(f=st.floats(min_value=0, max_value=0.99))
+    def test_sharing_reduces_traffic(self, f):
+        model = DataSharingModel(ChipDesign(16, 8), alpha=0.5)
+        with_sharing = model.relative_traffic(32, 16, f)
+        without = model.relative_traffic(32, 16, 0.0)
+        assert with_sharing <= without + 1e-12
+
+    def test_traffic_monotone_decreasing_in_sharing(self, model):
+        values = [
+            model.relative_traffic(32, 16, f / 10) for f in range(0, 11)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_cacheless_design(self, model):
+        with pytest.raises(ValueError):
+            model.relative_traffic(32, 32, 0.5)
+
+
+class TestFigure13:
+    """'the fraction of shared data ... must continually increase to 40%,
+    63%, 77%, and 86%' for proportional scaling to 16/32/64/128 cores.
+
+    The last two paper values are read off the plotted curve; exact
+    solutions are 76.2% and 84.9%, within a point of the paper's text.
+    """
+
+    @pytest.mark.parametrize(
+        "total,cores,expected,tol",
+        [
+            (32, 16, 0.40, 0.01),
+            (64, 32, 0.63, 0.01),
+            (128, 64, 0.77, 0.01),
+            (256, 128, 0.86, 0.015),
+        ],
+    )
+    def test_required_fraction(self, model, total, cores, expected, tol):
+        assert model.required_sharing_fraction(total, cores) == pytest.approx(
+            expected, abs=tol
+        )
+
+    def test_required_fraction_grows_with_generation(self, model):
+        fractions = [
+            model.required_sharing_fraction(16 * 2**g, 8 * 2**g)
+            for g in range(1, 5)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_no_sharing_needed_within_budget(self, model):
+        assert model.required_sharing_fraction(32, 4) == 0.0
+
+    def test_impossible_budget_raises(self, model):
+        with pytest.raises(ValueError, match="100% sharing"):
+            model.required_sharing_fraction(32, 16, traffic_budget=0.01)
+
+    def test_sweep_matches_pointwise(self, model):
+        sweep = model.traffic_sweep(32, 16, [0.1, 0.5, 0.9])
+        for f, traffic in sweep:
+            assert traffic == pytest.approx(model.relative_traffic(32, 16, f))
+
+
+class TestPrivateCacheVariant:
+    """Footnote 1: private L2s replicate shared lines, so sharing only
+    helps traffic, not capacity — strictly weaker than a shared cache."""
+
+    def test_private_needs_more_sharing(self):
+        shared = DataSharingModel(ChipDesign(16, 8), alpha=0.5,
+                                  shared_cache=True)
+        private = DataSharingModel(ChipDesign(16, 8), alpha=0.5,
+                                   shared_cache=False)
+        assert private.required_sharing_fraction(32, 16) > (
+            shared.required_sharing_fraction(32, 16)
+        )
+
+    @given(f=st.floats(min_value=0.01, max_value=0.99))
+    def test_private_traffic_always_higher(self, f):
+        shared = DataSharingModel(ChipDesign(16, 8), shared_cache=True)
+        private = DataSharingModel(ChipDesign(16, 8), shared_cache=False)
+        assert private.relative_traffic(32, 16, f) > (
+            shared.relative_traffic(32, 16, f)
+        )
+
+    def test_private_zero_sharing_also_matches_plain(self):
+        private = DataSharingModel(ChipDesign(16, 8), shared_cache=False)
+        shared = DataSharingModel(ChipDesign(16, 8), shared_cache=True)
+        assert private.relative_traffic(32, 16, 0.0) == pytest.approx(
+            shared.relative_traffic(32, 16, 0.0)
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            DataSharingModel(ChipDesign(16, 8), alpha=-0.5)
+
+    def test_rejects_bad_budget(self, model):
+        with pytest.raises(ValueError):
+            model.required_sharing_fraction(32, 16, traffic_budget=0)

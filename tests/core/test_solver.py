@@ -1,0 +1,78 @@
+"""Tests for the bisection solver and core-count flooring."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.solver import BracketError, floor_cores, solve_increasing
+
+
+class TestSolveIncreasing:
+    def test_linear(self):
+        root = solve_increasing(lambda x: 2 * x, 10, 0, 100)
+        assert root == pytest.approx(5.0)
+
+    def test_cubic_paper_equation(self):
+        """The base next-gen equation P^3 + 64P - 2048 = 0 from Section 5.1."""
+        root = solve_increasing(lambda p: p**3 + 64 * p, 2048, 0, 32)
+        assert root == pytest.approx(11.0304, abs=1e-3)
+
+    def test_handles_pole_at_upper_end(self):
+        """Traffic-style functions diverge as cache goes to zero."""
+        def traffic(p):
+            return p * ((32 - p) / p) ** -0.5
+
+        root = solve_increasing(traffic, 8.0, 0, 32)
+        assert traffic(root) == pytest.approx(8.0, rel=1e-6)
+
+    @given(
+        target=st.floats(min_value=0.01, max_value=0.99),
+        exponent=st.floats(min_value=0.3, max_value=3.0),
+    )
+    def test_power_functions(self, target, exponent):
+        root = solve_increasing(lambda x: x**exponent, target, 0, 1)
+        assert root == pytest.approx(target ** (1 / exponent), rel=1e-6, abs=1e-9)
+
+    def test_raises_when_target_above_range(self):
+        with pytest.raises(BracketError):
+            solve_increasing(lambda x: x, 5, 0, 1)
+
+    def test_raises_when_target_below_range(self):
+        with pytest.raises(BracketError):
+            solve_increasing(lambda x: x + 10, 5, 0, 1)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            solve_increasing(lambda x: x, 0.5, 1, 0)
+
+    def test_rejects_non_finite_target(self):
+        with pytest.raises(ValueError):
+            solve_increasing(lambda x: x, math.inf, 0, 1)
+
+    def test_tolerance_respected(self):
+        root = solve_increasing(lambda x: x, 0.5, 0, 1, tol=1e-3)
+        assert abs(root - 0.5) < 1e-3
+
+
+class TestFloorCores:
+    def test_plain_floor(self):
+        assert floor_cores(11.03) == 11
+        assert floor_cores(24.5) == 24
+
+    def test_exact_integer_is_kept(self):
+        assert floor_cores(32.0) == 32
+
+    def test_epsilon_guard_for_roundoff(self):
+        # A solver result like 31.999999999999 must still count as 32.
+        assert floor_cores(32 - 1e-12) == 32
+
+    def test_does_not_round_up_real_fractions(self):
+        assert floor_cores(31.999) == 31
+
+    def test_zero(self):
+        assert floor_cores(0.0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            floor_cores(-1.0)

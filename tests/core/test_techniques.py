@@ -1,0 +1,248 @@
+"""Tests for technique effects and their composition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.techniques import (
+    ALL_TECHNIQUE_TYPES,
+    NEUTRAL_EFFECT,
+    AssumptionLevel,
+    CacheCompression,
+    CacheLinkCompression,
+    Category,
+    DRAMCache,
+    LinkCompression,
+    SectoredCache,
+    SmallCacheLines,
+    SmallerCores,
+    TechniqueEffect,
+    ThreeDStackedCache,
+    UnusedDataFiltering,
+)
+
+
+class TestTechniqueEffect:
+    def test_neutral_effect_is_identity(self):
+        assert NEUTRAL_EFFECT.capacity_factor == 1.0
+        assert NEUTRAL_EFFECT.traffic_factor == 1.0
+        assert NEUTRAL_EFFECT.effective_cache_ceas(32, 16) == 16.0
+
+    def test_effective_cache_with_dram_density(self):
+        effect = TechniqueEffect(on_die_density=8)
+        assert effect.effective_cache_ceas(32, 16) == 128.0
+
+    def test_effective_cache_with_3d_layer(self):
+        effect = TechniqueEffect(stacked_layers=1)
+        # (32 - 16) on die + 32 stacked
+        assert effect.effective_cache_ceas(32, 16) == 48.0
+
+    def test_stacked_layer_inherits_dram_density(self):
+        effect = TechniqueEffect(on_die_density=8, stacked_layers=1)
+        assert effect.resolved_stacked_density == 8
+        # 8*(32-16) + 8*32
+        assert effect.effective_cache_ceas(32, 16) == 384.0
+
+    def test_explicit_stacked_density(self):
+        effect = TechniqueEffect(stacked_layers=1, stacked_density=16)
+        # SRAM on die, 16x DRAM stacked
+        assert effect.effective_cache_ceas(32, 16) == 16 + 16 * 32
+
+    def test_capacity_factor_inflates_everything(self):
+        effect = TechniqueEffect(capacity_factor=2, stacked_layers=1)
+        assert effect.effective_cache_ceas(32, 16) == 2 * 48.0
+
+    def test_small_cores_free_die_area(self):
+        effect = TechniqueEffect(core_area_fraction=0.25)
+        assert effect.effective_cache_ceas(32, 16) == 32 - 4
+
+    def test_rejects_overfull_die(self):
+        with pytest.raises(ValueError):
+            TechniqueEffect().effective_cache_ceas(16, 20)
+
+    def test_rejects_invalid_factors(self):
+        with pytest.raises(ValueError):
+            TechniqueEffect(capacity_factor=0)
+        with pytest.raises(ValueError):
+            TechniqueEffect(traffic_factor=-1)
+        with pytest.raises(ValueError):
+            TechniqueEffect(stacked_layers=-1)
+        with pytest.raises(ValueError):
+            TechniqueEffect(core_area_fraction=0)
+
+
+class TestCombine:
+    def test_multiplicative_factors_multiply(self):
+        a = TechniqueEffect(capacity_factor=2, traffic_factor=3)
+        b = TechniqueEffect(capacity_factor=5, traffic_factor=7)
+        c = a.combine(b)
+        assert c.capacity_factor == 10
+        assert c.traffic_factor == 21
+
+    def test_combine_is_commutative(self):
+        a = CacheLinkCompression(2.0).effect()
+        b = DRAMCache(8.0).effect()
+        assert a.combine(b) == b.combine(a)
+
+    def test_combine_is_associative(self):
+        a = CacheCompression(2.0).effect()
+        b = ThreeDStackedCache().effect()
+        c = SmallCacheLines(0.4).effect()
+        assert a.combine(b).combine(c) == a.combine(b.combine(c))
+
+    def test_neutral_is_identity_element(self):
+        for technique_type in ALL_TECHNIQUE_TYPES:
+            effect = technique_type.realistic().effect()
+            assert effect.combine(NEUTRAL_EFFECT) == effect
+            assert NEUTRAL_EFFECT.combine(effect) == effect
+
+    def test_conflicting_densities_rejected(self):
+        with pytest.raises(ValueError, match="densit"):
+            DRAMCache(8.0).effect().combine(DRAMCache(16.0).effect())
+
+    def test_conflicting_core_sizes_rejected(self):
+        with pytest.raises(ValueError, match="core size"):
+            SmallerCores(0.1).effect().combine(SmallerCores(0.2).effect())
+
+    def test_same_density_combines(self):
+        effect = DRAMCache(8.0).effect().combine(DRAMCache(8.0).effect())
+        assert effect.on_die_density == 8.0
+
+    def test_dram_plus_3d_makes_stack_dram(self):
+        effect = DRAMCache(8.0).effect().combine(ThreeDStackedCache().effect())
+        assert effect.stacked_layers == 1
+        assert effect.resolved_stacked_density == 8.0
+
+
+class TestIndividualTechniques:
+    def test_cache_compression_is_pure_capacity(self):
+        effect = CacheCompression(2.0).effect()
+        assert effect.capacity_factor == 2.0
+        assert effect.traffic_factor == 1.0
+
+    def test_link_compression_is_pure_traffic(self):
+        effect = LinkCompression(2.0).effect()
+        assert effect.capacity_factor == 1.0
+        assert effect.traffic_factor == 2.0
+
+    def test_cache_link_compression_is_dual(self):
+        effect = CacheLinkCompression(2.0).effect()
+        assert effect.capacity_factor == 2.0
+        assert effect.traffic_factor == 2.0
+
+    def test_filtering_capacity_factor(self):
+        effect = UnusedDataFiltering(0.4).effect()
+        assert effect.capacity_factor == pytest.approx(1 / 0.6)
+        assert effect.traffic_factor == 1.0
+
+    def test_sectored_traffic_factor(self):
+        effect = SectoredCache(0.4).effect()
+        assert effect.capacity_factor == 1.0
+        assert effect.traffic_factor == pytest.approx(1 / 0.6)
+
+    def test_small_lines_dual_factor(self):
+        effect = SmallCacheLines(0.4).effect()
+        assert effect.capacity_factor == pytest.approx(1 / 0.6)
+        assert effect.traffic_factor == pytest.approx(1 / 0.6)
+
+    def test_dram_cache_density(self):
+        assert DRAMCache(8.0).effect().on_die_density == 8.0
+
+    def test_3d_adds_layer(self):
+        effect = ThreeDStackedCache().effect()
+        assert effect.stacked_layers == 1
+        assert effect.stacked_density == 1.0
+
+    def test_smaller_cores_fraction(self):
+        technique = SmallerCores(1 / 80)
+        assert technique.effect().core_area_fraction == pytest.approx(1 / 80)
+        assert technique.area_reduction == pytest.approx(80)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CacheCompression(0.9)
+        with pytest.raises(ValueError):
+            LinkCompression(0.5)
+        with pytest.raises(ValueError):
+            DRAMCache(0.5)
+        with pytest.raises(ValueError):
+            ThreeDStackedCache(0.0)
+        with pytest.raises(ValueError):
+            UnusedDataFiltering(1.0)
+        with pytest.raises(ValueError):
+            SectoredCache(-0.1)
+        with pytest.raises(ValueError):
+            SmallCacheLines(1.5)
+        with pytest.raises(ValueError):
+            SmallerCores(0.0)
+
+
+class TestTable2Presets:
+    def test_compression_presets(self):
+        assert CacheCompression.pessimistic().ratio == 1.25
+        assert CacheCompression.realistic().ratio == 2.0
+        assert CacheCompression.optimistic().ratio == 3.5
+        assert LinkCompression.realistic().ratio == 2.0
+        assert CacheLinkCompression.optimistic().ratio == 3.5
+
+    def test_dram_presets(self):
+        assert DRAMCache.pessimistic().density == 4.0
+        assert DRAMCache.realistic().density == 8.0
+        assert DRAMCache.optimistic().density == 16.0
+
+    def test_unused_data_presets(self):
+        for cls in (UnusedDataFiltering, SectoredCache, SmallCacheLines):
+            assert cls.pessimistic().unused_fraction == 0.1
+            assert cls.realistic().unused_fraction == 0.4
+            assert cls.optimistic().unused_fraction == 0.8
+
+    def test_smaller_cores_presets(self):
+        assert SmallerCores.pessimistic().area_reduction == pytest.approx(9)
+        assert SmallerCores.realistic().area_reduction == pytest.approx(40)
+        assert SmallerCores.optimistic().area_reduction == pytest.approx(80)
+
+    def test_3d_has_single_sram_assumption(self):
+        for level in AssumptionLevel:
+            assert ThreeDStackedCache.at_level(level).layer_density == 1.0
+
+    def test_every_technique_has_all_levels(self):
+        for technique_type in ALL_TECHNIQUE_TYPES:
+            for level in AssumptionLevel:
+                technique = technique_type.at_level(level)
+                assert technique.effect() is not None
+
+    def test_categories(self):
+        assert CacheCompression.category is Category.INDIRECT
+        assert DRAMCache.category is Category.INDIRECT
+        assert ThreeDStackedCache.category is Category.INDIRECT
+        assert UnusedDataFiltering.category is Category.INDIRECT
+        assert SmallerCores.category is Category.INDIRECT
+        assert LinkCompression.category is Category.DIRECT
+        assert SectoredCache.category is Category.DIRECT
+        assert SmallCacheLines.category is Category.DUAL
+        assert CacheLinkCompression.category is Category.DUAL
+
+    def test_labels_match_figure15(self):
+        labels = [t.label for t in ALL_TECHNIQUE_TYPES]
+        assert labels == ["CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect",
+                          "SmCl", "CC/LC"]
+
+
+class TestEffectProperties:
+    @given(
+        ratio=st.floats(min_value=1.0, max_value=10.0),
+        n=st.floats(min_value=2, max_value=1000),
+    )
+    def test_capacity_scales_linearly(self, ratio, n):
+        effect = TechniqueEffect(capacity_factor=ratio)
+        plain = TechniqueEffect()
+        p = n / 2
+        assert effect.effective_cache_ceas(n, p) == pytest.approx(
+            ratio * plain.effective_cache_ceas(n, p)
+        )
+
+    @given(
+        f=st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_dual_techniques_keep_factors_equal(self, f):
+        effect = SmallCacheLines(f).effect()
+        assert effect.capacity_factor == pytest.approx(effect.traffic_factor)

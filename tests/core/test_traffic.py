@@ -1,0 +1,111 @@
+"""Tests for the CMP memory-traffic model (Equations 3-5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.area import ChipDesign
+from repro.core.traffic import TrafficModel
+
+
+@pytest.fixture
+def baseline():
+    return ChipDesign(total_ceas=16, core_ceas=8)
+
+
+class TestWorkedExample:
+    """Section 4.2's 8 -> 12 core reallocation example."""
+
+    def test_total_traffic_increase(self, baseline):
+        model = TrafficModel(alpha=0.5)
+        ratio = model.relative_traffic(baseline, baseline.with_cores(12))
+        assert ratio.total == pytest.approx(2.6, abs=0.01)
+
+    def test_core_factor(self, baseline):
+        model = TrafficModel(alpha=0.5)
+        ratio = model.relative_traffic(baseline, baseline.with_cores(12))
+        assert ratio.core_factor == pytest.approx(1.5)
+
+    def test_cache_factor(self, baseline):
+        model = TrafficModel(alpha=0.5)
+        ratio = model.relative_traffic(baseline, baseline.with_cores(12))
+        assert ratio.cache_factor == pytest.approx(1.73, abs=0.005)
+
+
+class TestDecomposition:
+    @given(
+        alpha=st.floats(min_value=0.1, max_value=1.0),
+        p2=st.floats(min_value=1, max_value=30),
+    )
+    def test_total_is_product_of_factors(self, alpha, p2):
+        model = TrafficModel(alpha=alpha)
+        base = ChipDesign(total_ceas=16, core_ceas=8)
+        ratio = model.relative_traffic(base, ChipDesign(32, p2))
+        assert ratio.total == pytest.approx(
+            ratio.core_factor * ratio.cache_factor, rel=1e-12
+        )
+
+    def test_identical_designs_have_unit_traffic(self, baseline):
+        model = TrafficModel(alpha=0.5)
+        ratio = model.relative_traffic(baseline, baseline)
+        assert ratio.total == pytest.approx(1.0)
+
+    @given(alpha=st.floats(min_value=0.1, max_value=1.0))
+    def test_proportional_scaling_doubles_traffic(self, alpha):
+        """Doubling cores and cache doubles traffic, regardless of alpha."""
+        model = TrafficModel(alpha=alpha)
+        base = ChipDesign(16, 8)
+        doubled = base.proportionally_scaled(2)
+        ratio = model.relative_traffic(base, doubled)
+        assert ratio.total == pytest.approx(2.0, rel=1e-12)
+        assert ratio.cache_factor == pytest.approx(1.0)
+
+    def test_symmetry_inversion(self, baseline):
+        """M(a->b) * M(b->a) = 1."""
+        model = TrafficModel(alpha=0.5)
+        other = ChipDesign(32, 20)
+        fwd = model.relative_traffic(baseline, other).total
+        back = model.relative_traffic(other, baseline).total
+        assert fwd * back == pytest.approx(1.0, rel=1e-12)
+
+
+class TestEffectiveCapacityOverride:
+    def test_override_changes_only_cache_factor(self, baseline):
+        model = TrafficModel(alpha=0.5)
+        candidate = ChipDesign(32, 16)
+        plain = model.relative_traffic(baseline, candidate)
+        boosted = model.relative_traffic(
+            baseline, candidate, candidate_cache_per_core=4.0
+        )
+        assert boosted.core_factor == plain.core_factor
+        assert boosted.cache_factor == pytest.approx(0.5)  # 4x cache, alpha 0.5
+
+    def test_rejects_nonpositive_override(self, baseline):
+        model = TrafficModel(alpha=0.5)
+        with pytest.raises(ValueError):
+            model.relative_traffic(
+                baseline, ChipDesign(32, 16), candidate_cache_per_core=0
+            )
+
+
+class TestSweep:
+    def test_traffic_vs_cores_is_increasing(self, baseline):
+        model = TrafficModel(alpha=0.5)
+        sweep = model.traffic_vs_cores(baseline, 32, range(1, 29))
+        values = [traffic for _, traffic in sweep]
+        assert values == sorted(values)
+
+    def test_figure2_crossings(self, baseline):
+        """Traffic = 1 falls between 11 and 12 cores; = 2 at exactly 16."""
+        model = TrafficModel(alpha=0.5)
+        sweep = dict(model.traffic_vs_cores(baseline, 32, range(1, 29)))
+        assert sweep[11] < 1.0 < sweep[12]
+        assert sweep[16] == pytest.approx(2.0)
+
+    def test_rejects_cacheless_point(self, baseline):
+        model = TrafficModel(alpha=0.5)
+        with pytest.raises(ValueError):
+            model.traffic_vs_cores(baseline, 32, [32])
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            TrafficModel(alpha=-1)

@@ -1,0 +1,53 @@
+"""Tests for the scenario-solver CLI mode."""
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+class TestSolveCommand:
+    def test_base_scenario(self, capsys):
+        assert cli_main(["solve"]) == 0
+        out = capsys.readouterr().out
+        assert "cores         : 11" in out
+        assert "sub-proportional" in out
+
+    def test_headline_combination(self, capsys):
+        argv = ["solve", "--ceas", "256", "--technique", "CC/LC=2",
+                "--technique", "DRAM=8", "--technique", "3D",
+                "--technique", "SmCl=0.4"]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cores         : 183" in out
+        assert "super-proportional" in out
+
+    def test_default_technique_parameters(self, capsys):
+        assert cli_main(["solve", "--technique", "DRAM"]) == 0
+        out = capsys.readouterr().out
+        assert "cores         : 18" in out  # DRAM default density 8
+
+    def test_budget_flag(self, capsys):
+        assert cli_main(["solve", "--budget", "1.5"]) == 0
+        assert "cores         : 13" in capsys.readouterr().out
+
+    def test_alpha_flag(self, capsys):
+        assert cli_main(["solve", "--alpha", "0.25", "--ceas", "256"]) == 0
+        assert "cores         : 15" in capsys.readouterr().out
+
+    def test_smaller_cores_takes_reduction_factor(self, capsys):
+        assert cli_main(["solve", "--technique", "SmCo=80"]) == 0
+        assert "cores         : 12" in capsys.readouterr().out
+
+    def test_unknown_technique_fails_cleanly(self, capsys):
+        assert cli_main(["solve", "--technique", "WARP=9"]) == 2
+        assert "unknown technique" in capsys.readouterr().err
+
+    def test_bad_parameter_fails_cleanly(self, capsys):
+        assert cli_main(["solve", "--technique", "CC=0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "CC" in err
+
+    def test_conflicting_techniques_fail_cleanly(self, capsys):
+        argv = ["solve", "--technique", "DRAM=8", "--technique", "DRAM=16"]
+        assert cli_main(argv) == 2
+        assert "densit" in capsys.readouterr().err

@@ -1,0 +1,33 @@
+"""Tests for the model-fidelity extension experiment."""
+
+import pytest
+
+from repro.experiments import ext_validation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_validation.run(accesses=40_000, working_set_lines=1 << 12)
+
+
+class TestExtValidation:
+    def test_commercial_extrapolates_within_ten_percent(self, result):
+        assert result.commercial_worst < 0.10
+
+    def test_spec_like_breaks_the_law(self, result):
+        assert result.spec_worst > 0.3
+
+    def test_gap_is_an_order_of_magnitude(self, result):
+        assert result.spec_worst > 3 * result.commercial_worst
+
+    def test_every_preset_reported(self, result):
+        from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+        from repro.workloads.spec2006 import SPEC2006_WORKLOADS
+
+        assert len(result.reports) == (
+            len(COMMERCIAL_WORKLOADS) + len(SPEC2006_WORKLOADS)
+        )
+
+    def test_figure_series_matches_reports(self, result):
+        series = result.figure.get("worst holdout error")
+        assert len(series.points) == len(result.reports)

@@ -1,0 +1,260 @@
+"""Tests for the extension experiments (the paper's stated limitations,
+modelled and measured)."""
+
+import pytest
+
+from repro.experiments import (
+    ext_amdahl,
+    ext_heterogeneous,
+    ext_line_size,
+    ext_private_sharing,
+    ext_roadmap,
+    ext_smt,
+)
+from repro.experiments import run_experiment
+
+
+class TestHeterogeneous:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_heterogeneous.run()
+
+    def test_little_cores_maximise_count(self, result):
+        by_label = {s.mix.label: s for s in result.solutions}
+        assert by_label["1xlittle"].total_cores == max(
+            s.total_cores for s in result.solutions
+        )
+
+    def test_every_solution_fits_budget_and_die(self, result):
+        for solution in result.solutions:
+            assert solution.cache_ceas > 0
+            assert solution.core_area < solution.total_ceas
+
+    def test_mixes_interpolate_extremes(self, result):
+        by_label = {s.mix.label: s for s in result.solutions}
+        mixed = by_label["1xbig + 4xlittle"]
+        assert (by_label["1xbig"].total_cores
+                < mixed.total_cores
+                < by_label["1xlittle"].total_cores)
+
+    def test_best_is_max_throughput(self, result):
+        assert result.best.throughput == max(
+            s.throughput for s in result.solutions
+        )
+
+
+class TestRoadmap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_roadmap.run()
+
+    def test_flat_onset_immediately(self, result):
+        onset, _ = result.studies[("flat", 1.0)]
+        assert onset == 1
+
+    def test_compression_delays_onset(self, result):
+        onset_plain, _ = result.studies[("flat", 1.0)]
+        onset_lc, _ = result.studies[("flat", 2.0)]
+        assert onset_lc > onset_plain
+
+    def test_better_roadmaps_support_more_cores(self, result):
+        flat = result.studies[("flat", 1.0)][1]
+        itrs = result.studies[("ITRS pins only", 1.0)][1]
+        rich = result.studies[("pins + frequency + channels", 1.0)][1]
+        for f, i, r in zip(flat, itrs, rich):
+            assert f.supportable_cores <= i.supportable_cores
+            assert i.supportable_cores <= r.supportable_cores
+
+    def test_no_roadmap_here_keeps_proportional_pace(self, result):
+        """Even pins+frequency+channels loses to 2x/generation demand —
+        the paper's framing of why conservation techniques matter."""
+        for (name, ratio), (onset, _) in result.studies.items():
+            if ratio == 1.0:
+                assert onset == 1, name
+
+
+class TestSMT:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_smt.run()
+
+    def test_severity_monotone_in_width(self, result):
+        severities = [values[1] for values in result.by_width.values()]
+        assert severities == sorted(severities)
+
+    def test_single_thread_matches_base_model(self, result):
+        cores, severity, _ = result.by_width[1]
+        assert severity == pytest.approx(0.0)
+        assert cores == 14  # base model at 64 CEAs
+
+    def test_core_count_falls_with_width(self, result):
+        counts = [values[0] for values in result.by_width.values()]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestAmdahl:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_amdahl.run()
+
+    def test_bandwidth_binds_everywhere_on_this_grid(self, result):
+        """On a balanced baseline the area bound always exceeds the
+        wall's bound, so 'bandwidth' is the binding constraint."""
+        for (f, factor), (constraint, _) in result.grid.items():
+            assert constraint == "bandwidth"
+
+    def test_speedup_grows_with_parallelism(self, result):
+        at_16x = [result.grid[(f, 16.0)][1]
+                  for f in ext_amdahl.DEFAULT_FRACTIONS]
+        assert at_16x == sorted(at_16x)
+
+    def test_serial_workloads_plateau_early(self, result):
+        """f=0.5 caps speedup at 2 regardless of the wall."""
+        speedups = [result.grid[(0.5, factor)][1]
+                    for factor in (2.0, 4.0, 8.0, 16.0)]
+        assert all(s < 2.0 for s in speedups)
+        assert speedups[-1] - speedups[0] < 0.2
+
+
+class TestLineSize:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_line_size.run(accesses=30_000)
+
+    def test_fetched_bytes_grow_with_line_size(self, result):
+        fetched = [values[1] for values in result.by_line_size.values()]
+        assert fetched == sorted(fetched)
+
+    def test_small_lines_move_far_less_data(self, result):
+        small = result.by_line_size[16][1]
+        large = result.by_line_size[256][1]
+        assert large > 5 * small
+
+    def test_miss_rates_stay_same_order_of_magnitude(self, result):
+        rates = [values[0] for values in result.by_line_size.values()]
+        assert max(rates) < 5 * min(rates)
+
+
+class TestPrivateSharing:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_private_sharing.run(core_counts=(4,),
+                                       accesses_per_core=10_000)
+
+    def test_private_fetches_more_than_shared(self, result):
+        shared_rate, private_rate, _ = result.by_cores[4]
+        assert private_rate > shared_rate
+
+    def test_replication_above_one(self, result):
+        _, _, replication = result.by_cores[4]
+        assert replication > 1.0
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        from repro.experiments import experiment_ids
+
+        ids = experiment_ids()
+        for ext in ("ext-het", "ext-roadmap", "ext-smt", "ext-amdahl",
+                    "ext-linesize", "ext-sharing"):
+            assert ext in ids
+
+    def test_run_by_id(self):
+        result = run_experiment("ext-smt")
+        assert 1 in result.by_width
+
+
+class TestOverheads:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_overheads
+
+        return ext_overheads.run()
+
+    def test_three_regimes(self, result):
+        assert set(result.curves) == {
+            "free interconnect", "constant router/core",
+            "superlinear fabric",
+        }
+
+    def test_saturation_everywhere(self, result):
+        """The smaller-core payoff is bounded (Section 6.1's 2x cache
+        ceiling keeps the gain well under proportional's 16/11)."""
+        for regime in result.curves:
+            assert 1.0 < result.saturation_gain(regime) < 1.3
+
+    def test_overheads_lower_the_asymptote(self, result):
+        free = result.asymptote("free interconnect")
+        constant = result.asymptote("constant router/core")
+        superlinear = result.asymptote("superlinear fabric")
+        assert superlinear < constant < free
+
+    def test_registered(self):
+        from repro.experiments import experiment_ids
+
+        assert "ext-overheads" in experiment_ids()
+
+
+class TestWall:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_wall
+
+        return ext_wall.run()
+
+    def test_three_configurations(self, result):
+        assert set(result.curves) == {
+            "baseline", "2x link compression", "4x cache per core",
+        }
+
+    def test_curves_monotone_and_saturating(self, result):
+        for name, points in result.curves.items():
+            ipcs = [ipc for _, ipc in points]
+            assert ipcs == sorted(ipcs), name
+            assert ipcs[-1] / ipcs[-2] < 1.05, name
+
+    def test_both_valves_double_the_saturated_throughput(self, result):
+        """Both relief valves double the plateau: LC halves the bytes
+        per miss, 4x cache halves the misses (alpha = 0.5)."""
+        plateau = {name: points[-1][1]
+                   for name, points in result.curves.items()}
+        assert plateau["2x link compression"] == pytest.approx(
+            2 * plateau["baseline"], rel=0.05
+        )
+        assert plateau["4x cache per core"] == pytest.approx(
+            2 * plateau["baseline"], rel=0.05
+        )
+
+    def test_knees_move_outward(self, result):
+        assert result.knees["2x link compression"] > (
+            result.knees["baseline"]
+        )
+
+    def test_registered(self):
+        from repro.experiments import experiment_ids
+
+        assert "ext-wall" in experiment_ids()
+
+
+class TestPower:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_power
+
+        return ext_power.run()
+
+    def test_bandwidth_binds_first_unaided(self, result):
+        assert result.binding_at("base", 32.0) == "bandwidth"
+        assert result.binding_at("base", 64.0) == "bandwidth"
+
+    def test_power_overtakes_by_generation_four(self, result):
+        assert result.binding_at("base", 256.0) == "power"
+
+    def test_relief_shifts_the_binding_to_power(self, result):
+        for ceas in (32.0, 64.0, 128.0, 256.0):
+            assert result.binding_at("link-compressed", ceas) == "power"
+
+    def test_registered(self):
+        from repro.experiments import experiment_ids
+
+        assert "ext-power" in experiment_ids()

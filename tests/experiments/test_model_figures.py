@@ -1,0 +1,263 @@
+"""Golden tests for the analytic-model figures (2-13, 15-17, Table 2).
+
+Each test pins the experiment output to the paper's reported values.
+The simulation-backed figures (1 and 14) have their own module with
+runtime-conscious parameters.
+"""
+
+import pytest
+
+from repro.experiments import fig02, fig03, fig04, fig05, fig06, fig07
+from repro.experiments import fig08, fig09, fig10, fig11, fig12, fig13
+from repro.experiments import fig15, fig16, fig17, table2
+
+
+class TestFigure2:
+    def test_crossings(self):
+        result = fig02.run()
+        assert result.supportable_cores_flat == 11
+        assert result.supportable_cores_optimistic == 13
+        assert result.traffic_at_16_cores == pytest.approx(2.0)
+
+    def test_traffic_series_is_increasing(self):
+        series = fig02.run().figure.get("New Traffic")
+        assert list(series.ys) == sorted(series.ys)
+
+    def test_traffic_straddles_envelope_at_11(self):
+        series = fig02.run().figure.get("New Traffic")
+        assert series.y_at(11) < 1.0 < series.y_at(12)
+
+
+class TestFigure3:
+    def test_16x_checkpoint(self):
+        result = fig03.run()
+        assert result.cores_at_16x == 24
+        assert result.core_area_share_at_16x == pytest.approx(0.094, abs=0.01)
+
+    def test_core_share_declines_monotonically(self):
+        shares = fig03.run().figure.get("% of Chip Area for Cores").ys
+        assert list(shares) == sorted(shares, reverse=True)
+
+    def test_128x_is_worse_than_16x(self):
+        result = fig03.run()
+        share_128 = result.figure.get("% of Chip Area for Cores").y_at(128)
+        assert share_128 < result.core_area_share_at_16x
+
+
+class TestFigure4:
+    def test_paper_core_counts(self):
+        result = fig04.run(ratios=(1.3, 1.7, 2.0, 2.5, 3.0))
+        assert list(result.cores_by_parameter.values()) == [11, 12, 13, 14, 14]
+
+    def test_assumption_levels(self):
+        result = fig04.run()
+        assert result.baseline_cores == 11
+        assert result.realistic_cores == 13
+        assert (result.pessimistic_cores
+                <= result.realistic_cores
+                <= result.optimistic_cores)
+
+
+class TestFigure5:
+    def test_paper_core_counts(self):
+        result = fig05.run()
+        assert result.cores_by_parameter == {4.0: 16, 8.0: 18, 16.0: 21}
+
+    def test_realistic_is_8x(self):
+        assert fig05.run().realistic_cores == 18
+
+
+class TestFigure6:
+    def test_paper_core_counts(self):
+        result = fig06.run()
+        assert result.cores_by_parameter == {1.0: 14, 8.0: 25, 16.0: 32}
+
+
+class TestFigure7:
+    def test_paper_core_counts(self):
+        result = fig07.run()
+        assert result.cores_by_parameter[0.4] == 12
+        assert result.cores_by_parameter[0.8] == 16
+
+
+class TestFigure8:
+    def test_limited_benefit(self):
+        result = fig08.run()
+        assert all(cores <= 13 for cores in result.cores_by_parameter.values())
+        assert result.cores_by_parameter[80.0] == 12
+
+    def test_monotone_in_reduction(self):
+        values = list(fig08.run().cores_by_parameter.values())
+        assert values == sorted(values)
+
+
+class TestFigure9:
+    def test_proportional_at_2x(self):
+        assert fig09.run().cores_by_parameter[2.0] == 16
+
+    def test_super_proportional_beyond(self):
+        result = fig09.run()
+        assert result.cores_by_parameter[3.0] > 16
+
+
+class TestFigure10:
+    def test_beats_filtering_pointwise(self):
+        sect = fig10.run().cores_by_parameter
+        fltr = fig07.run().cores_by_parameter
+        for fraction in (0.1, 0.2, 0.4, 0.8):
+            assert sect[fraction] >= fltr[fraction]
+
+    def test_realistic_and_optimistic(self):
+        result = fig10.run()
+        assert result.cores_by_parameter[0.4] == 14
+        assert result.cores_by_parameter[0.8] == 23
+
+
+class TestFigure11:
+    def test_realistic_reaches_proportional(self):
+        assert fig11.run().cores_by_parameter[0.4] == 16
+
+    def test_dominates_sectored_and_filtering(self):
+        smcl = fig11.run().cores_by_parameter
+        sect = fig10.run().cores_by_parameter
+        for fraction in (0.1, 0.2, 0.4, 0.8):
+            assert smcl[fraction] >= sect[fraction]
+
+
+class TestFigure12:
+    def test_super_proportional_at_2x(self):
+        assert fig12.run().cores_by_parameter[2.0] == 18
+
+
+class TestFigure13:
+    def test_required_sharing_fractions(self):
+        result = fig13.run()
+        assert result.required_sharing[16] == pytest.approx(0.40, abs=0.01)
+        assert result.required_sharing[32] == pytest.approx(0.63, abs=0.01)
+        assert result.required_sharing[64] == pytest.approx(0.77, abs=0.015)
+        assert result.required_sharing[128] == pytest.approx(0.86, abs=0.015)
+
+    def test_curves_decline_with_sharing(self):
+        figure = fig13.run().figure
+        for cores in (16, 32, 64, 128):
+            ys = figure.get(f"{cores} Cores").ys
+            assert list(ys) == sorted(ys, reverse=True)
+
+    def test_more_cores_more_traffic_at_same_sharing(self):
+        figure = fig13.run().figure
+        at_half = [figure.get(f"{c} Cores").y_at(0.5)
+                   for c in (16, 32, 64, 128)]
+        assert at_half == sorted(at_half)
+
+
+class TestFigure15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig15.run()
+
+    def test_ideal_and_base_series(self, result):
+        assert result.ideal == (16, 32, 64, 128)
+        assert result.base == (11, 14, 19, 24)
+
+    def test_every_technique_has_four_candles(self, result):
+        labels = {c.label for c in result.candles}
+        assert labels == {"CC", "DRAM", "3D", "Fltr", "SmCo", "LC", "Sect",
+                          "SmCl", "CC/LC"}
+        for label in labels:
+            assert len(result.candles_for(label)) == 4
+
+    def test_candles_ordered(self, result):
+        for candle in result.candles:
+            assert candle.pessimistic <= candle.realistic <= candle.optimistic
+
+    def test_duals_beat_directs_beat_indirects_realistic(self, result):
+        """Section 6.4's ordering at 16x (DRAM is the noted exception)."""
+        at_16x = {c.label: c.realistic for c in result.candles
+                  if c.generation == "16x"}
+        assert at_16x["CC/LC"] > at_16x["LC"] > at_16x["CC"]
+        assert at_16x["SmCl"] > at_16x["Sect"] > at_16x["Fltr"]
+        assert at_16x["DRAM"] > at_16x["CC"]  # the 8x-density exception
+
+    def test_dram_16x_checkpoint(self, result):
+        dram = {c.generation: c.realistic for c in result.candles_for("DRAM")}
+        assert dram["16x"] == 47
+
+    def test_cc_and_lc_16x_checkpoints(self, result):
+        cc = {c.generation: c.realistic for c in result.candles_for("CC")}
+        lc = {c.generation: c.realistic for c in result.candles_for("LC")}
+        assert cc["16x"] == 30
+        assert lc["16x"] == 38
+
+    def test_gap_to_ideal_grows(self, result):
+        gaps = [ideal - base for ideal, base in zip(result.ideal, result.base)]
+        assert gaps == sorted(gaps)
+
+
+class TestFigure16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig16.run()
+
+    def test_all_combination_headline(self, result):
+        name, cores = result.best_at_16x
+        assert name == "CC/LC + DRAM + 3D + SmCl"
+        assert cores == 183
+
+    def test_fifteen_combinations(self, result):
+        assert len(result.combos) == 15
+
+    def test_all_combos_beat_base_every_generation(self, result):
+        for cores in result.combos.values():
+            assert all(c > b for c, b in zip(cores, result.base))
+
+    def test_combos_monotone_across_generations(self, result):
+        for cores in result.combos.values():
+            assert list(cores) == sorted(cores)
+
+
+class TestFigure17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig17.run()
+
+    def test_base_alpha_gap_near_double(self, result):
+        hi = result.cores[("BASE", 0.62)][-1]
+        lo = result.cores[("BASE", 0.25)][-1]
+        assert hi / lo == pytest.approx(2.0, abs=0.35)
+
+    def test_low_alpha_blocks_proportional_scaling(self, result):
+        for config in ("DRAM", "CC/LC + DRAM"):
+            assert result.cores[(config, 0.25)][-1] < 128
+
+    def test_high_alpha_enables_super_proportional(self, result):
+        assert result.cores[("CC/LC + DRAM + 3D", 0.62)][-1] > 128
+
+    def test_higher_alpha_dominates_everywhere(self, result):
+        for config in ("BASE", "DRAM", "CC/LC + DRAM", "CC/LC + DRAM + 3D"):
+            hi = result.cores[(config, 0.62)]
+            lo = result.cores[(config, 0.25)]
+            assert all(h >= l for h, l in zip(hi, lo))
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return table2.run()
+
+    def test_nine_rows(self, entries):
+        assert len(entries) == 9
+
+    def test_spreads_match_variability_ratings(self, entries):
+        """'High range' techniques must spread wider than 'low range'."""
+        by_rating = {}
+        for entry in entries:
+            by_rating.setdefault(entry.row.variability, []).append(entry.spread)
+        assert max(by_rating["Low"]) <= min(by_rating["High"])
+
+    def test_realistic_cores_sorted_by_effectiveness(self, entries):
+        """'High effectiveness' techniques support more cores than 'low'."""
+        high = [e.cores_realistic for e in entries
+                if e.row.effectiveness == "High"]
+        low = [e.cores_realistic for e in entries
+               if e.row.effectiveness == "Low"]
+        assert min(high) > max(low)

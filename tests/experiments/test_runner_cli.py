@@ -1,0 +1,50 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        paper = [f"fig{k}" for k in range(1, 18)] + ["table2"]
+        assert ids[: len(paper)] == paper
+        assert all(extra.startswith("ext-") for extra in ids[len(paper):])
+
+    def test_run_by_id(self):
+        result = run_experiment("fig2")
+        assert result.supportable_cores_flat == 11
+
+    def test_id_normalisation(self):
+        assert run_experiment("Figure 3").cores_at_16x == 24
+        assert run_experiment("fig03").cores_at_16x == 24
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_kwargs_forwarded(self):
+        result = run_experiment("fig4", ratios=(2.0,))
+        assert result.cores_by_parameter == {2.0: 13}
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "table2" in out
+
+    def test_single_experiment(self, capsys):
+        assert cli_main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "24 cores" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_case_insensitive(self, capsys):
+        assert cli_main(["TABLE2"]) == 0
+        assert "DRAM" in capsys.readouterr().out

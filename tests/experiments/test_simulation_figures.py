@@ -1,0 +1,79 @@
+"""Golden tests for the simulation-backed figures (1 and 14).
+
+These run the substrates end to end with runtime-conscious parameters;
+the benchmarks run the full-fidelity versions.
+"""
+
+import pytest
+
+from repro.experiments import fig01, fig14
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01.run(accesses=60_000, working_set_lines=1 << 13)
+
+    def test_commercial_average_alpha(self, result):
+        # paper: 0.48
+        assert result.commercial_average_alpha == pytest.approx(0.48,
+                                                                abs=0.06)
+
+    def test_alpha_extremes(self, result):
+        # paper: min 0.36 (OLTP-2), max 0.62 (OLTP-4)
+        assert result.commercial_min_alpha == pytest.approx(0.36, abs=0.05)
+        assert result.commercial_max_alpha == pytest.approx(0.62, abs=0.05)
+
+    def test_spec2006_average_is_shallow(self, result):
+        # paper: 0.25; 'smallest alpha (SPEC 2006)'
+        assert result.spec2006_alpha == pytest.approx(0.25, abs=0.09)
+        assert result.spec2006_alpha < result.commercial_min_alpha
+
+    def test_commercial_workloads_conform_to_power_law(self, result):
+        for spec_name in ("OLTP-1", "OLTP-2", "OLTP-3", "OLTP-4",
+                          "SPECpower"):
+            assert result.fits[spec_name].conforms, spec_name
+
+    def test_individual_spec_apps_fit_poorly(self, result):
+        """Section 4.1: individual SPEC 2006 apps 'fit less well with the
+        power law' while their average fits well."""
+        individual_r2 = [
+            fit.r_squared for name, fit in result.fits.items()
+            if name.startswith("spec-")
+        ]
+        assert min(individual_r2) < 0.9
+        assert result.fits["SPEC 2006 (AVG)"].r_squared > max(
+            min(individual_r2), 0.9
+        )
+
+    def test_normalized_series_start_at_one(self, result):
+        for series in result.figure.series:
+            assert series.ys[0] == pytest.approx(1.0)
+
+    def test_curves_decline(self, result):
+        for series in result.figure.series:
+            assert series.ys[-1] < series.ys[0]
+
+
+class TestFigure14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14.run(accesses_per_core=15_000)
+
+    def test_fraction_declines_with_cores(self, result):
+        assert result.is_declining
+
+    def test_fractions_in_parsec_band(self, result):
+        """Paper's y-axis spans ~15%-17.5%; we accept a band around it."""
+        for cores, fraction in result.measurements:
+            assert 0.10 <= fraction <= 0.25, (cores, fraction)
+
+    def test_decline_is_gentle_not_cliff(self, result):
+        """Figure 14 shows a gentle slope: 16-core sharing stays within a
+        factor ~0.7 of 4-core sharing."""
+        first = result.measurements[0][1]
+        last = result.measurements[-1][1]
+        assert last / first > 0.6
+
+    def test_measured_core_counts(self, result):
+        assert [cores for cores, _ in result.measurements] == [4, 8, 16]

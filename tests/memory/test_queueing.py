@@ -1,0 +1,90 @@
+"""Tests for the queueing models of the memory interface."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.queueing import (
+    QueueModel,
+    md1_waiting_time,
+    mm1_waiting_time,
+    saturation_throughput,
+)
+
+
+class TestWaitingTimes:
+    def test_mm1_formula(self):
+        # rho = 0.5, mu = 1: Wq = 0.5 / (1 - 0.5) = 1.0
+        assert mm1_waiting_time(0.5, 1.0) == pytest.approx(1.0)
+
+    def test_md1_is_half_of_mm1(self):
+        for rho in (0.1, 0.5, 0.9):
+            assert md1_waiting_time(rho, 1.0) == pytest.approx(
+                mm1_waiting_time(rho, 1.0) / 2
+            )
+
+    def test_saturation_gives_infinite_wait(self):
+        assert mm1_waiting_time(1.0, 1.0) == math.inf
+        assert md1_waiting_time(2.0, 1.0) == math.inf
+
+    @given(rho=st.floats(min_value=0.01, max_value=0.98))
+    def test_wait_grows_with_load(self, rho):
+        assert md1_waiting_time(rho + 0.01, 1.0) > md1_waiting_time(rho, 1.0)
+
+    def test_zero_load_zero_wait(self):
+        assert mm1_waiting_time(0.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1_waiting_time(-1, 1)
+        with pytest.raises(ValueError):
+            md1_waiting_time(1, 0)
+
+
+class TestSaturationThroughput:
+    def test_below_capacity_passes_through(self):
+        assert saturation_throughput(0.5, 1.0) == 0.5
+
+    def test_above_capacity_clips(self):
+        assert saturation_throughput(5.0, 1.0) == 1.0
+
+
+class TestQueueModel:
+    def test_service_rate(self):
+        model = QueueModel(bytes_per_cycle=16, bytes_per_request=64)
+        assert model.service_rate == 0.25
+
+    def test_utilisation(self):
+        model = QueueModel(bytes_per_cycle=16, bytes_per_request=64)
+        assert model.utilisation(0.125) == 0.5
+        assert model.utilisation(0.5) == 2.0  # oversubscribed
+
+    def test_total_latency_includes_transfer(self):
+        model = QueueModel(bytes_per_cycle=64, bytes_per_request=64)
+        assert model.total_latency(0.0) == pytest.approx(1.0)
+
+    def test_deterministic_flag(self):
+        det = QueueModel(16, 64, deterministic=True)
+        exp = QueueModel(16, 64, deterministic=False)
+        assert det.queueing_delay(0.2) < exp.queueing_delay(0.2)
+
+    def test_link_compression_doubles_capacity(self):
+        """with_compression(2) is the queueing view of LinkCompression(2)."""
+        model = QueueModel(bytes_per_cycle=16, bytes_per_request=64)
+        compressed = model.with_compression(2.0)
+        assert compressed.service_rate == 2 * model.service_rate
+        # an offered load that saturates the raw link fits compressed
+        rate = model.service_rate * 1.5
+        assert model.queueing_delay(rate) == math.inf
+        assert compressed.queueing_delay(rate) < math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueModel(0, 64)
+        with pytest.raises(ValueError):
+            QueueModel(16, 0)
+        with pytest.raises(ValueError):
+            QueueModel(16, 64).with_compression(0.5)
+        with pytest.raises(ValueError):
+            QueueModel(16, 64).utilisation(-1)

@@ -1,0 +1,163 @@
+"""Tests for the bandwidth-wall throughput demonstrator."""
+
+import math
+
+import pytest
+
+from repro.memory.channel import ChannelRequest, OffChipChannel
+from repro.memory.system import (
+    AnalyticThroughputModel,
+    BoundedBandwidthSimulation,
+    CoreParameters,
+)
+
+
+def make_core(miss_rate=0.01):
+    return CoreParameters(miss_rate=miss_rate, line_bytes=64, base_ipc=1.0,
+                          miss_penalty_cycles=100)
+
+
+class TestChannel:
+    def test_fifo_ordering(self):
+        channel = OffChipChannel(bytes_per_cycle=64)
+        first = ChannelRequest(0, 64, issue_cycle=0.0)
+        second = ChannelRequest(1, 64, issue_cycle=0.0)
+        channel.submit(first)
+        channel.submit(second)
+        assert first.finish_cycle == pytest.approx(1.0)
+        assert second.start_cycle == pytest.approx(1.0)
+        assert second.queueing_delay == pytest.approx(1.0)
+
+    def test_idle_channel_no_queueing(self):
+        channel = OffChipChannel(bytes_per_cycle=64)
+        request = ChannelRequest(0, 64, issue_cycle=10.0)
+        channel.submit(request)
+        assert request.queueing_delay == 0.0
+
+    def test_utilisation(self):
+        channel = OffChipChannel(bytes_per_cycle=64)
+        channel.submit(ChannelRequest(0, 64, issue_cycle=0.0))
+        assert channel.utilisation(2.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OffChipChannel(0)
+        channel = OffChipChannel(64)
+        with pytest.raises(ValueError):
+            channel.submit(ChannelRequest(0, 0, 0.0))
+        with pytest.raises(ValueError):
+            channel.mean_queueing_delay
+        with pytest.raises(ValueError):
+            channel.utilisation(0)
+
+
+class TestCoreParameters:
+    def test_unloaded_ipc(self):
+        core = make_core(miss_rate=0.01)
+        # CPI = 1 + 0.01 * 100 = 2
+        assert core.unloaded_ipc == pytest.approx(0.5)
+
+    def test_bandwidth_demand(self):
+        core = make_core(miss_rate=0.01)
+        assert core.bytes_per_cycle_demand == pytest.approx(0.5 * 0.01 * 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreParameters(miss_rate=1.5)
+        with pytest.raises(ValueError):
+            CoreParameters(miss_rate=0.1, base_ipc=0)
+        with pytest.raises(ValueError):
+            CoreParameters(miss_rate=0.1, line_bytes=0)
+        with pytest.raises(ValueError):
+            CoreParameters(miss_rate=0.1, miss_penalty_cycles=-1)
+
+
+class TestAnalyticModel:
+    def test_linear_below_saturation(self):
+        model = AnalyticThroughputModel(make_core(), bytes_per_cycle=10.0)
+        t2 = model.chip_throughput(2)
+        t4 = model.chip_throughput(4)
+        assert t4 == pytest.approx(2 * t2)
+
+    def test_flat_above_saturation(self):
+        model = AnalyticThroughputModel(make_core(), bytes_per_cycle=2.0)
+        saturated = math.ceil(model.saturation_cores())
+        assert model.chip_throughput(saturated + 10) == pytest.approx(
+            model.chip_throughput(saturated + 40)
+        )
+
+    def test_per_core_throughput_degrades(self):
+        model = AnalyticThroughputModel(make_core(), bytes_per_cycle=2.0)
+        cores = math.ceil(model.saturation_cores())
+        assert model.per_core_throughput(cores * 4) < (
+            model.per_core_throughput(1)
+        )
+
+    def test_no_misses_never_saturates(self):
+        model = AnalyticThroughputModel(
+            CoreParameters(miss_rate=0.0), bytes_per_cycle=1.0
+        )
+        assert model.saturation_cores() == math.inf
+        assert model.chip_throughput(100) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalyticThroughputModel(make_core(), 0)
+        model = AnalyticThroughputModel(make_core(), 1.0)
+        with pytest.raises(ValueError):
+            model.chip_throughput(-1)
+
+
+class TestBoundedSimulation:
+    def test_plateau_matches_analytic_cap(self):
+        """The event-driven run must flatten at the analytic ceiling."""
+        core = make_core(miss_rate=0.01)
+        analytic = AnalyticThroughputModel(core, bytes_per_cycle=2.0)
+        sim = BoundedBandwidthSimulation(core, bytes_per_cycle=2.0)
+        deep = sim.run(24, instructions_per_core=3000)
+        cap = analytic.chip_throughput(24)
+        assert deep.chip_ipc == pytest.approx(cap, rel=0.05)
+
+    def test_linear_region_matches_analytic(self):
+        core = make_core(miss_rate=0.01)
+        analytic = AnalyticThroughputModel(core, bytes_per_cycle=2.0)
+        sim = BoundedBandwidthSimulation(core, bytes_per_cycle=2.0)
+        light = sim.run(2, instructions_per_core=3000)
+        assert light.chip_ipc == pytest.approx(
+            analytic.chip_throughput(2), rel=0.15
+        )
+
+    def test_queueing_delay_explodes_past_saturation(self):
+        core = make_core(miss_rate=0.01)
+        sim = BoundedBandwidthSimulation(core, bytes_per_cycle=2.0)
+        light = sim.run(2, instructions_per_core=2000)
+        heavy = sim.run(20, instructions_per_core=2000)
+        assert heavy.mean_queueing_delay > 20 * max(
+            light.mean_queueing_delay, 0.5
+        )
+
+    def test_adding_cores_beyond_wall_gains_nothing(self):
+        """The paper's intro claim, verified in simulation."""
+        core = make_core(miss_rate=0.02)
+        sim = BoundedBandwidthSimulation(core, bytes_per_cycle=1.0)
+        results = sim.throughput_curve([8, 16, 32],
+                                       instructions_per_core=2000)
+        ipcs = [r.chip_ipc for r in results]
+        assert ipcs[1] == pytest.approx(ipcs[2], rel=0.03)
+
+    def test_channel_utilisation_saturates(self):
+        core = make_core(miss_rate=0.02)
+        sim = BoundedBandwidthSimulation(core, bytes_per_cycle=1.0)
+        result = sim.run(32, instructions_per_core=2000)
+        assert result.channel_utilisation > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedBandwidthSimulation(
+                CoreParameters(miss_rate=0.0), bytes_per_cycle=1.0
+            )
+        sim = BoundedBandwidthSimulation(make_core(), 1.0)
+        with pytest.raises(ValueError):
+            sim.run(0, 100)
+        with pytest.raises(ValueError):
+            sim.run(2, 0)

@@ -1,0 +1,49 @@
+"""Execute the library's docstring examples.
+
+Every ``>>>`` example in a public docstring is part of the documented
+contract; this module runs them all so the docs cannot drift from the
+code.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.tables
+import repro.compression.link
+import repro.compression.ratios
+import repro.core.amdahl
+import repro.core.area
+import repro.core.combos
+import repro.core.heterogeneous
+import repro.core.powerlaw
+import repro.core.scaling
+import repro.core.traffic
+import repro.workloads.address_stream
+import repro.workloads.commercial
+import repro.workloads.mixes
+
+_MODULES = [
+    repro.core.area,
+    repro.core.powerlaw,
+    repro.core.traffic,
+    repro.core.scaling,
+    repro.core.combos,
+    repro.core.amdahl,
+    repro.core.heterogeneous,
+    repro.analysis.tables,
+    repro.compression.link,
+    repro.compression.ratios,
+    repro.workloads.address_stream,
+    repro.workloads.commercial,
+    repro.workloads.mixes,
+]
+
+
+@pytest.mark.parametrize(
+    "module", _MODULES, ids=[m.__name__ for m in _MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+    assert results.attempted > 0, f"{module.__name__} has no examples"

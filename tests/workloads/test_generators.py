@@ -1,0 +1,171 @@
+"""Tests for the commercial / SPEC 2006 / PARSEC-like generators."""
+
+import pytest
+
+from repro.workloads.address_stream import (
+    MemoryAccess,
+    interleave_round_robin,
+    take,
+)
+from repro.workloads.commercial import (
+    COMMERCIAL_WORKLOADS,
+    commercial_average_alpha,
+    commercial_generator,
+)
+from repro.workloads.parsec_like import ParsecLikeWorkload
+from repro.workloads.spec2006 import (
+    SPEC2006_WORKLOADS,
+    DiscreteWorkingSetGenerator,
+    spec2006_generator,
+)
+
+
+class TestAddressStreamHelpers:
+    def test_take_bounds(self):
+        gen = commercial_generator("OLTP-1", working_set_lines=256)
+        assert len(take(gen, 50)) == 50
+
+    def test_take_rejects_negative(self):
+        with pytest.raises(ValueError):
+            take([], -1)
+
+    def test_interleave_round_robin(self):
+        a = [MemoryAccess(0, False, 0)] * 3
+        b = [MemoryAccess(64, False, 1)] * 3
+        merged = list(interleave_round_robin([a, b]))
+        assert [m.core_id for m in merged] == [0, 1, 0, 1, 0, 1]
+
+    def test_interleave_stops_at_shortest(self):
+        a = [MemoryAccess(0, False, 0)] * 5
+        b = [MemoryAccess(64, False, 1)] * 2
+        merged = list(interleave_round_robin([a, b]))
+        assert len(merged) == 5  # a,b,a,b,a then b exhausted
+
+    def test_interleave_empty(self):
+        assert list(interleave_round_robin([])) == []
+
+
+class TestCommercialPresets:
+    def test_seven_presets_matching_figure1(self):
+        names = [w.name for w in COMMERCIAL_WORKLOADS]
+        assert len(names) == 7
+        assert "OLTP-2" in names and "OLTP-4" in names
+
+    def test_alpha_extremes_match_paper(self):
+        by_name = {w.name: w for w in COMMERCIAL_WORKLOADS}
+        assert by_name["OLTP-2"].alpha == 0.36
+        assert by_name["OLTP-4"].alpha == 0.62
+
+    def test_average_alpha_near_paper(self):
+        assert commercial_average_alpha() == pytest.approx(0.48, abs=0.02)
+
+    def test_generator_lookup(self):
+        gen = commercial_generator("SPECpower")
+        assert gen.alpha == 0.45
+
+    def test_generator_overrides(self):
+        gen = commercial_generator("SPECpower", working_set_lines=128)
+        assert gen.working_set_lines == 128
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            commercial_generator("TPC-H")
+
+
+class TestSpec2006:
+    def test_presets_available(self):
+        assert len(SPEC2006_WORKLOADS) == 8
+        gen = spec2006_generator("spec-a")
+        assert gen.footprint_lines == 16384
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            spec2006_generator("spec-z")
+
+    def test_plateau_miss_curve(self):
+        """A discrete-working-set app's curve has a cliff: much lower miss
+        rate once the cache covers the hot region."""
+        from repro.workloads.stack_distance import StackDistanceProfiler
+
+        gen = DiscreteWorkingSetGenerator(
+            region_lines=(64, 4096), region_weights=(0.9, 0.1), seed=3
+        )
+        profiler = StackDistanceProfiler()
+        profiler.record_stream(gen.accesses(30_000))
+        above_cliff = profiler.miss_rate(128)   # covers the 64-line loop
+        below_cliff = profiler.miss_rate(32)    # does not
+        assert above_cliff < below_cliff / 3
+
+    def test_addresses_within_footprint(self):
+        gen = spec2006_generator("spec-c")
+        for access in gen.accesses(2000):
+            assert access.address < gen.footprint_lines * 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteWorkingSetGenerator((), ())
+        with pytest.raises(ValueError):
+            DiscreteWorkingSetGenerator((10, 5), (0.5, 0.5))
+        with pytest.raises(ValueError):
+            DiscreteWorkingSetGenerator((5, 10), (0.5,))
+        with pytest.raises(ValueError):
+            DiscreteWorkingSetGenerator((5, 10), (0.0, 0.0))
+        with pytest.raises(ValueError):
+            DiscreteWorkingSetGenerator((5,), (1.0,), write_fraction=2)
+
+
+class TestParsecLike:
+    def test_thread_ids_round_robin(self):
+        workload = ParsecLikeWorkload(num_threads=4, seed=1)
+        accesses = list(workload.accesses(8))
+        assert [a.core_id for a in accesses] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_private_regions_disjoint(self):
+        workload = ParsecLikeWorkload(num_threads=4, seed=2,
+                                      shared_access_fraction=0.0)
+        lines_by_thread = {}
+        for access in workload.accesses(4000):
+            lines_by_thread.setdefault(access.core_id, set()).add(
+                access.address // 64
+            )
+        threads = sorted(lines_by_thread)
+        for i in threads:
+            for j in threads:
+                if i < j:
+                    assert not (lines_by_thread[i] & lines_by_thread[j])
+
+    def test_shared_region_reached_by_all_threads(self):
+        workload = ParsecLikeWorkload(num_threads=4, seed=3,
+                                      shared_access_fraction=1.0)
+        sharers = set()
+        for access in workload.accesses(400):
+            assert access.address // 64 < workload.shared_lines
+            sharers.add(access.core_id)
+        assert sharers == {0, 1, 2, 3}
+
+    def test_static_shared_fraction_declines_with_threads(self):
+        fractions = [
+            ParsecLikeWorkload(num_threads=t).static_shared_fraction
+            for t in (2, 4, 8, 16)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_footprint(self):
+        workload = ParsecLikeWorkload(num_threads=2, shared_lines=100,
+                                      private_lines_per_thread=50)
+        assert workload.total_footprint_lines == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParsecLikeWorkload(num_threads=0)
+        with pytest.raises(ValueError):
+            ParsecLikeWorkload(num_threads=2, shared_access_fraction=1.5)
+        with pytest.raises(ValueError):
+            ParsecLikeWorkload(num_threads=2, shared_lines=0)
+        with pytest.raises(ValueError):
+            ParsecLikeWorkload(num_threads=2, shared_skew=0.5)
+
+    def test_deterministic(self):
+        a = list(ParsecLikeWorkload(num_threads=3, seed=7).accesses(100))
+        b = list(ParsecLikeWorkload(num_threads=3, seed=7).accesses(100))
+        assert a == b

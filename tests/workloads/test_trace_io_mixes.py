@@ -1,0 +1,129 @@
+"""Tests for trace file I/O and multiprogrammed mixes."""
+
+import pytest
+
+from repro.workloads.address_stream import MemoryAccess
+from repro.workloads.commercial import COMMERCIAL_WORKLOADS
+from repro.workloads.mixes import (
+    MultiprogrammedMix,
+    round_robin_commercial_mix,
+)
+from repro.workloads.trace_io import (
+    TraceFormatError,
+    read_trace,
+    write_trace,
+)
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        accesses = [
+            MemoryAccess(0x1000, False, 0),
+            MemoryAccess(0x1048, True, 2),
+            MemoryAccess(64, False, 1),
+        ]
+        path = tmp_path / "trace.txt"
+        assert write_trace(accesses, path) == 3
+        assert list(read_trace(path)) == accesses
+
+    def test_gzip_roundtrip(self, tmp_path):
+        accesses = [MemoryAccess(i * 64, i % 2 == 0, 0)
+                    for i in range(200)]
+        path = tmp_path / "trace.txt.gz"
+        write_trace(accesses, path)
+        assert list(read_trace(path)) == accesses
+
+    def test_synthetic_workload_roundtrips(self, tmp_path):
+        from repro.workloads.commercial import commercial_generator
+
+        gen = commercial_generator("OLTP-1", working_set_lines=256)
+        accesses = list(gen.accesses(500))
+        path = tmp_path / "oltp1.trace"
+        write_trace(accesses, path)
+        assert list(read_trace(path)) == accesses
+
+    def test_trace_feeds_calibration(self, tmp_path):
+        """End to end: a trace file drives the measurement pipeline."""
+        from repro.analysis.calibration import measure_miss_curve
+        from repro.workloads.commercial import commercial_generator
+
+        gen = commercial_generator("OLTP-1", working_set_lines=1024)
+        path = tmp_path / "t.trace"
+        write_trace(gen.accesses(10_000), path)
+        curve = measure_miss_curve(read_trace(path), [32, 64, 128])
+        assert curve.miss_rates[0] > curve.miss_rates[-1]
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(
+            "# repro-trace v1\n\n# a comment\nR 0x40 0\nW 128\n"
+        )
+        accesses = list(read_trace(path))
+        assert accesses == [
+            MemoryAccess(0x40, False, 0),
+            MemoryAccess(128, True, 0),
+        ]
+
+    @pytest.mark.parametrize("content", [
+        "not a trace\nR 0x40 0\n",
+        "# repro-trace v1\nX 0x40 0\n",
+        "# repro-trace v1\nR zzz 0\n",
+        "# repro-trace v1\nR 0x40 0 7 9\n",
+        "# repro-trace v1\nR -5 0\n",
+        "# repro-trace v1\nR 0x40 -1\n",
+        "# repro-trace v1\nR 0x40 quux\n",
+    ])
+    def test_malformed_traces_rejected(self, tmp_path, content):
+        path = tmp_path / "bad.trace"
+        path.write_text(content)
+        with pytest.raises(TraceFormatError):
+            list(read_trace(path))
+
+
+class TestMultiprogrammedMix:
+    def test_round_robin_constructor(self):
+        mix = round_robin_commercial_mix(9)
+        assert mix.num_cores == 9
+        assert mix.programs[0] is COMMERCIAL_WORKLOADS[0]
+        assert mix.programs[7] is COMMERCIAL_WORKLOADS[0]
+
+    def test_core_ids_tagged(self):
+        mix = round_robin_commercial_mix(3)
+        accesses = list(mix.accesses(5))
+        assert sorted({a.core_id for a in accesses}) == [0, 1, 2]
+
+    def test_programs_address_disjoint(self):
+        mix = round_robin_commercial_mix(4)
+        regions = {}
+        for access in mix.accesses(300):
+            regions.setdefault(access.core_id, set()).add(
+                access.address >> 30
+            )
+        seen = [frozenset(r) for r in regions.values()]
+        assert len(set(seen)) == len(seen)  # no two cores share a region
+
+    def test_average_alpha(self):
+        mix = MultiprogrammedMix((COMMERCIAL_WORKLOADS[4],
+                                  COMMERCIAL_WORKLOADS[6]))
+        assert mix.average_alpha == pytest.approx((0.36 + 0.62) / 2)
+
+    def test_shared_cache_sees_no_sharing(self):
+        """The paper's no-sharing assumption holds for a mix: a shared
+        L2 never sees a line touched by two cores."""
+        from repro.cache.shared_l2 import SharedL2Cache
+
+        mix = round_robin_commercial_mix(4)
+        cache = SharedL2Cache(size_bytes=256 * 1024, num_cores=4)
+        for access in mix.accesses(5_000):
+            cache.access(access.address, core_id=access.core_id,
+                         is_write=access.is_write)
+        assert cache.shared_line_fraction() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiprogrammedMix(())
+        with pytest.raises(ValueError):
+            round_robin_commercial_mix(0)
+        mix = round_robin_commercial_mix(2)
+        with pytest.raises(ValueError):
+            next(iter(mix.accesses(-1)))

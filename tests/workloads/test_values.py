@@ -1,0 +1,90 @@
+"""Tests for the synthetic value generator (compression substrate input)."""
+
+import pytest
+
+from repro.workloads.values import VALUE_MIXES, ValueGenerator, ValueMix
+
+
+class TestValueMix:
+    def test_builtin_mixes_sum_to_one(self):
+        for mix in VALUE_MIXES.values():
+            total = (mix.zero + mix.narrow + mix.repeated + mix.hot_pool
+                     + mix.random_bits)
+            assert total == pytest.approx(1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            ValueMix("bad", 0.5, 0.5, 0.5, 0, 0)
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            ValueMix("bad", -0.5, 0.5, 0.5, 0.5, 0)
+
+
+class TestValueGenerator:
+    def test_line_length(self):
+        gen = ValueGenerator(VALUE_MIXES["commercial"], seed=1)
+        assert len(gen.line(64)) == 64
+        assert len(gen.line(32)) == 32
+
+    def test_deterministic(self):
+        a = ValueGenerator(VALUE_MIXES["integer"], seed=5)
+        b = ValueGenerator(VALUE_MIXES["integer"], seed=5)
+        assert [a.line() for _ in range(10)] == [b.line() for _ in range(10)]
+
+    def test_zero_mix_produces_zero_lines(self):
+        all_zero = ValueMix("zeros", 1.0, 0, 0, 0, 0)
+        gen = ValueGenerator(all_zero, seed=1)
+        assert gen.line() == bytes(64)
+
+    def test_random_mix_is_incompressible(self):
+        from repro.compression.fpc import compression_ratio
+
+        noise = ValueMix("noise", 0, 0, 0, 0, 1.0)
+        gen = ValueGenerator(noise, seed=2)
+        ratios = [compression_ratio(gen.line()) for _ in range(50)]
+        assert sum(ratios) / len(ratios) < 1.15
+
+    def test_mixes_ordered_by_compressibility(self):
+        """media > commercial > floating-point under FPC, matching the
+        compression literature's ordering."""
+        from repro.compression.fpc import compressed_size_bytes
+
+        def total_compressed(name):
+            gen = ValueGenerator(VALUE_MIXES[name], seed=3)
+            return sum(compressed_size_bytes(gen.line()) for _ in range(200))
+
+        assert total_compressed("media") < total_compressed("commercial")
+        assert total_compressed("commercial") < total_compressed(
+            "floating-point"
+        )
+
+    def test_homogeneous_lines_help_bdi(self):
+        from repro.compression.bdi import compressed_size_bytes
+
+        mixed = ValueGenerator(VALUE_MIXES["integer"], seed=4,
+                               homogeneous=False)
+        homogeneous = ValueGenerator(VALUE_MIXES["integer"], seed=4,
+                                     homogeneous=True)
+        mixed_total = sum(compressed_size_bytes(mixed.line())
+                          for _ in range(200))
+        hom_total = sum(compressed_size_bytes(homogeneous.line())
+                        for _ in range(200))
+        assert hom_total < mixed_total
+
+    def test_lines_iterator(self):
+        gen = ValueGenerator(VALUE_MIXES["media"], seed=6)
+        lines = list(gen.lines(5))
+        assert len(lines) == 5
+        assert all(len(l) == 64 for l in lines)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ValueGenerator(VALUE_MIXES["media"], word_bytes=3)
+        with pytest.raises(ValueError):
+            ValueGenerator(VALUE_MIXES["media"], hot_pool_size=0)
+        gen = ValueGenerator(VALUE_MIXES["media"])
+        with pytest.raises(ValueError):
+            gen.line(60)
+        with pytest.raises(ValueError):
+            list(gen.lines(-1))
