@@ -8,14 +8,17 @@ tool of choice without depending on any plotting library here.
 from __future__ import annotations
 
 import csv
+import dataclasses
+import enum
 import io
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from .series import FigureData
 
-__all__ = ["figure_to_csv", "figure_to_json", "write_figure"]
+__all__ = ["figure_to_csv", "figure_to_json", "write_figure",
+           "to_jsonable", "result_to_json"]
 
 
 def figure_to_csv(figure: FigureData) -> str:
@@ -43,6 +46,63 @@ def figure_to_json(figure: FigureData, *, indent: Optional[int] = 2) -> str:
         ],
     }
     return json.dumps(payload, indent=indent)
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Canonical, deterministic JSON form of any experiment result.
+
+    Used by the golden-result harness: every experiment's result object
+    — whatever dataclass it is — maps to a structure of dicts/lists/
+    scalars that is identical for identical results, so serial and
+    parallel runs can be compared bit-for-bit and snapshotted.
+
+    Structural markers (``__dataclass__``, ``__mapping__``, ...) keep
+    distinct shapes from colliding: mappings are encoded as ordered
+    key/value pair lists because experiment dicts are keyed by floats,
+    which plain JSON objects cannot represent without lossy stringing.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": to_jsonable(obj.value)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded = {"__dataclass__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            encoded[field.name] = to_jsonable(getattr(obj, field.name))
+        return encoded
+    if isinstance(obj, dict):
+        return {"__mapping__": [[to_jsonable(k), to_jsonable(v)]
+                                for k, v in obj.items()]}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, type):
+        return {"__class__": f"{obj.__module__}.{obj.__qualname__}"}
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy = None
+    if numpy is not None:
+        if isinstance(obj, numpy.generic):
+            return to_jsonable(obj.item())
+        if isinstance(obj, numpy.ndarray):
+            return [to_jsonable(v) for v in obj.tolist()]
+    # Plain value objects (e.g. MissCurve): encode their attributes in
+    # sorted order.  Never fall back to repr(), whose default form
+    # embeds memory addresses and would break run-to-run determinism.
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        encoded = {"__object__": type(obj).__name__}
+        for name in sorted(attrs):
+            encoded[name] = to_jsonable(attrs[name])
+        return encoded
+    raise TypeError(
+        f"cannot serialise {type(obj).__name__!r} deterministically"
+    )
+
+
+def result_to_json(result: Any, *, indent: Optional[int] = 2) -> str:
+    """Serialise one experiment result to canonical JSON text."""
+    return json.dumps(to_jsonable(result), indent=indent, sort_keys=False)
 
 
 def write_figure(

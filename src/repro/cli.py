@@ -107,6 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--with-simulations", action="store_true",
         help="[report] include the simulation-backed figures (1 and 14)",
     )
+    parser.add_argument(
+        "--parallel", nargs="?", type=int, const=0, default=None,
+        metavar="N",
+        help="[all] fan experiments out over N worker processes "
+             "(bare --parallel auto-detects; output is byte-identical "
+             "to serial mode)",
+    )
+    parser.add_argument(
+        "--timing", action="store_true",
+        help="report per-experiment wall time and solve-cache hit rate",
+    )
     return parser
 
 
@@ -168,18 +179,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if target == "all":
-        for experiment_id in experiment_ids():
-            started = time.time()
-            print(f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}")
-            print_experiment(experiment_id)
-            print(f"[{experiment_id} done in {time.time() - started:.1f}s]")
-        return 0
+        return _run_all(args)
 
     try:
-        print_experiment(target)
+        if args.timing:
+            from .core.memo import cache_stats
+
+            before = cache_stats()
+            started = time.perf_counter()
+            print_experiment(target)
+            elapsed = time.perf_counter() - started
+            delta = cache_stats().since(before)
+            print(f"\n[{target}: {elapsed:.2f}s; solve cache: "
+                  f"{delta.hits}/{delta.lookups} hits]")
+        else:
+            print_experiment(target)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    return 0
+
+
+def _run_all(args: argparse.Namespace) -> int:
+    """Run every experiment, optionally fanned out over worker processes.
+
+    Experiment output is printed in registry order whatever the worker
+    scheduling, so serial and parallel runs emit identical bytes (the
+    --timing summary, which reports wall times, is appended after).
+    """
+    from .experiments.engine import SweepEngine
+
+    if args.parallel is None:
+        engine = SweepEngine(max_workers=1)
+    elif args.parallel == 0:
+        engine = SweepEngine(max_workers=None)
+    else:
+        engine = SweepEngine(max_workers=args.parallel)
+
+    def emit(run) -> None:
+        print(f"\n{'=' * 72}\n{run.experiment_id}\n{'=' * 72}")
+        print(run.report, end="")
+
+    sweep = engine.run(reports=True, on_run=emit)
+
+    if args.timing:
+        mode = (f"parallel, {sweep.max_workers} workers" if sweep.parallel
+                else "serial")
+        print(f"\n{'-' * 72}\ntiming ({mode}):")
+        for run in sweep.runs:
+            print(f"  {run.experiment_id:<16} {run.elapsed:>8.2f}s   "
+                  f"solve cache {run.cache_hits}/"
+                  f"{run.cache_hits + run.cache_misses} hits")
+        print(f"  {'total wall':<16} {sweep.elapsed:>8.2f}s   "
+              f"solve cache hit rate {sweep.cache_hit_rate:.1%} "
+              f"({sweep.cache_hits}/"
+              f"{sweep.cache_hits + sweep.cache_misses})")
     return 0
 
 

@@ -30,6 +30,7 @@ from .heterogeneous import (
     HeterogeneousWallModel,
     MixSolution,
 )
+from .memo import CacheStats, MemoCache, ModelKey
 from .multithreading import MultithreadedWallModel, SMTParameters
 from .roadmap import (
     FLAT_ROADMAP,
@@ -124,6 +125,9 @@ __all__ = [
     "solve_increasing",
     "floor_cores",
     "BracketError",
+    "ModelKey",
+    "MemoCache",
+    "CacheStats",
     # extensions (the paper's acknowledged limitations, modelled)
     "symmetric_speedup",
     "asymmetric_speedup",

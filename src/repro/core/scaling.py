@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from . import memo
 from .area import ChipDesign
 from .solver import BracketError, floor_cores, solve_increasing
 from .techniques import NEUTRAL_EFFECT, TechniqueEffect
@@ -171,6 +172,23 @@ class BandwidthWallModel:
                 f"traffic_budget must be positive, got {traffic_budget}"
             )
 
+        # The solve is a pure function of this fully-immutable key, so a
+        # process-global memo table (see repro.core.memo) can serve
+        # repeated grid points without re-running the bisection.
+        cache = memo.active_cache()
+        key: Optional[memo.ModelKey] = None
+        if cache is not None:
+            key = memo.ModelKey(
+                baseline=self.baseline,
+                alpha=self.alpha,
+                total_ceas=total_ceas,
+                traffic_budget=traffic_budget,
+                effect=effect,
+            )
+            cached = cache.lookup(key)
+            if cached is not None:
+                return cached
+
         max_cores = total_ceas / effect.core_area_fraction
 
         def traffic(p2: float) -> float:
@@ -196,13 +214,16 @@ class BandwidthWallModel:
             core_area_fraction=effect.core_area_fraction,
         )
         s_eff = effect.effective_cache_ceas(total_ceas, p2) / p2
-        return ScalingSolution(
+        solution = ScalingSolution(
             continuous_cores=p2,
             design=design,
             effective_cache_per_core=s_eff,
             traffic_budget=traffic_budget,
             area_limited=area_limited,
         )
+        if cache is not None and key is not None:
+            cache.store(key, solution)
+        return solution
 
     # ------------------------------------------------------------------
     # Multi-generation studies (Figures 3, 15, 16, 17)

@@ -9,13 +9,19 @@ or the ``bandwidth-wall`` CLI to dispatch by id.
 from .runner import (
     EXPERIMENTS,
     experiment_ids,
+    experiment_module,
     print_experiment,
+    resolve_experiment_id,
     run_experiment,
+    run_experiments,
 )
 
 __all__ = [
     "EXPERIMENTS",
     "experiment_ids",
+    "experiment_module",
+    "resolve_experiment_id",
     "run_experiment",
+    "run_experiments",
     "print_experiment",
 ]

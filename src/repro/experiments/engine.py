@@ -1,0 +1,484 @@
+"""Parallel sweep engine with memoized evaluation.
+
+Every paper artifact is independent of every other, and the two
+simulation-backed ones (Figure 1, Ext-Validation) decompose further
+into independent per-workload *shards*, so the whole registry is an
+embarrassingly-parallel sweep.  :class:`SweepEngine` fans experiment
+ids — and, where a module opts in via the shard protocol — their
+shards out over a :class:`concurrent.futures.ProcessPoolExecutor` and
+aggregates the outcomes **deterministically**: results are ordered by
+experiment id (and shard key within an experiment), never by
+completion order, so parallel output is bit-identical to serial
+output.  The golden-result harness (``tests/test_goldens.py``) pins
+that equivalence for every artifact.
+
+Shard protocol
+--------------
+An experiment module may expose four extra callables::
+
+    shard_keys()   -> Sequence[str]     # deterministic order
+    run_shard(key) -> Any               # one independent, picklable piece
+    merge_shards(mapping) -> result     # assemble the run() result
+    render(result) -> None              # print the paper-style report
+
+``run()`` must equal ``merge_shards({k: run_shard(k) for k in
+shard_keys()})`` — the serial path runs the very same code, which is
+what makes parallel results identical by construction.
+
+Worker-side memoization
+-----------------------
+Each worker process owns the process-global solve cache
+(:mod:`repro.core.memo`) and keeps it warm across the tasks it
+executes; the engine collects per-task hit/miss deltas and aggregates
+them into :class:`SweepResult`, which the CLI reports via
+``bandwidth-wall all --timing``.
+
+Fallback
+--------
+``max_workers=1`` (the default for :func:`repro.experiments.runner.
+run_experiments`) runs everything in-process.  When a pool cannot be
+created or dies mid-flight (sandboxed environments, missing
+``/dev/shm``, ...), the engine falls back to the serial path instead
+of failing the sweep.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import memo
+from ..core.scaling import BandwidthWallModel, ScalingSolution
+from ..core.techniques import NEUTRAL_EFFECT, TechniqueEffect
+
+__all__ = [
+    "SweepEngine",
+    "ExperimentRun",
+    "SweepResult",
+    "GridPoint",
+    "sweep_grid",
+    "default_workers",
+    "WORKERS_ENV_VAR",
+]
+
+#: Environment variable overriding the auto-detected worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Exceptions that mean "no worker pool here" rather than "the sweep is
+#: broken" — the engine degrades to serial execution on any of these.
+_POOL_FAILURES: Tuple[type, ...] = (OSError, ImportError,
+                                    NotImplementedError, RuntimeError)
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` if set and valid, else CPU count.
+
+    Always at least 1, whatever the environment reports.
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is not None:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# Grid evaluation (the sweep layer under figures 4-12, 15-17, ...)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One point of a ``(die CEAs, budget, technique)`` sweep grid."""
+
+    total_ceas: float
+    traffic_budget: float = 1.0
+    effect: TechniqueEffect = NEUTRAL_EFFECT
+
+
+def _solve_grid_chunk(
+    model: BandwidthWallModel, chunk: Sequence[GridPoint]
+) -> List[ScalingSolution]:
+    return [
+        model.supportable_cores(
+            point.total_ceas,
+            traffic_budget=point.traffic_budget,
+            effect=point.effect,
+        )
+        for point in chunk
+    ]
+
+
+def sweep_grid(
+    model: BandwidthWallModel,
+    points: Sequence[GridPoint],
+    *,
+    max_workers: int = 1,
+) -> List[ScalingSolution]:
+    """Evaluate a grid in order, through the memoized solve path.
+
+    Results are returned in grid-index order regardless of worker
+    scheduling.  Each solve goes through the process-global memo cache,
+    so duplicated points cost one bisection total.  Parallel evaluation
+    only pays off for very large grids — single solves are ~10µs — so
+    the default is serial.
+    """
+    points = list(points)
+    if max_workers <= 1 or len(points) < 4 * max_workers:
+        return _solve_grid_chunk(model, points)
+    chunk_size = (len(points) + max_workers - 1) // max_workers
+    chunks = [points[i:i + chunk_size]
+              for i in range(0, len(points), chunk_size)]
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(_solve_grid_chunk, model, chunk)
+                       for chunk in chunks]
+            solved = [future.result() for future in futures]
+    except _POOL_FAILURES:
+        return _solve_grid_chunk(model, points)
+    return [solution for chunk in solved for solution in chunk]
+
+
+# ----------------------------------------------------------------------
+# Experiment execution
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentRun:
+    """One experiment's outcome within a sweep.
+
+    ``elapsed`` is the total worker time spent on the experiment (for a
+    sharded experiment, the sum over its shards plus the merge);
+    ``cache_hits``/``cache_misses`` are the solve-cache deltas the
+    experiment's tasks observed in their worker processes.
+    """
+
+    experiment_id: str
+    result: Any = None
+    report: Optional[str] = None
+    elapsed: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class SweepResult:
+    """Deterministically-ordered outcome of one engine sweep."""
+
+    runs: List[ExperimentRun] = field(default_factory=list)
+    elapsed: float = 0.0
+    max_workers: int = 1
+    parallel: bool = False
+
+    @property
+    def results(self) -> Dict[str, Any]:
+        """Experiment id -> result object, in submission order."""
+        return {run.experiment_id: run.result for run in self.runs}
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(run.cache_hits for run in self.runs)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(run.cache_misses for run in self.runs)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+def _is_sharded(module: Any) -> bool:
+    return all(
+        callable(getattr(module, name, None))
+        for name in ("shard_keys", "run_shard", "merge_shards", "render")
+    )
+
+
+@dataclass
+class _TaskOutput:
+    """What a worker sends back for one task (picklable)."""
+
+    payload: Any
+    elapsed: float
+    cache_hits: int
+    cache_misses: int
+
+
+def _timed(func: Callable[[], Any]) -> _TaskOutput:
+    before = memo.cache_stats()
+    started = time.perf_counter()
+    payload = func()
+    elapsed = time.perf_counter() - started
+    delta = memo.cache_stats().since(before)
+    return _TaskOutput(payload, elapsed, delta.hits, delta.misses)
+
+
+def _worker_run(experiment_id: str) -> _TaskOutput:
+    """Whole-experiment task: compute the result object."""
+    from .runner import run_experiment
+
+    return _timed(lambda: run_experiment(experiment_id))
+
+
+def _worker_report(experiment_id: str) -> _TaskOutput:
+    """Whole-experiment task: capture the printed paper-style report."""
+    from .runner import print_experiment
+
+    def execute() -> str:
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            print_experiment(experiment_id)
+        return buffer.getvalue()
+
+    return _timed(execute)
+
+
+def _worker_shard(experiment_id: str, shard_key: str) -> _TaskOutput:
+    """Shard task: compute one independent piece of an experiment."""
+    from .runner import experiment_module
+
+    module = experiment_module(experiment_id)
+    return _timed(lambda: module.run_shard(shard_key))
+
+
+class SweepEngine:
+    """Fan experiment ids and their shards out over worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        ``None`` auto-detects (:func:`default_workers`); ``1`` forces
+        serial, in-process execution.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = default_workers()
+        self.max_workers = max(1, int(max_workers))
+
+    # -- public API ----------------------------------------------------
+
+    def run(
+        self,
+        ids: Optional[Sequence[str]] = None,
+        *,
+        reports: bool = False,
+        on_run: Optional[Callable[[ExperimentRun], None]] = None,
+    ) -> SweepResult:
+        """Run experiments and aggregate in submission order.
+
+        Parameters
+        ----------
+        ids:
+            Experiment ids (any spelling :func:`runner.run_experiment`
+            accepts); defaults to the full registry in paper order.
+        reports:
+            Also capture each experiment's printed report (what the CLI
+            shows for ``bandwidth-wall all``).  Sharded modules render
+            from the computed result; other modules capture their
+            ``main()`` output in the worker.
+        on_run:
+            Callback invoked once per experiment **in submission
+            order** as soon as that experiment (and all its
+            predecessors) completed — the CLI uses it to stream output.
+        """
+        from .runner import resolve_experiment_id
+
+        keys = [resolve_experiment_id(i)
+                for i in (ids if ids is not None else self._registry_ids())]
+        started = time.perf_counter()
+        streamed = 0
+        if self.max_workers > 1 and len(keys) > 0:
+            def counting(run: ExperimentRun) -> None:
+                nonlocal streamed
+                streamed += 1
+                if on_run is not None:
+                    on_run(run)
+
+            try:
+                runs = self._run_parallel(
+                    keys, reports, counting if on_run is not None else None
+                )
+                return SweepResult(
+                    runs=runs,
+                    elapsed=time.perf_counter() - started,
+                    max_workers=self.max_workers,
+                    parallel=True,
+                )
+            except _POOL_FAILURES:
+                # No usable worker pool — degrade to the serial path.
+                # Experiments are deterministic, so skipping the
+                # callbacks already streamed re-emits nothing twice.
+                pass
+        serial_on_run = on_run
+        if on_run is not None and streamed:
+            already = streamed
+
+            def skip_streamed(run: ExperimentRun) -> None:
+                nonlocal already
+                if already > 0:
+                    already -= 1
+                    return
+                on_run(run)
+
+            serial_on_run = skip_streamed
+        runs = self._run_serial(keys, reports, serial_on_run)
+        return SweepResult(
+            runs=runs,
+            elapsed=time.perf_counter() - started,
+            max_workers=self.max_workers,
+            parallel=False,
+        )
+
+    def sweep_grid(
+        self, model: BandwidthWallModel, points: Sequence[GridPoint]
+    ) -> List[ScalingSolution]:
+        """Grid evaluation with this engine's worker budget."""
+        return sweep_grid(model, points, max_workers=self.max_workers)
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _registry_ids() -> List[str]:
+        from .runner import experiment_ids
+
+        return experiment_ids()
+
+    def _run_serial(
+        self,
+        keys: Sequence[str],
+        reports: bool,
+        on_run: Optional[Callable[[ExperimentRun], None]],
+    ) -> List[ExperimentRun]:
+        runs = []
+        for key in keys:
+            output = (_worker_report(key) if reports else _worker_run(key))
+            run = ExperimentRun(
+                experiment_id=key,
+                result=None if reports else output.payload,
+                report=output.payload if reports else None,
+                elapsed=output.elapsed,
+                cache_hits=output.cache_hits,
+                cache_misses=output.cache_misses,
+            )
+            runs.append(run)
+            if on_run is not None:
+                on_run(run)
+        return runs
+
+    def _run_parallel(
+        self,
+        keys: Sequence[str],
+        reports: bool,
+        on_run: Optional[Callable[[ExperimentRun], None]],
+    ) -> List[ExperimentRun]:
+        from .runner import experiment_module
+
+        shard_plans: Dict[int, List[str]] = {}
+        for index, key in enumerate(keys):
+            module = experiment_module(key)
+            if _is_sharded(module):
+                shard_plans[index] = list(module.shard_keys())
+
+        completed: Dict[int, ExperimentRun] = {}
+        emitted = 0
+
+        def flush() -> None:
+            nonlocal emitted
+            while on_run is not None and emitted in completed:
+                on_run(completed[emitted])
+                emitted += 1
+
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            future_meta = {}
+            shard_outputs: Dict[int, Dict[str, _TaskOutput]] = {}
+            for index, key in enumerate(keys):
+                if index in shard_plans:
+                    shard_outputs[index] = {}
+                    for shard_key in shard_plans[index]:
+                        future = pool.submit(_worker_shard, key, shard_key)
+                        future_meta[future] = (index, shard_key)
+                else:
+                    worker = _worker_report if reports else _worker_run
+                    future = pool.submit(worker, key)
+                    future_meta[future] = (index, None)
+
+            pending = set(future_meta)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, shard_key = future_meta[future]
+                    output = future.result()
+                    key = keys[index]
+                    if shard_key is None:
+                        completed[index] = ExperimentRun(
+                            experiment_id=key,
+                            result=None if reports else output.payload,
+                            report=output.payload if reports else None,
+                            elapsed=output.elapsed,
+                            cache_hits=output.cache_hits,
+                            cache_misses=output.cache_misses,
+                        )
+                        flush()
+                        continue
+                    shard_outputs[index][shard_key] = output
+                    if len(shard_outputs[index]) == len(shard_plans[index]):
+                        completed[index] = self._merge_experiment(
+                            key, shard_plans[index], shard_outputs[index],
+                            reports,
+                        )
+                        flush()
+
+        runs = [completed[index] for index in range(len(keys))]
+        # Without a callback nothing streamed; with one, everything has.
+        return runs
+
+    @staticmethod
+    def _merge_experiment(
+        key: str,
+        shard_keys: Sequence[str],
+        outputs: Dict[str, _TaskOutput],
+        reports: bool,
+    ) -> ExperimentRun:
+        """Parent-side merge of one sharded experiment, in shard order."""
+        from .runner import experiment_module
+
+        module = experiment_module(key)
+        ordered = {sk: outputs[sk].payload for sk in shard_keys}
+        merge_output = _timed(lambda: module.merge_shards(ordered))
+        result = merge_output.payload
+        report = None
+        if reports:
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                module.render(result)
+            report = buffer.getvalue()
+        return ExperimentRun(
+            experiment_id=key,
+            result=result,
+            report=report,
+            elapsed=merge_output.elapsed + sum(
+                outputs[sk].elapsed for sk in shard_keys
+            ),
+            cache_hits=merge_output.cache_hits + sum(
+                outputs[sk].cache_hits for sk in shard_keys
+            ),
+            cache_misses=merge_output.cache_misses + sum(
+                outputs[sk].cache_misses for sk in shard_keys
+            ),
+        )

@@ -10,14 +10,21 @@ Section 4.1's "tend to conform ... quite closely" / "fit less well".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Mapping, Tuple
 
 from ..analysis.series import FigureData, Series
 from ..analysis.validation import ValidationReport, validate_traffic_prediction
 from ..workloads.commercial import COMMERCIAL_WORKLOADS
 from ..workloads.spec2006 import SPEC2006_WORKLOADS, spec2006_generator
 
-__all__ = ["ExtValidationResult", "run"]
+__all__ = [
+    "ExtValidationResult",
+    "run",
+    "shard_keys",
+    "run_shard",
+    "merge_shards",
+    "render",
+]
 
 
 @dataclass(frozen=True)
@@ -42,36 +49,64 @@ class ExtValidationResult:
         )
 
 
-def run(
+_COMMERCIAL_PREFIX = "commercial:"
+_SPEC_PREFIX = "spec2006:"
+
+
+def shard_keys() -> Tuple[str, ...]:
+    """One independent validation shard per workload preset."""
+    return tuple(
+        f"{_COMMERCIAL_PREFIX}{spec.name}" for spec in COMMERCIAL_WORKLOADS
+    ) + tuple(f"{_SPEC_PREFIX}{name}" for name, _, _ in SPEC2006_WORKLOADS)
+
+
+def run_shard(
+    key: str,
     accesses: int = 60_000,
     working_set_lines: int = 1 << 13,
+) -> List[ValidationReport]:
+    """Validate one workload preset (one shard of :func:`run`)."""
+    if key.startswith(_COMMERCIAL_PREFIX):
+        name = key[len(_COMMERCIAL_PREFIX):]
+        for spec in COMMERCIAL_WORKLOADS:
+            if spec.name == name:
+                def factory(s=spec):
+                    return s.generator(
+                        working_set_lines=working_set_lines
+                    ).accesses(accesses)
+
+                def warmup(s=spec):
+                    return s.generator(
+                        working_set_lines=working_set_lines
+                    ).warmup_accesses()
+
+                return validate_traffic_prediction(
+                    factory, warmup_factory=warmup
+                )
+    elif key.startswith(_SPEC_PREFIX):
+        name = key[len(_SPEC_PREFIX):]
+        if any(name == n for n, _, _ in SPEC2006_WORKLOADS):
+            def factory(n=name):
+                return spec2006_generator(n, seed=2).accesses(accesses)
+
+            return validate_traffic_prediction(
+                factory,
+                holdout_line_counts=(1024, 4096),
+            )
+    raise KeyError(
+        f"unknown Ext-Validation shard {key!r}; valid: {shard_keys()}"
+    )
+
+
+def merge_shards(
+    shard_reports: Mapping[str, List[ValidationReport]],
 ) -> ExtValidationResult:
-    """Predict held-out miss rates for every workload preset."""
+    """Assemble the per-workload reports into the figure + result."""
     reports: Dict[str, List[ValidationReport]] = {}
-
     for spec in COMMERCIAL_WORKLOADS:
-        def factory(s=spec):
-            return s.generator(
-                working_set_lines=working_set_lines
-            ).accesses(accesses)
-
-        def warmup(s=spec):
-            return s.generator(
-                working_set_lines=working_set_lines
-            ).warmup_accesses()
-
-        reports[spec.name] = validate_traffic_prediction(
-            factory, warmup_factory=warmup
-        )
-
+        reports[spec.name] = shard_reports[f"{_COMMERCIAL_PREFIX}{spec.name}"]
     for name, _, _ in SPEC2006_WORKLOADS:
-        def factory(n=name):
-            return spec2006_generator(n, seed=2).accesses(accesses)
-
-        reports[name] = validate_traffic_prediction(
-            factory,
-            holdout_line_counts=(1024, 4096),
-        )
+        reports[name] = shard_reports[f"{_SPEC_PREFIX}{name}"]
 
     figure = FigureData(
         figure_id="Ext-Validation",
@@ -92,10 +127,25 @@ def run(
     return ExtValidationResult(figure=figure, reports=reports)
 
 
-def main() -> None:  # pragma: no cover
+def run(
+    accesses: int = 60_000,
+    working_set_lines: int = 1 << 13,
+) -> ExtValidationResult:
+    """Predict held-out miss rates for every workload preset.
+
+    Serial execution uses the same shard/merge code the parallel engine
+    fans out, so both modes produce bit-identical results.
+    """
+    return merge_shards({
+        key: run_shard(key, accesses, working_set_lines)
+        for key in shard_keys()
+    })
+
+
+def render(result: ExtValidationResult) -> None:
+    """Print the paper-style report for an already-computed result."""
     from ..analysis.tables import format_table
 
-    result = run()
     rows = [
         [name, f"{max(r.relative_error for r in reports):.1%}"]
         for name, reports in result.reports.items()
@@ -104,6 +154,10 @@ def main() -> None:  # pragma: no cover
     print(f"\ncommercial worst: {result.commercial_worst:.1%}; "
           f"SPEC-like worst: {result.spec_worst:.1%} — the law holds "
           "where the paper says it holds.")
+
+
+def main() -> None:  # pragma: no cover
+    render(run())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,7 @@ whose average fits well — reproducing the paper's observation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..analysis.calibration import measure_miss_curve
 from ..analysis.fitting import PowerLawFit, fit_miss_curve
@@ -24,7 +24,14 @@ from ..workloads.commercial import COMMERCIAL_WORKLOADS
 from ..workloads.spec2006 import SPEC2006_WORKLOADS, spec2006_generator
 from ..workloads.stack_distance import MissCurve
 
-__all__ = ["Figure1Result", "run"]
+__all__ = [
+    "Figure1Result",
+    "run",
+    "shard_keys",
+    "run_shard",
+    "merge_shards",
+    "render",
+]
 
 #: Cache sizes measured, in lines (64B lines: 1 KB ... 512 KB region
 #: where every synthetic workload is still in its power-law regime).
@@ -58,15 +65,56 @@ def _average_curve(curves: List[MissCurve]) -> MissCurve:
     return MissCurve(sizes, rates)
 
 
-def run(
+#: Shard-key prefixes (see :func:`shard_keys`).
+_COMMERCIAL_PREFIX = "commercial:"
+_SPEC_PREFIX = "spec2006:"
+
+
+def shard_keys() -> Tuple[str, ...]:
+    """Independent units of Figure 1 work, one per measured workload.
+
+    Each shard is one stack-distance measurement — the expensive part —
+    and the shards are mutually independent, so the sweep engine can fan
+    them out across worker processes.  Order is deterministic.
+    """
+    return tuple(
+        f"{_COMMERCIAL_PREFIX}{spec.name}" for spec in COMMERCIAL_WORKLOADS
+    ) + tuple(f"{_SPEC_PREFIX}{name}" for name, _, _ in SPEC2006_WORKLOADS)
+
+
+def run_shard(
+    key: str,
     accesses: int = 150_000,
     line_counts: Sequence[int] = DEFAULT_LINE_COUNTS,
     working_set_lines: int = 1 << 14,
-) -> Figure1Result:
-    """Measure and fit every Figure 1 curve.
+) -> MissCurve:
+    """Measure one workload's miss curve (one shard of :func:`run`)."""
+    if key.startswith(_COMMERCIAL_PREFIX):
+        name = key[len(_COMMERCIAL_PREFIX):]
+        for spec in COMMERCIAL_WORKLOADS:
+            if spec.name == name:
+                generator = spec.generator(
+                    working_set_lines=working_set_lines
+                )
+                return measure_miss_curve(
+                    generator.accesses(accesses),
+                    line_counts,
+                    warmup_stream=generator.warmup_accesses(),
+                )
+    elif key.startswith(_SPEC_PREFIX):
+        name = key[len(_SPEC_PREFIX):]
+        if any(name == n for n, _, _ in SPEC2006_WORKLOADS):
+            generator = spec2006_generator(name, seed=11)
+            return measure_miss_curve(generator.accesses(accesses),
+                                      line_counts)
+    raise KeyError(f"unknown Figure 1 shard {key!r}; valid: {shard_keys()}")
 
-    ``accesses`` and ``working_set_lines`` trade fidelity for runtime;
-    the defaults keep the full figure under a minute.
+
+def merge_shards(curves: Mapping[str, MissCurve]) -> Figure1Result:
+    """Assemble the figure, fits and averages from the per-shard curves.
+
+    The merge iterates the workload tables (not the mapping) so series
+    and fit order is identical however the shards were computed.
     """
     figure = FigureData(
         figure_id="Figure 1",
@@ -82,12 +130,7 @@ def run(
 
     commercial_curves: List[MissCurve] = []
     for spec in COMMERCIAL_WORKLOADS:
-        generator = spec.generator(working_set_lines=working_set_lines)
-        curve = measure_miss_curve(
-            generator.accesses(accesses),
-            line_counts,
-            warmup_stream=generator.warmup_accesses(),
-        )
+        curve = curves[f"{_COMMERCIAL_PREFIX}{spec.name}"]
         commercial_curves.append(curve)
         normalized = curve.normalized()
         figure.add(Series.from_xy(spec.name, normalized.line_counts,
@@ -104,8 +147,7 @@ def run(
 
     spec_curves: List[MissCurve] = []
     for name, _, _ in SPEC2006_WORKLOADS:
-        generator = spec2006_generator(name, seed=11)
-        curve = measure_miss_curve(generator.accesses(accesses), line_counts)
+        curve = curves[f"{_SPEC_PREFIX}{name}"]
         spec_curves.append(curve)
         fits[name] = fit_miss_curve(curve, max_lines=FIT_MAX_LINES)
     spec_avg = _average_curve(spec_curves)
@@ -125,10 +167,29 @@ def run(
     )
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
+def run(
+    accesses: int = 150_000,
+    line_counts: Sequence[int] = DEFAULT_LINE_COUNTS,
+    working_set_lines: int = 1 << 14,
+) -> Figure1Result:
+    """Measure and fit every Figure 1 curve.
+
+    ``accesses`` and ``working_set_lines`` trade fidelity for runtime;
+    the defaults keep the full figure under a minute.  Serial execution
+    goes through the same shard/merge code the parallel engine uses, so
+    both modes produce bit-identical results.
+    """
+    curves = {
+        key: run_shard(key, accesses, line_counts, working_set_lines)
+        for key in shard_keys()
+    }
+    return merge_shards(curves)
+
+
+def render(result: Figure1Result) -> None:
+    """Print the paper-style report for an already-computed result."""
     from ..analysis.tables import format_table
 
-    result = run()
     rows = [
         [name, f"{fit.alpha:.3f}", f"{fit.r_squared:.3f}"]
         for name, fit in sorted(result.fits.items())
@@ -140,6 +201,10 @@ def main() -> None:  # pragma: no cover - CLI convenience
         f"max = {result.commercial_max_alpha:.3f} (0.62); "
         f"SPEC2006 avg = {result.spec2006_alpha:.3f} (0.25)"
     )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    render(run())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,7 +6,8 @@ CLI and benchmarks can run any paper artifact by name.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import re
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from . import (
     ext_amdahl,
@@ -23,8 +24,12 @@ from . import (
     fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table2,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from .engine import SweepResult
+
 __all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment",
-           "print_experiment"]
+           "run_experiments", "print_experiment", "resolve_experiment_id",
+           "experiment_module"]
 
 _MODULES = {
     "fig1": fig01, "fig2": fig02, "fig3": fig03, "fig4": fig04,
@@ -57,28 +62,71 @@ def experiment_ids() -> List[str]:
 
 
 def _normalise(experiment_id: str) -> str:
-    key = experiment_id.lower().replace("figure", "fig").replace(" ", "")
-    key = key.replace("fig0", "fig") if key.startswith("fig0") else key
+    """Fold the accepted spellings onto canonical registry keys.
+
+    Accepts, case-insensitively: ``"fig2"``, ``"fig02"``, ``"Figure 2"``,
+    ``"figure-2"``, ``"table2"``, ``"Table 2"``, ``"tbl2"``,
+    ``"ext-het"``, ``"ext_het"``, ``"EXT HET"``, ...
+    """
+    key = experiment_id.strip().lower()
+    key = key.replace(" ", "-").replace("_", "-")
+    key = re.sub(r"^figure", "fig", key)
+    key = re.sub(r"^tbl", "table", key)
+    key = re.sub(r"^(fig|table)-?0*(\d+)$", r"\g<1>\g<2>", key)
     return key
 
 
-def run_experiment(experiment_id: str, **kwargs):
-    """Run one experiment by id and return its result object."""
-    key = _normalise(experiment_id)
-    if key not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; choose from "
-            f"{experiment_ids()}"
-        )
-    return EXPERIMENTS[key](**kwargs)
-
-
-def print_experiment(experiment_id: str) -> None:
-    """Run one experiment and print its paper-style report."""
+def resolve_experiment_id(experiment_id: str) -> str:
+    """Normalise an id, raising a KeyError that lists the valid ids."""
     key = _normalise(experiment_id)
     if key not in _MODULES:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; choose from "
             f"{experiment_ids()}"
         )
-    _MODULES[key].main()
+    return key
+
+
+def experiment_module(experiment_id: str):
+    """The module implementing one experiment (accepts any spelling)."""
+    return _MODULES[resolve_experiment_id(experiment_id)]
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id and return its result object."""
+    return EXPERIMENTS[resolve_experiment_id(experiment_id)](**kwargs)
+
+
+def run_experiments(
+    ids: Optional[Sequence[str]] = None,
+    *,
+    parallel: Optional[int] = None,
+) -> "SweepResult":
+    """Run many experiments, optionally fanned out over worker processes.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids in any accepted spelling; defaults to the whole
+        registry in paper order.
+    parallel:
+        ``None`` runs serially in-process; ``0`` auto-detects the worker
+        count (CPU count, overridable via ``REPRO_WORKERS``); any other
+        value is the worker count.  Results are ordered by submission
+        order either way, and parallel output is bit-identical to
+        serial output.
+    """
+    from .engine import SweepEngine
+
+    if parallel is None:
+        engine = SweepEngine(max_workers=1)
+    elif parallel == 0:
+        engine = SweepEngine(max_workers=None)
+    else:
+        engine = SweepEngine(max_workers=parallel)
+    return engine.run(ids)
+
+
+def print_experiment(experiment_id: str) -> None:
+    """Run one experiment and print its paper-style report."""
+    _MODULES[resolve_experiment_id(experiment_id)].main()

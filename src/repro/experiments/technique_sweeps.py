@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 from ..analysis.series import FigureData, Series
 from ..core.techniques import Technique
 from .common import NEXT_GEN_CEAS, baseline_model
+from .engine import GridPoint, sweep_grid
 
 __all__ = ["TechniqueSweepResult", "sweep_technique"]
 
@@ -45,21 +46,35 @@ def sweep_technique(
     baseline_label: str = "No technique",
     notes: str = "",
 ) -> TechniqueSweepResult:
-    """Run the sweep and package it as FigureData + checkpoints."""
+    """Run the sweep and package it as FigureData + checkpoints.
+
+    The whole grid — baseline point, one point per parameter value, and
+    the three Table 2 assumption levels — is evaluated in one ordered
+    pass through the engine's memoized grid layer, so repeated points
+    (across this sweep and across experiments) solve only once.
+    """
     model = baseline_model(alpha)
-    base_cores = model.supportable_cores(total_ceas).cores
+    grid = [GridPoint(total_ceas)]
+    grid += [
+        GridPoint(total_ceas, effect=make_technique(value).effect())
+        for value in parameter_values
+    ]
+    grid += [
+        GridPoint(total_ceas, effect=technique_type.pessimistic().effect()),
+        GridPoint(total_ceas, effect=technique_type.realistic().effect()),
+        GridPoint(total_ceas, effect=technique_type.optimistic().effect()),
+    ]
+    solutions = sweep_grid(model, grid)
 
-    cores_by_parameter: Dict[float, int] = {}
-    for value in parameter_values:
-        effect = make_technique(value).effect()
-        cores_by_parameter[value] = model.supportable_cores(
-            total_ceas, effect=effect
-        ).cores
-
-    def level_cores(technique: Technique) -> int:
-        return model.supportable_cores(
-            total_ceas, effect=technique.effect()
-        ).cores
+    base_cores = solutions[0].cores
+    cores_by_parameter: Dict[float, int] = {
+        value: solution.cores
+        for value, solution in zip(parameter_values,
+                                   solutions[1:1 + len(parameter_values)])
+    }
+    pessimistic, realistic, optimistic = (
+        solution.cores for solution in solutions[-3:]
+    )
 
     figure = FigureData(
         figure_id=figure_id,
@@ -79,9 +94,9 @@ def sweep_technique(
         figure=figure,
         cores_by_parameter=cores_by_parameter,
         baseline_cores=base_cores,
-        pessimistic_cores=level_cores(technique_type.pessimistic()),
-        realistic_cores=level_cores(technique_type.realistic()),
-        optimistic_cores=level_cores(technique_type.optimistic()),
+        pessimistic_cores=pessimistic,
+        realistic_cores=realistic,
+        optimistic_cores=optimistic,
     )
 
 

@@ -1,0 +1,29 @@
+"""Shared fixtures: one serial and one parallel full-registry sweep.
+
+The golden harness and the engine-equivalence tests both need "run
+everything" results in both modes; computing each sweep once per
+session keeps the suite's wall time at two registry runs total.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def serial_sweep():
+    """Full-registry results from the serial (in-process) engine path."""
+    from repro.experiments.engine import SweepEngine
+
+    return SweepEngine(max_workers=1).run()
+
+
+@pytest.fixture(scope="session")
+def parallel_sweep():
+    """Full-registry results from the worker-pool engine path.
+
+    Two workers regardless of the machine so the parallel code path
+    (shard fan-out, out-of-order completion, ordered aggregation) is
+    exercised even on single-core CI runners.
+    """
+    from repro.experiments.engine import SweepEngine
+
+    return SweepEngine(max_workers=2).run()

@@ -1,0 +1,99 @@
+"""Unit tests for the solve memo cache (repro.core.memo)."""
+
+import pytest
+
+from repro.core import memo
+from repro.core.area import ChipDesign
+from repro.core.scaling import BandwidthWallModel
+from repro.core.techniques import NEUTRAL_EFFECT, LinkCompression
+
+MODEL = BandwidthWallModel(ChipDesign(16, 8), alpha=0.5)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    memo.clear_cache()
+    memo.configure(enabled=True)
+    yield
+    memo.clear_cache()
+    memo.configure(enabled=True)
+
+
+class TestMemoCache:
+    def test_lookup_counts_miss_then_hit(self):
+        cache = memo.MemoCache()
+        key = memo.ModelKey(ChipDesign(16, 8), 0.5, 32.0, 1.0,
+                            NEUTRAL_EFFECT)
+        assert cache.lookup(key) is None
+        solution = MODEL.supportable_cores(32.0)
+        cache.store(key, solution)
+        assert cache.lookup(key) is solution
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_fifo_eviction_respects_maxsize(self):
+        cache = memo.MemoCache(maxsize=2)
+        solution = MODEL.supportable_cores(32.0)
+        keys = [
+            memo.ModelKey(ChipDesign(16, 8), 0.5, ceas, 1.0, NEUTRAL_EFFECT)
+            for ceas in (32.0, 64.0, 128.0)
+        ]
+        for key in keys:
+            cache.store(key, solution)
+        assert len(cache) == 2
+        assert cache.lookup(keys[0]) is None  # oldest evicted
+        assert cache.lookup(keys[2]) is solution
+
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(ValueError):
+            memo.MemoCache(maxsize=0)
+
+    def test_clear_resets_counters(self):
+        cache = memo.MemoCache()
+        key = memo.ModelKey(ChipDesign(16, 8), 0.5, 32.0, 1.0,
+                            NEUTRAL_EFFECT)
+        cache.lookup(key)
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+
+    def test_stats_since_gives_deltas(self):
+        before = memo.CacheStats(hits=2, misses=3, size=4)
+        after = memo.CacheStats(hits=5, misses=4, size=6)
+        delta = after.since(before)
+        assert (delta.hits, delta.misses) == (3, 1)
+
+
+class TestSolvePathIntegration:
+    def test_repeated_solves_hit_the_global_cache(self):
+        MODEL.supportable_cores(32.0)
+        before = memo.cache_stats()
+        first = MODEL.supportable_cores(32.0)
+        second = MODEL.supportable_cores(32.0)
+        delta = memo.cache_stats().since(before)
+        assert delta.hits == 2 and delta.misses == 0
+        assert first is second  # the cached frozen instance is shared
+
+    def test_distinct_effects_are_distinct_keys(self):
+        effect = LinkCompression(2.0).effect()
+        a = MODEL.supportable_cores(32.0)
+        b = MODEL.supportable_cores(32.0, effect=effect)
+        assert a.continuous_cores != b.continuous_cores
+        stats = memo.cache_stats()
+        assert stats.size >= 2
+
+    def test_disabled_context_bypasses_cache(self):
+        MODEL.supportable_cores(32.0)
+        before = memo.cache_stats()
+        with memo.disabled():
+            solution = MODEL.supportable_cores(32.0)
+        delta = memo.cache_stats().since(before)
+        assert (delta.hits, delta.misses) == (0, 0)
+        assert solution.cores == 11
+
+    def test_memoized_equals_unmemoized(self):
+        memoized = MODEL.supportable_cores(48.0, traffic_budget=1.25)
+        with memo.disabled():
+            raw = MODEL.supportable_cores(48.0, traffic_budget=1.25)
+        assert memoized == raw

@@ -1,0 +1,86 @@
+"""Golden-result fixtures: one JSON snapshot per experiment id.
+
+Each ``<experiment-id>.json`` in this directory pins the canonical
+serialised form (:func:`repro.analysis.export.to_jsonable`) of that
+experiment's result object.  ``tests/test_goldens.py`` compares serial
+*and* parallel engine output against them, so any change to the model's
+numbers — or any serial/parallel divergence — fails CI.
+
+Rules
+-----
+- Do **not** regenerate goldens unless the model specification changes
+  (a deliberate change to an equation, preset, workload generator or
+  experiment grid).  A failing golden test is a regression until proven
+  otherwise.
+- Every id in ``repro.experiments.experiment_ids()`` must have a
+  golden; adding an experiment without one fails CI.
+- All comparisons use strict tolerances with NaN-aware equality.
+
+Regenerate with::
+
+    PYTHONPATH=src python tests/goldens/regen.py            # everything
+    PYTHONPATH=src python tests/goldens/regen.py fig2 tbl2  # a subset
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+#: Bump when the golden *encoding* (not the model) changes shape.
+SCHEMA_VERSION = 1
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def golden_path(experiment_id: str) -> Path:
+    """Where one experiment's snapshot lives."""
+    return GOLDEN_DIR / f"{experiment_id}.json"
+
+
+def golden_ids() -> Sequence[str]:
+    """Experiment ids that currently have a snapshot on disk."""
+    return sorted(path.stem for path in GOLDEN_DIR.glob("*.json"))
+
+
+def load_golden(experiment_id: str) -> Dict[str, Any]:
+    """Read one snapshot (raises FileNotFoundError when missing)."""
+    with golden_path(experiment_id).open() as handle:
+        return json.load(handle)
+
+
+def build_payload(experiment_id: str, result: Any) -> Dict[str, Any]:
+    """The exact structure stored in a golden file."""
+    from repro.analysis.export import to_jsonable
+
+    return {
+        "experiment_id": experiment_id,
+        "schema": SCHEMA_VERSION,
+        "result": to_jsonable(result),
+    }
+
+
+def write_golden(experiment_id: str, result: Any) -> Path:
+    """Serialise one result to its snapshot file."""
+    path = golden_path(experiment_id)
+    payload = build_payload(experiment_id, result)
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def regen(ids: Optional[Sequence[str]] = None) -> None:
+    """Regenerate snapshots for ``ids`` (default: the whole registry)."""
+    from repro.experiments import experiment_ids, resolve_experiment_id, \
+        run_experiment
+
+    keys = ([resolve_experiment_id(i) for i in ids]
+            if ids else experiment_ids())
+    for key in keys:
+        path = write_golden(key, run_experiment(key))
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}")
+
+
+if __name__ == "__main__":
+    regen(sys.argv[1:] or None)

@@ -1,0 +1,95 @@
+"""Golden-result regression tests for every paper artifact.
+
+Serial and parallel engine output are both compared against the
+checked-in snapshots in ``tests/goldens/`` with strict, NaN-aware
+tolerances.  See ``tests/goldens/regen.py`` for the regeneration
+policy (only when the model specification deliberately changes).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import experiment_ids
+
+from .goldens import regen
+
+ALL_IDS = experiment_ids()
+
+#: Strict tolerances: goldens are produced by the same deterministic
+#: code under test, so only cross-platform libm noise is forgiven.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def assert_jsonable_equal(actual, expected, path="result"):
+    """Recursive equality with NaN-aware float comparison."""
+    if isinstance(expected, float) or isinstance(actual, float):
+        assert isinstance(actual, (int, float)), \
+            f"{path}: {actual!r} != {expected!r}"
+        assert isinstance(expected, (int, float)), \
+            f"{path}: {actual!r} != {expected!r}"
+        if math.isnan(float(expected)):
+            assert math.isnan(float(actual)), \
+                f"{path}: expected NaN, got {actual!r}"
+        else:
+            assert math.isclose(float(actual), float(expected),
+                                rel_tol=REL_TOL, abs_tol=ABS_TOL), \
+                f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: {actual!r} not a dict"
+        assert list(actual) == list(expected), \
+            f"{path}: keys {list(actual)} != {list(expected)}"
+        for key in expected:
+            assert_jsonable_equal(actual[key], expected[key],
+                                  f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: {actual!r} not a list"
+        assert len(actual) == len(expected), \
+            f"{path}: length {len(actual)} != {len(expected)}"
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            assert_jsonable_equal(a, e, f"{path}[{index}]")
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+class TestGoldenCoverage:
+    def test_every_experiment_has_a_golden(self):
+        """Adding an experiment without regenerating its golden fails."""
+        missing = [eid for eid in ALL_IDS
+                   if not regen.golden_path(eid).exists()]
+        assert not missing, (
+            f"experiments without golden fixtures: {missing}; run "
+            f"PYTHONPATH=src python tests/goldens/regen.py "
+            f"{' '.join(missing)}"
+        )
+
+    def test_no_orphan_goldens(self):
+        """Every snapshot on disk maps to a registered experiment."""
+        orphans = set(regen.golden_ids()) - set(ALL_IDS)
+        assert not orphans, f"goldens without experiments: {sorted(orphans)}"
+
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_golden_schema(self, experiment_id):
+        payload = regen.load_golden(experiment_id)
+        assert payload["experiment_id"] == experiment_id
+        assert payload["schema"] == regen.SCHEMA_VERSION
+        assert "result" in payload
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_serial_output_matches_golden(experiment_id, serial_sweep):
+    golden = regen.load_golden(experiment_id)
+    actual = regen.build_payload(
+        experiment_id, serial_sweep.results[experiment_id]
+    )
+    assert_jsonable_equal(actual["result"], golden["result"])
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_parallel_output_matches_golden(experiment_id, parallel_sweep):
+    golden = regen.load_golden(experiment_id)
+    actual = regen.build_payload(
+        experiment_id, parallel_sweep.results[experiment_id]
+    )
+    assert_jsonable_equal(actual["result"], golden["result"])
