@@ -12,13 +12,58 @@ import dataclasses
 import enum
 import io
 import json
+import math
 from pathlib import Path
 from typing import Any, Optional, Union
 
 from .series import FigureData
 
 __all__ = ["figure_to_csv", "figure_to_json", "write_figure",
-           "to_jsonable", "result_to_json"]
+           "to_jsonable", "result_to_json", "strict_jsonable",
+           "dumps_strict", "NAN_SENTINEL", "INF_SENTINEL",
+           "NEG_INF_SENTINEL"]
+
+#: How non-finite floats are spelled in strict JSON output.  ``NaN``
+#: maps to ``null`` (the value is unknowable); the infinities keep their
+#: sign in an unambiguous string sentinel so clients can distinguish
+#: "diverged" from "missing".
+NAN_SENTINEL = None
+INF_SENTINEL = "Infinity"
+NEG_INF_SENTINEL = "-Infinity"
+
+
+def strict_jsonable(obj: Any) -> Any:
+    """Recursively replace non-finite floats with strict-JSON encodings.
+
+    ``json.dumps`` happily emits bare ``NaN``/``Infinity`` tokens, which
+    are **not** JSON — ``JSON.parse`` and most non-Python clients reject
+    them.  Every payload that leaves the process (figure exports, API
+    responses) is routed through this helper so the emitted text always
+    satisfies ``json.loads`` with ``parse_constant`` disabled.
+    """
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return NAN_SENTINEL
+        if math.isinf(obj):
+            return INF_SENTINEL if obj > 0 else NEG_INF_SENTINEL
+        return obj
+    if isinstance(obj, dict):
+        return {key: strict_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [strict_jsonable(value) for value in obj]
+    return obj
+
+
+def dumps_strict(payload: Any, *, indent: Optional[int] = None,
+                 sort_keys: bool = False) -> str:
+    """``json.dumps`` that is guaranteed to emit valid (strict) JSON.
+
+    ``allow_nan=False`` makes the guarantee hard: a non-finite float
+    that somehow evades :func:`strict_jsonable` raises instead of
+    silently producing unparseable output.
+    """
+    return json.dumps(strict_jsonable(payload), indent=indent,
+                      sort_keys=sort_keys, allow_nan=False)
 
 
 def figure_to_csv(figure: FigureData) -> str:
@@ -45,7 +90,7 @@ def figure_to_json(figure: FigureData, *, indent: Optional[int] = 2) -> str:
             for series in figure.series
         ],
     }
-    return json.dumps(payload, indent=indent)
+    return dumps_strict(payload, indent=indent)
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -101,8 +146,12 @@ def to_jsonable(obj: Any) -> Any:
 
 
 def result_to_json(result: Any, *, indent: Optional[int] = 2) -> str:
-    """Serialise one experiment result to canonical JSON text."""
-    return json.dumps(to_jsonable(result), indent=indent, sort_keys=False)
+    """Serialise one experiment result to canonical, strict JSON text.
+
+    NaN-bearing results (e.g. undefined speedups) encode as ``null`` so
+    the output parses everywhere, not only in Python.
+    """
+    return dumps_strict(to_jsonable(result), indent=indent)
 
 
 def write_figure(

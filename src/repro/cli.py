@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Two modes:
+Three modes:
 
 * **experiment mode** — regenerate a paper artifact::
 
@@ -17,6 +17,13 @@ Two modes:
   prints the supportable core count, die split and traffic
   decomposition for the given configuration.
 
+* **serving mode** — run the model as a long-lived HTTP/JSON API::
+
+      bandwidth-wall serve --port 8100 --workers 8
+
+  exposes ``/v1/solve``, ``/v1/sweep``, ``/v1/experiments``,
+  ``/healthz`` and Prometheus ``/metrics`` (see docs/SERVICE.md).
+
 Every experiment prints the rows/series the paper reports plus the
 paper's checkpoint values for comparison.
 """
@@ -28,53 +35,10 @@ import sys
 import time
 from typing import List, Optional
 
-from .core.presets import paper_baseline_design
-from .core.scaling import BandwidthWallModel
-from .core.techniques import (
-    CacheCompression,
-    CacheLinkCompression,
-    DRAMCache,
-    LinkCompression,
-    NEUTRAL_EFFECT,
-    SectoredCache,
-    SmallCacheLines,
-    SmallerCores,
-    ThreeDStackedCache,
-    UnusedDataFiltering,
-)
+from .core.scenario import ScenarioRequest, render_scenario, solve_scenario
 from .experiments import experiment_ids, print_experiment
 
 __all__ = ["main"]
-
-#: label -> constructor taking the --technique parameter value.
-_TECHNIQUE_PARSERS = {
-    "CC": lambda value: CacheCompression(float(value or 2.0)),
-    "DRAM": lambda value: DRAMCache(float(value or 8.0)),
-    "3D": lambda value: ThreeDStackedCache(float(value or 1.0)),
-    "Fltr": lambda value: UnusedDataFiltering(float(value or 0.4)),
-    "SmCo": lambda value: SmallerCores(1.0 / float(value or 40.0)),
-    "LC": lambda value: LinkCompression(float(value or 2.0)),
-    "Sect": lambda value: SectoredCache(float(value or 0.4)),
-    "SmCl": lambda value: SmallCacheLines(float(value or 0.4)),
-    "CC/LC": lambda value: CacheLinkCompression(float(value or 2.0)),
-}
-
-
-def _parse_technique(spec: str):
-    """Parse ``LABEL`` or ``LABEL=value`` into a Technique."""
-    label, _, value = spec.partition("=")
-    label = label.strip()
-    if label not in _TECHNIQUE_PARSERS:
-        raise argparse.ArgumentTypeError(
-            f"unknown technique {label!r}; choose from "
-            f"{sorted(_TECHNIQUE_PARSERS)}"
-        )
-    try:
-        return _TECHNIQUE_PARSERS[label](value.strip() or None)
-    except ValueError as error:
-        raise argparse.ArgumentTypeError(
-            f"bad parameter for {label}: {error}"
-        ) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,7 +50,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig2, table2, ext-roadmap), 'list', "
-             "'all', or 'solve'",
+             "'all', 'solve', or 'serve'",
     )
     parser.add_argument("--ceas", type=float, default=32.0,
                         help="[solve] die size in CEAs (default 32)")
@@ -118,39 +82,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timing", action="store_true",
         help="report per-experiment wall time and solve-cache hit rate",
     )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="[serve] bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8100,
+                        help="[serve] TCP port, 0 for ephemeral "
+                             "(default 8100)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="[serve] max concurrently-handled requests "
+                             "(default 8)")
+    parser.add_argument("--cache-ttl", type=float, default=300.0,
+                        help="[serve] response cache TTL in seconds, "
+                             "0 disables storage (default 300)")
+    parser.add_argument("--cache-size", type=int, default=1024,
+                        help="[serve] response cache LRU bound "
+                             "(default 1024)")
     return parser
 
 
 def _solve(args: argparse.Namespace) -> int:
-    model = BandwidthWallModel(paper_baseline_design(), alpha=args.alpha)
-    effect = NEUTRAL_EFFECT
-    labels = []
-    for spec in args.technique:
-        technique = _parse_technique(spec)
-        effect = effect.combine(technique.effect())
-        labels.append(technique.label)
-    solution = model.supportable_cores(
-        args.ceas, traffic_budget=args.budget, effect=effect
-    )
-    stack_label = " + ".join(labels) if labels else "none"
-    print(f"baseline      : 8 cores + 8 cache CEAs, alpha={args.alpha}")
-    print(f"die           : {args.ceas:g} CEAs, traffic budget "
-          f"{args.budget:g}x")
-    print(f"techniques    : {stack_label}")
-    print(f"cores         : {solution.cores} "
-          f"(continuous {solution.continuous_cores:.2f})")
-    print(f"core area     : {solution.core_area_share:.1%} of die")
-    print(f"cache/core    : {solution.effective_cache_per_core:.2f} "
-          "SRAM-equivalent CEAs")
-    if solution.area_limited:
-        print("note          : area limited — the traffic budget would "
-              "admit more cores than fit")
-    proportional = 8 * args.ceas / 16
-    verdict = ("super-proportional"
-               if solution.continuous_cores > proportional
-               else "sub-proportional")
-    print(f"vs proportional ({proportional:g} cores): {verdict}")
+    outcome = solve_scenario(ScenarioRequest(
+        ceas=args.ceas,
+        alpha=args.alpha,
+        budget=args.budget,
+        techniques=tuple(args.technique),
+    ))
+    sys.stdout.write(render_scenario(outcome))
     return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from .service.app import ServiceConfig, serve
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_ttl=args.cache_ttl,
+            cache_maxsize=args.cache_size,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return serve(config)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -169,6 +143,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(error, file=sys.stderr)
             return 2
 
+    if target == "serve":
+        return _serve(args)
+
     if target == "report":
         from .analysis.report import write_report
 
@@ -183,15 +160,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         if args.timing:
-            from .core.memo import cache_stats
+            from .core.memo import stats_snapshot
 
-            before = cache_stats()
+            before = stats_snapshot()
             started = time.perf_counter()
             print_experiment(target)
             elapsed = time.perf_counter() - started
-            delta = cache_stats().since(before)
+            after = stats_snapshot()
+            hits = after.hits - before.hits
+            lookups = after.lookups - before.lookups
             print(f"\n[{target}: {elapsed:.2f}s; solve cache: "
-                  f"{delta.hits}/{delta.lookups} hits]")
+                  f"{hits}/{lookups} hits, {after.size} entries]")
         else:
             print_experiment(target)
     except KeyError as error:
@@ -234,6 +213,13 @@ def _run_all(args: argparse.Namespace) -> int:
               f"solve cache hit rate {sweep.cache_hit_rate:.1%} "
               f"({sweep.cache_hits}/"
               f"{sweep.cache_hits + sweep.cache_misses})")
+        if not sweep.parallel:
+            from .core.memo import stats_snapshot
+
+            snap = stats_snapshot()
+            print(f"  {'solve memo':<16} {snap.hits}/{snap.lookups} "
+                  f"lookups hit ({snap.hit_rate:.1%}), "
+                  f"{snap.size} entries")
     return 0
 
 

@@ -48,10 +48,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 __all__ = [
     "ModelKey",
     "CacheStats",
+    "MemoSnapshot",
     "MemoCache",
     "global_cache",
     "active_cache",
     "cache_stats",
+    "stats_snapshot",
     "clear_cache",
     "configure",
     "disabled",
@@ -104,6 +106,44 @@ class CacheStats:
         )
 
 
+@dataclass(frozen=True)
+class MemoSnapshot:
+    """A public, point-in-time view of one memo cache's state.
+
+    Unlike :class:`CacheStats` (which only carries counters), a snapshot
+    also records the cache's configuration, so observability layers (CLI
+    ``--timing``, the service's ``/metrics`` endpoint) never need to
+    reach into private fields.
+    """
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+    enabled: bool
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat form for JSON payloads and metric exposition."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "enabled": self.enabled,
+        }
+
+
 class MemoCache:
     """A bounded, thread-safe memo table for scaling solves.
 
@@ -142,6 +182,22 @@ class MemoCache:
         with self._lock:
             return CacheStats(self._hits, self._misses, len(self._entries))
 
+    def stats_snapshot(self, *, enabled: bool = True) -> MemoSnapshot:
+        """Atomic counters-plus-configuration snapshot (thread-safe).
+
+        ``enabled`` is the caller's view of whether lookups currently
+        route through this cache; the module-level
+        :func:`stats_snapshot` fills it in for the global instance.
+        """
+        with self._lock:
+            return MemoSnapshot(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+                enabled=enabled,
+            )
+
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
         with self._lock:
@@ -171,6 +227,16 @@ def active_cache() -> Optional[MemoCache]:
 def cache_stats() -> CacheStats:
     """Snapshot of the global cache's counters."""
     return _GLOBAL_CACHE.stats()
+
+
+def stats_snapshot() -> MemoSnapshot:
+    """Public, thread-safe snapshot of the global solve memo.
+
+    The supported way for observability consumers (CLI ``--timing``,
+    the service's ``/metrics``) to read hit/miss/size without touching
+    private state.
+    """
+    return _GLOBAL_CACHE.stats_snapshot(enabled=_ENABLED)
 
 
 def clear_cache() -> None:

@@ -237,15 +237,9 @@ def _worker_run(experiment_id: str) -> _TaskOutput:
 
 def _worker_report(experiment_id: str) -> _TaskOutput:
     """Whole-experiment task: capture the printed paper-style report."""
-    from .runner import print_experiment
+    from .runner import experiment_report
 
-    def execute() -> str:
-        buffer = io.StringIO()
-        with contextlib.redirect_stdout(buffer):
-            print_experiment(experiment_id)
-        return buffer.getvalue()
-
-    return _timed(execute)
+    return _timed(lambda: experiment_report(experiment_id))
 
 
 def _worker_shard(experiment_id: str, shard_key: str) -> _TaskOutput:

@@ -6,8 +6,10 @@ CLI and benchmarks can run any paper artifact by name.
 
 from __future__ import annotations
 
+import contextlib
+import io
 import re
-from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from . import (
     ext_amdahl,
@@ -29,7 +31,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
 
 __all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment",
            "run_experiments", "print_experiment", "resolve_experiment_id",
-           "experiment_module"]
+           "experiment_module", "experiment_title", "experiment_report",
+           "experiment_payload"]
 
 _MODULES = {
     "fig1": fig01, "fig2": fig02, "fig3": fig03, "fig4": fig04,
@@ -130,3 +133,43 @@ def run_experiments(
 def print_experiment(experiment_id: str) -> None:
     """Run one experiment and print its paper-style report."""
     _MODULES[resolve_experiment_id(experiment_id)].main()
+
+
+def experiment_title(experiment_id: str) -> str:
+    """One-line description: the first line of the module's docstring."""
+    doc = experiment_module(experiment_id).__doc__ or ""
+    return doc.strip().splitlines()[0].strip() if doc.strip() else ""
+
+
+def experiment_report(experiment_id: str) -> str:
+    """One experiment's printed paper-style report, as a string.
+
+    Exactly what ``bandwidth-wall <id>`` writes to stdout; the sweep
+    engine and the serving subsystem both read reports through here.
+    """
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        print_experiment(experiment_id)
+    return buffer.getvalue()
+
+
+def experiment_payload(
+    experiment_id: str, *, include_report: bool = False
+) -> Dict[str, Any]:
+    """Render one experiment to a JSON-ready payload.
+
+    The ``result`` field is the same canonical encoding the golden
+    harness snapshots (:func:`repro.analysis.export.to_jsonable`), made
+    strict-JSON safe; ``report`` (optional) is the paper-style text.
+    """
+    from ..analysis.export import strict_jsonable, to_jsonable
+
+    key = resolve_experiment_id(experiment_id)
+    payload: Dict[str, Any] = {
+        "experiment_id": key,
+        "title": experiment_title(key),
+        "result": strict_jsonable(to_jsonable(run_experiment(key))),
+    }
+    if include_report:
+        payload["report"] = experiment_report(key)
+    return payload

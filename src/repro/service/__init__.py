@@ -1,0 +1,34 @@
+"""Model-serving subsystem: the bandwidth-wall model over HTTP/JSON.
+
+A stdlib-only, threaded serving layer that turns the one-shot CLI into
+a long-running, observable service:
+
+* :mod:`repro.service.app` — routing, request handling, graceful
+  shutdown, and the ``bandwidth-wall serve`` entry point;
+* :mod:`repro.service.validation` — typed request validation with
+  field-level error detail;
+* :mod:`repro.service.cache` — TTL+LRU response cache with in-flight
+  request coalescing (N concurrent identical solves cost one bisection);
+* :mod:`repro.service.metrics` — request counters, latency histograms
+  and cache gauges in Prometheus text format;
+* :mod:`repro.service.client` — a pure-python client used by the tests,
+  the load benchmark and the CI smoke check.
+
+See ``docs/SERVICE.md`` for the endpoint and schema reference.
+"""
+
+from .app import ServiceConfig, BandwidthWallService, serve, start_service
+from .client import ServiceClient, ServiceError
+from .errors import ApiError, NotFoundError, ValidationError
+
+__all__ = [
+    "ServiceConfig",
+    "BandwidthWallService",
+    "serve",
+    "start_service",
+    "ServiceClient",
+    "ServiceError",
+    "ApiError",
+    "NotFoundError",
+    "ValidationError",
+]

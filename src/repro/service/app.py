@@ -1,0 +1,585 @@
+"""The HTTP application: routes, handlers, lifecycle.
+
+Architecture
+------------
+:class:`BandwidthWallService` is a transport-free application object —
+``dispatch(method, path, query, body)`` in, ``(status, headers, bytes)``
+out — wired to the evaluation core:
+
+* ``POST /v1/solve``   → :mod:`repro.core.scenario` (the CLI's exact
+  solve/render path, so HTTP and terminal answers are byte-identical);
+* ``POST /v1/sweep``   → :func:`repro.experiments.engine.sweep_grid`
+  over the validated (ceas x budget) grid;
+* ``GET /v1/experiments`` and ``/v1/experiments/{id}`` →
+  :mod:`repro.experiments.runner` payload rendering;
+* ``GET /healthz``     → liveness + drain state;
+* ``GET /metrics``     → Prometheus text.
+
+Expensive handlers run through a TTL+LRU :class:`~repro.service.cache.
+ResponseCache` with single-flight coalescing, layered on the process
+solve memo.  The HTTP transport is a stdlib ``ThreadingHTTPServer``
+whose per-request concurrency is capped by a worker semaphore, and
+shutdown is graceful: SIGTERM stops the accept loop, lets in-flight
+requests drain up to a deadline, then closes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from ..analysis.export import dumps_strict
+from ..core import memo
+from ..core.presets import paper_baseline_design
+from ..core.scaling import BandwidthWallModel
+from ..core.scenario import (
+    ScenarioRequest,
+    scenario_payload,
+    solve_scenario,
+)
+from .cache import ResponseCache
+from ..core.solver import BracketError
+from .errors import (
+    ApiError,
+    MethodNotAllowedError,
+    NotFoundError,
+    PayloadTooLargeError,
+    UnsolvableError,
+    ValidationError,
+    FieldError,
+)
+from .metrics import MetricsRegistry
+from .validation import (
+    SweepRequest,
+    validate_solve_request,
+    validate_sweep_request,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "BandwidthWallService",
+    "RunningService",
+    "start_service",
+    "serve",
+]
+
+#: Largest accepted request body; solve/sweep bodies are tiny, so
+#: anything beyond this is a client bug (or abuse), not a use case.
+MAX_BODY_BYTES = 1 << 20
+
+_JSON = "application/json; charset=utf-8"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8100
+    workers: int = 8
+    cache_ttl: float = 300.0
+    cache_maxsize: int = 1024
+    drain_deadline: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.drain_deadline < 0:
+            raise ValueError("drain_deadline must be non-negative")
+
+
+@dataclass(frozen=True)
+class Response:
+    """One handler's outcome before HTTP encoding."""
+
+    status: int
+    body: bytes
+    content_type: str = _JSON
+
+
+class BandwidthWallService:
+    """Transport-free request handling plus service-wide state."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig()) -> None:
+        self.config = config
+        self.started_monotonic = time.monotonic()
+        self.draining = threading.Event()
+        self.response_cache = ResponseCache(
+            maxsize=config.cache_maxsize, ttl=config.cache_ttl
+        )
+        self._init_metrics()
+        # (method, compiled path pattern, handler, route label)
+        self._routes: List[Tuple[str, Any, Callable, str]] = [
+            ("GET", re.compile(r"^/healthz$"), self._handle_healthz,
+             "/healthz"),
+            ("GET", re.compile(r"^/metrics$"), self._handle_metrics,
+             "/metrics"),
+            ("POST", re.compile(r"^/v1/solve$"), self._handle_solve,
+             "/v1/solve"),
+            ("POST", re.compile(r"^/v1/sweep$"), self._handle_sweep,
+             "/v1/sweep"),
+            ("GET", re.compile(r"^/v1/experiments$"),
+             self._handle_experiments, "/v1/experiments"),
+            ("GET", re.compile(r"^/v1/experiments/(?P<eid>[^/]+)$"),
+             self._handle_experiment, "/v1/experiments/{id}"),
+        ]
+
+    def _init_metrics(self) -> None:
+        registry = MetricsRegistry()
+        self.metrics = registry
+        self.requests_total = registry.counter(
+            "service_requests_total",
+            "HTTP requests handled, by route, method and status.",
+            ("route", "method", "status"),
+        )
+        self.request_latency = registry.histogram(
+            "service_request_duration_seconds",
+            "Request handling latency in seconds, by route.",
+            ("route",),
+        )
+        self.inflight = registry.gauge(
+            "service_inflight_requests",
+            "Requests currently being handled.",
+        )
+        registry.gauge(
+            "service_uptime_seconds",
+            "Seconds since this service instance started.",
+            callback=lambda: time.monotonic() - self.started_monotonic,
+        )
+        cache_stats = self.response_cache.stats
+        registry.gauge(
+            "service_response_cache_hits_total",
+            "Response-cache lookups served from a stored response.",
+            callback=lambda: cache_stats().hits,
+        )
+        registry.gauge(
+            "service_response_cache_misses_total",
+            "Response-cache lookups that computed a fresh response.",
+            callback=lambda: cache_stats().misses,
+        )
+        registry.gauge(
+            "service_response_cache_coalesced_total",
+            "Requests that joined an identical in-flight computation.",
+            callback=lambda: cache_stats().coalesced,
+        )
+        registry.gauge(
+            "service_response_cache_evictions_total",
+            "Responses evicted by the LRU bound.",
+            callback=lambda: cache_stats().evictions,
+        )
+        registry.gauge(
+            "service_response_cache_size",
+            "Responses currently stored.",
+            callback=lambda: cache_stats().size,
+        )
+        registry.gauge(
+            "service_response_cache_hit_rate",
+            "Fraction of lookups served without computing (hit+coalesced).",
+            callback=lambda: cache_stats().hit_rate,
+        )
+        registry.gauge(
+            "solve_memo_hits_total",
+            "Solve-memo lookups served from cache (process-wide).",
+            callback=lambda: memo.stats_snapshot().hits,
+        )
+        registry.gauge(
+            "solve_memo_misses_total",
+            "Solve-memo lookups that ran the bisection (process-wide).",
+            callback=lambda: memo.stats_snapshot().misses,
+        )
+        registry.gauge(
+            "solve_memo_size",
+            "Distinct solves currently memoized (process-wide).",
+            callback=lambda: memo.stats_snapshot().size,
+        )
+        registry.gauge(
+            "solve_memo_hit_rate",
+            "Fraction of solve lookups served from the memo.",
+            callback=lambda: memo.stats_snapshot().hit_rate,
+        )
+
+    # -- dispatch ------------------------------------------------------
+
+    def dispatch(self, method: str, target: str,
+                 body: bytes) -> Response:
+        """Route one request, instrumenting latency/counters/in-flight."""
+        split = urlsplit(target)
+        path = split.path
+        query = parse_qs(split.query)
+        route_label = path
+        started = time.monotonic()
+        self.inflight.inc()
+        response: Optional[Response] = None
+        try:
+            try:
+                route = self._match(method, path)
+                if route is None:
+                    raise self._unknown_route(method, path)
+                pattern_match, handler, route_label = route
+                response = handler(pattern_match, query, body)
+            except ApiError as error:
+                response = self._error_response(error)
+            except Exception as error:  # noqa: BLE001 - service boundary
+                response = self._error_response(ApiError(
+                    f"internal error: {type(error).__name__}: {error}"
+                ))
+            return response
+        finally:
+            elapsed = time.monotonic() - started
+            self.inflight.dec()
+            status = str(response.status) if response is not None else "500"
+            self.requests_total.inc(
+                route=route_label, method=method, status=status
+            )
+            self.request_latency.observe(elapsed, route=route_label)
+
+    def _match(self, method: str, path: str):
+        allowed: List[str] = []
+        for route_method, pattern, handler, label in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            if route_method == method:
+                return match, handler, label
+            allowed.append(route_method)
+        if allowed:
+            raise MethodNotAllowedError(
+                f"{method} not allowed on {path}",
+                {"allowed": sorted(set(allowed))},
+            )
+        return None
+
+    def _unknown_route(self, method: str, path: str) -> NotFoundError:
+        return NotFoundError(
+            f"no route for {method} {path}",
+            {"routes": sorted({f"{m} {label}"
+                               for m, _, _, label in self._routes})},
+        )
+
+    # -- handlers ------------------------------------------------------
+
+    def _handle_healthz(self, match, query, body) -> Response:
+        draining = self.draining.is_set()
+        payload = {
+            "status": "draining" if draining else "ok",
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+            "experiments": len(self._experiment_ids()),
+        }
+        return self._json_response(payload, status=503 if draining else 200)
+
+    def _handle_metrics(self, match, query, body) -> Response:
+        return Response(200, self.metrics.render().encode("utf-8"), _PROM)
+
+    def _handle_solve(self, match, query, body) -> Response:
+        request = validate_solve_request(self._parse_json(body))
+        key = ("solve", request)
+        try:
+            payload, _ = self.response_cache.get_or_compute(
+                key, lambda: scenario_payload(solve_scenario(request))
+            )
+        except (BracketError, ValueError) as error:
+            raise UnsolvableError(str(error)) from None
+        return self._json_response(payload)
+
+    def _handle_sweep(self, match, query, body) -> Response:
+        request = validate_sweep_request(self._parse_json(body))
+        key = ("sweep", request)
+        try:
+            payload, _ = self.response_cache.get_or_compute(
+                key, lambda: self._compute_sweep(request)
+            )
+        except (BracketError, ValueError) as error:
+            raise UnsolvableError(str(error)) from None
+        return self._json_response(payload)
+
+    def _compute_sweep(self, request: SweepRequest) -> Dict[str, Any]:
+        from ..experiments.engine import GridPoint, sweep_grid
+
+        effect, labels = ScenarioRequest(
+            techniques=request.techniques
+        ).combined_effect()
+        model = BandwidthWallModel(paper_baseline_design(),
+                                   alpha=request.alpha)
+        points = [
+            GridPoint(total_ceas=ceas, traffic_budget=budget, effect=effect)
+            for ceas in request.ceas
+            for budget in request.budgets
+        ]
+        solutions = sweep_grid(model, points)
+        rows = [
+            {
+                "ceas": point.total_ceas,
+                "budget": point.traffic_budget,
+                "cores": solution.cores,
+                "continuous_cores": solution.continuous_cores,
+                "core_area_share": solution.core_area_share,
+                "effective_cache_per_core":
+                    solution.effective_cache_per_core,
+                "area_limited": solution.area_limited,
+            }
+            for point, solution in zip(points, solutions)
+        ]
+        return {
+            "request": {
+                "ceas": list(request.ceas),
+                "budgets": list(request.budgets),
+                "alpha": request.alpha,
+                "techniques": list(request.techniques),
+            },
+            "techniques": list(labels),
+            "count": len(rows),
+            "points": rows,
+        }
+
+    def _handle_experiments(self, match, query, body) -> Response:
+        from ..experiments.runner import experiment_title
+
+        ids = self._experiment_ids()
+        payload = {
+            "count": len(ids),
+            "experiments": [
+                {"id": eid, "title": experiment_title(eid)} for eid in ids
+            ],
+        }
+        return self._json_response(payload)
+
+    def _handle_experiment(self, match, query, body) -> Response:
+        from ..experiments.runner import (
+            experiment_payload,
+            resolve_experiment_id,
+        )
+
+        raw_id = unquote(match.group("eid"))
+        try:
+            key = resolve_experiment_id(raw_id)
+        except KeyError:
+            raise NotFoundError(
+                f"unknown experiment {raw_id!r}",
+                {"valid_ids": self._experiment_ids()},
+            ) from None
+        include_report = self._flag(query, "report")
+        payload, _ = self.response_cache.get_or_compute(
+            ("experiment", key, include_report),
+            lambda: experiment_payload(key, include_report=include_report),
+        )
+        return self._json_response(payload)
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _experiment_ids() -> List[str]:
+        from ..experiments.runner import experiment_ids
+
+        return experiment_ids()
+
+    @staticmethod
+    def _flag(query: Dict[str, List[str]], name: str) -> bool:
+        values = query.get(name, [])
+        return bool(values) and values[-1].lower() not in ("0", "false", "no")
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Any:
+        if not body:
+            return {}
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValidationError(
+                [FieldError("$", f"body is not valid JSON: {error}")],
+                "request body must be JSON",
+            ) from None
+
+    @staticmethod
+    def _json_response(payload: Any, status: int = 200) -> Response:
+        text = dumps_strict(payload, indent=2) + "\n"
+        return Response(status, text.encode("utf-8"), _JSON)
+
+    def _error_response(self, error: ApiError) -> Response:
+        return self._json_response(error.payload(), status=error.status)
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # The socketserver default backlog of 5 drops connections when a
+    # burst of clients connects at once; the worker semaphore, not the
+    # accept queue, is the intended concurrency limit.
+    request_queue_size = 128
+
+    def __init__(self, address, handler_class,
+                 service: BandwidthWallService) -> None:
+        super().__init__(address, handler_class)
+        self.service = service
+        self.worker_slots = threading.BoundedSemaphore(
+            service.config.workers
+        )
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server_version = "bandwidth-wall-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        service: BandwidthWallService = self.server.service
+        try:
+            body = self._read_body()
+        except ApiError as error:
+            self._send(service._error_response(error))
+            return
+        with self.server.worker_slots:
+            response = service.dispatch(method, self.path, body)
+        self._send(response)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise PayloadTooLargeError(
+                f"body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _send(self, response: Response) -> None:
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            self.end_headers()
+            self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # access logging is the metrics endpoint's job
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+
+
+class RunningService:
+    """A bound, listening service instance (in-process)."""
+
+    def __init__(self, service: BandwidthWallService,
+                 server: _ServiceHTTPServer) -> None:
+        self.service = service
+        self.server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05},
+            name="service-accept", daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def client(self, timeout: float = 30.0):
+        from .client import ServiceClient
+
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+    def drain_and_stop(self,
+                       deadline: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop accepting, drain, close.
+
+        Returns True when every in-flight request finished before the
+        deadline; stragglers (daemon threads) are abandoned otherwise.
+        """
+        if deadline is None:
+            deadline = self.service.config.drain_deadline
+        self.service.draining.set()
+        self.server.shutdown()
+        self._thread.join(timeout=max(deadline, 0.1))
+        drained = self._wait_for_idle(deadline)
+        self.server.server_close()
+        return drained
+
+    def _wait_for_idle(self, deadline: float) -> bool:
+        limit = time.monotonic() + deadline
+        while self.service.inflight.value() > 0:
+            if time.monotonic() >= limit:
+                return False
+            time.sleep(0.02)
+        return True
+
+
+def start_service(config: ServiceConfig = ServiceConfig(),
+                  *, port: Optional[int] = None) -> RunningService:
+    """Bind and start serving in background threads; returns the handle.
+
+    ``port=0`` (or a config with port 0) binds an ephemeral port —
+    read the actual one from the returned handle.
+    """
+    if port is not None:
+        config = dataclasses.replace(config, port=port)
+    service = BandwidthWallService(config)
+    server = _ServiceHTTPServer(
+        (config.host, config.port), _RequestHandler, service
+    )
+    return RunningService(service, server)
+
+
+def serve(config: ServiceConfig = ServiceConfig()) -> int:
+    """Blocking entry point behind ``bandwidth-wall serve``.
+
+    Installs SIGTERM/SIGINT handlers that trigger a graceful drain;
+    returns 0 on a clean (fully drained) shutdown, 1 otherwise.
+    """
+    try:
+        running = start_service(config)
+    except OSError as error:
+        print(f"cannot bind {config.host}:{config.port}: {error}",
+              file=sys.stderr)
+        return 1
+
+    stop = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, request_stop)
+    print(f"bandwidth-wall service listening on {running.url} "
+          f"({config.workers} workers, cache ttl {config.cache_ttl:g}s)",
+          flush=True)
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    drained = running.drain_and_stop()
+    print("bandwidth-wall service stopped"
+          + ("" if drained else " (drain deadline exceeded)"), flush=True)
+    return 0 if drained else 1

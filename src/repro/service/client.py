@@ -1,0 +1,149 @@
+"""Pure-python client for the bandwidth-wall service.
+
+Stdlib-only (``http.client``), thread-safe by construction — each
+request opens its own connection — and used by the test suite, the
+closed-loop load benchmark and the CI smoke check.  Error responses
+raise :class:`ServiceError` carrying the decoded error envelope, so
+callers assert on ``error.code``/``error.field_errors`` instead of
+string-matching bodies.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+import urllib.parse
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response, with the structured error payload attached."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        body = payload.get("error", {}) if isinstance(payload, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {body.get('message', 'unknown error')}"
+        )
+        self.status = status
+        self.payload = payload
+        self.code = body.get("code", "unknown")
+        self.detail = body.get("detail", {})
+
+    @property
+    def field_errors(self) -> List[Dict[str, str]]:
+        """Field-level validation problems (empty for non-400s)."""
+        return self.detail.get("errors", [])
+
+
+class ServiceClient:
+    """Typed access to every service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8100,
+                 *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[Any] = None) -> Tuple[int, bytes]:
+        """One HTTP exchange; returns ``(status, raw body bytes)``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            encoded = None
+            headers = {}
+            if body is not None:
+                encoded = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def request_json(self, method: str, path: str,
+                     body: Optional[Any] = None) -> Any:
+        """One exchange, decoded; raises :class:`ServiceError` on non-2xx."""
+        status, raw = self.request(method, path, body)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": {"code": "undecodable",
+                                 "message": raw[:200].decode("latin-1")}}
+        if not 200 <= status < 300:
+            raise ServiceError(status, payload)
+        return payload
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request_json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, raw = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, {})
+        return raw.decode("utf-8")
+
+    def solve(self, *, ceas: float = 32.0, alpha: float = 0.5,
+              budget: float = 1.0,
+              techniques: Sequence[str] = ()) -> Dict[str, Any]:
+        return self.request_json("POST", "/v1/solve", {
+            "ceas": ceas, "alpha": alpha, "budget": budget,
+            "techniques": list(techniques),
+        })
+
+    def solve_raw(self, payload: Any) -> Tuple[int, bytes]:
+        """Unvalidated solve POST — byte-level tests use this."""
+        return self.request("POST", "/v1/solve", payload)
+
+    def sweep(self, *, ceas: Union[float, Sequence[float]],
+              budgets: Union[float, Sequence[float], None] = None,
+              alpha: float = 0.5,
+              techniques: Sequence[str] = ()) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "ceas": list(ceas) if isinstance(ceas, (list, tuple)) else ceas,
+            "alpha": alpha,
+            "techniques": list(techniques),
+        }
+        if budgets is not None:
+            body["budgets"] = (list(budgets)
+                               if isinstance(budgets, (list, tuple))
+                               else budgets)
+        return self.request_json("POST", "/v1/sweep", body)
+
+    def experiments(self) -> Dict[str, Any]:
+        return self.request_json("GET", "/v1/experiments")
+
+    def experiment(self, experiment_id: str,
+                   *, report: bool = False) -> Dict[str, Any]:
+        path = "/v1/experiments/" + urllib.parse.quote(
+            experiment_id, safe="")
+        if report:
+            path += "?report=1"
+        return self.request_json("GET", path)
+
+    # -- readiness -----------------------------------------------------
+
+    def wait_until_ready(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the service answers or time runs out."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (ConnectionError, socket.error, ServiceError,
+                    http.client.HTTPException) as error:
+                last_error = error
+                time.sleep(0.05)
+        raise TimeoutError(
+            f"service at {self.host}:{self.port} not ready after "
+            f"{timeout:g}s: {last_error}"
+        )

@@ -1,0 +1,107 @@
+"""Typed API errors with structured, field-level JSON payloads.
+
+Every error the service returns has the same envelope::
+
+    {"error": {"code": "<machine-readable>", "message": "<human>",
+               "detail": {...}}}
+
+Handlers raise :class:`ApiError` subclasses; the HTTP layer renders
+them.  ``detail`` carries machine-actionable context: field-level
+validation errors, the list of valid experiment ids on a 404, the
+allowed methods on a 405.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "ApiError",
+    "ValidationError",
+    "FieldError",
+    "UnsolvableError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "PayloadTooLargeError",
+]
+
+
+class ApiError(Exception):
+    """Base class: an HTTP status plus a structured JSON body."""
+
+    status = 500
+    code = "internal_error"
+
+    def __init__(self, message: str,
+                 detail: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.detail = detail or {}
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.detail:
+            body["detail"] = self.detail
+        return {"error": body}
+
+
+class FieldError:
+    """One field-level problem inside a :class:`ValidationError`."""
+
+    def __init__(self, field: str, message: str) -> None:
+        self.field = field
+        self.message = message
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"field": self.field, "message": self.message}
+
+
+class ValidationError(ApiError):
+    """400 — the request body failed validation.
+
+    ``errors`` lists every offending field, not just the first, so a
+    client can fix a request in one round trip.
+    """
+
+    status = 400
+    code = "invalid_request"
+
+    def __init__(self, errors: List[FieldError],
+                 message: str = "request validation failed") -> None:
+        super().__init__(
+            message, {"errors": [error.as_dict() for error in errors]}
+        )
+        self.errors = errors
+
+
+class UnsolvableError(ApiError):
+    """422 — the request is well-formed but the model cannot solve it.
+
+    E.g. a traffic budget below the single-core traffic floor: the
+    bisection has no bracket.  Distinct from a 400 because every field
+    individually passed validation.
+    """
+
+    status = 422
+    code = "unsolvable"
+
+
+class NotFoundError(ApiError):
+    """404 — unknown route or unknown experiment id."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowedError(ApiError):
+    """405 — the path exists but not for this HTTP method."""
+
+    status = 405
+    code = "method_not_allowed"
+
+
+class PayloadTooLargeError(ApiError):
+    """413 — request body exceeds the configured limit."""
+
+    status = 413
+    code = "payload_too_large"

@@ -1,0 +1,124 @@
+"""End-to-end smoke check: boot ``bandwidth-wall serve``, poke it, drain it.
+
+Run as::
+
+    PYTHONPATH=src python -m repro.service.smoke
+
+Boots the real CLI entry point as a subprocess on an ephemeral port,
+then asserts the full serving contract:
+
+1. ``/healthz`` answers ok;
+2. ``/v1/solve`` for the Eq. 7 base case returns 11 cores, and its
+   ``text`` matches the CLI ``solve`` output byte for byte;
+3. ``/v1/experiments/fig02`` reproduces Figure 2's checkpoints;
+4. a bad request gets a structured 400 and an unknown id a 404;
+5. ``/metrics`` exposes request counters, latency histograms and both
+   cache hit-rate families;
+6. SIGTERM drains and exits cleanly (code 0).
+
+CI runs this on every supported Python; it is the "is the service
+actually servable" gate that unit tests cannot give.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import socket
+import subprocess
+import sys
+
+from .client import ServiceClient, ServiceError
+
+__all__ = ["main"]
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _check(condition: bool, label: str) -> None:
+    if not condition:
+        raise AssertionError(f"smoke check failed: {label}")
+    print(f"  ok: {label}")
+
+
+def main() -> int:
+    port = _free_port()
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--workers", "4"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    client = ServiceClient("127.0.0.1", port, timeout=30.0)
+    try:
+        health = client.wait_until_ready(timeout=30.0)
+        _check(health["status"] == "ok", "/healthz answers ok")
+        _check(health["experiments"] == 28, "registry reports 28 ids")
+
+        solved = client.solve()
+        _check(solved["solution"]["cores"] == 11,
+               "/v1/solve base case: Eq. 7 supports 11 cores")
+        cli = subprocess.run(
+            [sys.executable, "-m", "repro", "solve"],
+            stdout=subprocess.PIPE, check=True,
+        )
+        _check(solved["text"].encode("utf-8") == cli.stdout,
+               "/v1/solve text is byte-identical to CLI solve")
+
+        fig2 = client.experiment("fig02")
+        _check(fig2["experiment_id"] == "fig2",
+               "/v1/experiments/fig02 resolves the id")
+        result = dict(fig2["result"])
+        _check(result.get("supportable_cores_flat") == 11,
+               "fig2 flat-envelope crossing is 11 cores")
+
+        try:
+            client.solve(alpha=-1)
+        except ServiceError as error:
+            _check(error.status == 400 and error.field_errors,
+                   "bad alpha yields a structured 400")
+        else:
+            raise AssertionError("bad alpha was accepted")
+        try:
+            client.experiment("fig99")
+        except ServiceError as error:
+            _check(error.status == 404
+                   and "fig2" in error.detail.get("valid_ids", []),
+                   "unknown id yields a 404 listing valid ids")
+        else:
+            raise AssertionError("unknown experiment id was accepted")
+
+        metrics = client.metrics_text()
+        for needle in (
+            'service_requests_total{route="/v1/solve",method="POST",'
+            'status="200"}',
+            "service_request_duration_seconds_bucket",
+            "service_response_cache_hit_rate",
+            "solve_memo_hit_rate",
+        ):
+            _check(needle in metrics, f"metrics expose {needle.split('{')[0]}")
+        match = re.search(
+            r'service_requests_total\{route="/v1/solve",method="POST",'
+            r'status="200"\} (\d+)', metrics)
+        _check(match is not None and int(match.group(1)) >= 1,
+               "solve request was counted")
+
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=30)
+        _check(returncode == 0, "SIGTERM shuts down cleanly (exit 0)")
+    except Exception:
+        if process.poll() is None:
+            process.kill()
+        output, _ = process.communicate(timeout=10)
+        print("--- server output ---")
+        print(output or "<empty>")
+        raise
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Request validation: JSON bodies → typed scenario/sweep requests.
+
+Validation is *total*: every field is checked and every problem is
+collected, so a 400 response names all offending fields at once with
+the same diagnostics the CLI prints (unknown technique labels list the
+valid ones, bad parameters name the technique, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.scenario import ScenarioRequest, parse_technique_spec
+from .errors import FieldError, ValidationError
+
+__all__ = [
+    "MAX_SWEEP_POINTS",
+    "SweepRequest",
+    "validate_solve_request",
+    "validate_sweep_request",
+]
+
+#: Upper bound on one sweep's grid (|ceas| x |budgets|).  A request
+#: above it is a 400, not a multi-minute stall.
+MAX_SWEEP_POINTS = 10_000
+
+_SOLVE_FIELDS = ("ceas", "alpha", "budget", "techniques")
+_SWEEP_FIELDS = ("ceas", "alpha", "budgets", "techniques")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A validated ``POST /v1/sweep`` body: a (ceas x budget) grid."""
+
+    ceas: Tuple[float, ...]
+    budgets: Tuple[float, ...]
+    alpha: float
+    techniques: Tuple[str, ...]
+
+    @property
+    def num_points(self) -> int:
+        return len(self.ceas) * len(self.budgets)
+
+
+def _require_object(payload: Any) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            [FieldError("$", "request body must be a JSON object")]
+        )
+    return payload
+
+
+def _check_unknown_fields(payload: Dict[str, Any],
+                          allowed: Sequence[str],
+                          errors: List[FieldError]) -> None:
+    for name in payload:
+        if name not in allowed:
+            errors.append(FieldError(
+                name, f"unknown field; allowed fields: {sorted(allowed)}"
+            ))
+
+
+def _positive_number(payload: Dict[str, Any], name: str, default: float,
+                     errors: List[FieldError]) -> float:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        errors.append(FieldError(
+            name, f"must be a number, got {type(value).__name__}"
+        ))
+        return default
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        errors.append(FieldError(
+            name, f"must be positive and finite, got {value}"
+        ))
+        return default
+    return value
+
+
+def _technique_specs(payload: Dict[str, Any],
+                     errors: List[FieldError]) -> Tuple[str, ...]:
+    raw = payload.get("techniques", [])
+    if isinstance(raw, str):
+        raw = [raw]
+    if not isinstance(raw, list):
+        errors.append(FieldError(
+            "techniques",
+            f"must be a list of LABEL[=VALUE] strings, "
+            f"got {type(raw).__name__}",
+        ))
+        return ()
+    specs: List[str] = []
+    for index, spec in enumerate(raw):
+        if not isinstance(spec, str):
+            errors.append(FieldError(
+                f"techniques[{index}]",
+                f"must be a string, got {type(spec).__name__}",
+            ))
+            continue
+        try:
+            parse_technique_spec(spec)
+        except ValueError as error:
+            errors.append(FieldError(f"techniques[{index}]", str(error)))
+            continue
+        specs.append(spec)
+    return tuple(specs)
+
+
+def _combined_effect_errors(specs: Tuple[str, ...],
+                            errors: List[FieldError]) -> None:
+    """Structural conflicts (e.g. two cell densities) are a 400 too."""
+    if any(error.field.startswith("techniques") for error in errors):
+        return  # per-spec problems already reported
+    try:
+        ScenarioRequest(techniques=specs).combined_effect()
+    except ValueError as error:
+        errors.append(FieldError("techniques", str(error)))
+
+
+def _number_list(payload: Dict[str, Any], name: str,
+                 default: Tuple[float, ...],
+                 errors: List[FieldError]) -> Tuple[float, ...]:
+    raw = payload.get(name)
+    if raw is None:
+        return default
+    if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+        raw = [raw]
+    if not isinstance(raw, list) or not raw:
+        errors.append(FieldError(
+            name, "must be a number or a non-empty list of numbers"
+        ))
+        return default
+    values: List[float] = []
+    for index, value in enumerate(raw):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(FieldError(
+                f"{name}[{index}]",
+                f"must be a number, got {type(value).__name__}",
+            ))
+            continue
+        value = float(value)
+        if not math.isfinite(value) or value <= 0:
+            errors.append(FieldError(
+                f"{name}[{index}]",
+                f"must be positive and finite, got {value}",
+            ))
+            continue
+        values.append(value)
+    return tuple(values) if values else default
+
+
+def validate_solve_request(payload: Any) -> ScenarioRequest:
+    """Validate a ``POST /v1/solve`` body into a :class:`ScenarioRequest`.
+
+    Raises :class:`ValidationError` carrying one
+    :class:`~repro.service.errors.FieldError` per problem.
+    """
+    payload = _require_object(payload)
+    errors: List[FieldError] = []
+    _check_unknown_fields(payload, _SOLVE_FIELDS, errors)
+    ceas = _positive_number(payload, "ceas", 32.0, errors)
+    alpha = _positive_number(payload, "alpha", 0.5, errors)
+    budget = _positive_number(payload, "budget", 1.0, errors)
+    techniques = _technique_specs(payload, errors)
+    _combined_effect_errors(techniques, errors)
+    if errors:
+        raise ValidationError(errors)
+    return ScenarioRequest(
+        ceas=ceas, alpha=alpha, budget=budget, techniques=techniques
+    )
+
+
+def validate_sweep_request(payload: Any) -> SweepRequest:
+    """Validate a ``POST /v1/sweep`` body into a :class:`SweepRequest`."""
+    payload = _require_object(payload)
+    errors: List[FieldError] = []
+    _check_unknown_fields(payload, _SWEEP_FIELDS, errors)
+    if "ceas" not in payload:
+        errors.append(FieldError(
+            "ceas", "required: a number or non-empty list of die sizes"
+        ))
+    ceas = _number_list(payload, "ceas", (32.0,), errors)
+    budgets = _number_list(payload, "budgets", (1.0,), errors)
+    alpha = _positive_number(payload, "alpha", 0.5, errors)
+    techniques = _technique_specs(payload, errors)
+    _combined_effect_errors(techniques, errors)
+    if len(ceas) * len(budgets) > MAX_SWEEP_POINTS:
+        errors.append(FieldError(
+            "ceas",
+            f"grid too large: {len(ceas)} ceas x {len(budgets)} budgets "
+            f"> {MAX_SWEEP_POINTS} points",
+        ))
+    if errors:
+        raise ValidationError(errors)
+    return SweepRequest(
+        ceas=ceas, budgets=budgets, alpha=alpha, techniques=techniques
+    )

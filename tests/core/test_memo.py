@@ -97,3 +97,71 @@ class TestSolvePathIntegration:
         with memo.disabled():
             raw = MODEL.supportable_cores(48.0, traffic_budget=1.25)
         assert memoized == raw
+
+
+class TestStatsSnapshot:
+    def test_snapshot_carries_counters_and_configuration(self):
+        cache = memo.MemoCache(maxsize=7)
+        key = memo.ModelKey(ChipDesign(16, 8), 0.5, 32.0, 1.0,
+                            NEUTRAL_EFFECT)
+        cache.lookup(key)  # miss
+        cache.store(key, MODEL.supportable_cores(32.0))
+        cache.lookup(key)  # hit
+        snapshot = cache.stats_snapshot()
+        assert (snapshot.hits, snapshot.misses) == (1, 1)
+        assert (snapshot.size, snapshot.maxsize) == (1, 7)
+        assert snapshot.enabled is True
+        assert snapshot.lookups == 2
+        assert snapshot.hit_rate == 0.5
+
+    def test_as_dict_is_flat_and_complete(self):
+        snapshot = memo.MemoSnapshot(hits=3, misses=1, size=2,
+                                     maxsize=10, enabled=False)
+        assert snapshot.as_dict() == {
+            "hits": 3, "misses": 1, "lookups": 4, "hit_rate": 0.75,
+            "size": 2, "maxsize": 10, "enabled": False,
+        }
+
+    def test_module_level_snapshot_tracks_the_global_cache(self):
+        before = memo.stats_snapshot()
+        MODEL.supportable_cores(32.0)
+        MODEL.supportable_cores(32.0)
+        after = memo.stats_snapshot()
+        assert after.misses - before.misses == 1
+        assert after.hits - before.hits == 1
+        assert after.maxsize == memo.DEFAULT_MAXSIZE
+
+    def test_module_level_snapshot_reflects_disabled_state(self):
+        assert memo.stats_snapshot().enabled is True
+        with memo.disabled():
+            assert memo.stats_snapshot().enabled is False
+        assert memo.stats_snapshot().enabled is True
+        memo.configure(enabled=False)
+        assert memo.stats_snapshot().enabled is False
+
+    def test_snapshot_is_immutable(self):
+        snapshot = memo.stats_snapshot()
+        with pytest.raises(AttributeError):
+            snapshot.hits = 99
+
+    def test_snapshot_under_concurrent_hammering_is_consistent(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = memo.MemoCache()
+        key = memo.ModelKey(ChipDesign(16, 8), 0.5, 32.0, 1.0,
+                            NEUTRAL_EFFECT)
+        solution = MODEL.supportable_cores(32.0)
+        cache.store(key, solution)
+
+        def hammer(_):
+            for _ in range(200):
+                cache.lookup(key)
+                cache.stats_snapshot()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        snapshot = cache.stats_snapshot()
+        # Every lookup was a hit; no update was lost under contention.
+        assert snapshot.hits == 8 * 200
+        assert snapshot.misses == 0
+        assert snapshot.lookups == snapshot.hits + snapshot.misses

@@ -1,0 +1,131 @@
+"""Unit tests for the TTL+LRU response cache with coalescing."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import ResponseCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTTLAndLRU:
+    def test_miss_then_hit(self, clock):
+        cache = ResponseCache(maxsize=4, ttl=10, clock=clock)
+        value, outcome = cache.get_or_compute("k", lambda: 41)
+        assert (value, outcome) == (41, "miss")
+        value, outcome = cache.get_or_compute("k", lambda: 42)
+        assert (value, outcome) == (41, "hit")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+
+    def test_expiry_recomputes(self, clock):
+        cache = ResponseCache(maxsize=4, ttl=10, clock=clock)
+        cache.get_or_compute("k", lambda: 1)
+        clock.advance(10.0)
+        value, outcome = cache.get_or_compute("k", lambda: 2)
+        assert (value, outcome) == (2, "miss")
+        assert cache.stats().expirations == 1
+
+    def test_lru_evicts_least_recently_used(self, clock):
+        cache = ResponseCache(maxsize=2, ttl=100, clock=clock)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 0)      # refresh a's recency
+        cache.get_or_compute("c", lambda: 3)      # evicts b, not a
+        assert cache.get_or_compute("a", lambda: 9)[1] == "hit"
+        assert cache.get_or_compute("b", lambda: 9)[1] == "miss"
+        assert cache.stats().evictions >= 1
+
+    def test_zero_ttl_disables_storage(self, clock):
+        cache = ResponseCache(maxsize=4, ttl=0, clock=clock)
+        cache.get_or_compute("k", lambda: 1)
+        value, outcome = cache.get_or_compute("k", lambda: 2)
+        assert (value, outcome) == (2, "miss")
+        assert len(cache) == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ResponseCache(maxsize=0)
+        with pytest.raises(ValueError):
+            ResponseCache(ttl=-1)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_compute_once(self):
+        cache = ResponseCache(maxsize=8, ttl=100)
+        gate = threading.Event()
+        computes = []
+
+        def compute():
+            computes.append(1)
+            gate.wait(5)
+            return "payload"
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(
+                cache.get_or_compute("k", compute)))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        # Wait until everyone is either the leader or parked on the flight.
+        deadline = threading.Event()
+        for _ in range(200):
+            if cache.stats().coalesced == 7:
+                break
+            deadline.wait(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join(5)
+        assert len(computes) == 1
+        assert {value for value, _ in results} == {"payload"}
+        outcomes = sorted(outcome for _, outcome in results)
+        assert outcomes.count("coalesced") == 7
+        assert outcomes.count("miss") == 1
+
+    def test_failure_propagates_to_all_waiters_and_is_not_cached(self):
+        cache = ResponseCache(maxsize=8, ttl=100)
+        gate = threading.Event()
+        errors = []
+
+        def failing():
+            gate.wait(5)
+            raise RuntimeError("boom")
+
+        def call():
+            try:
+                cache.get_or_compute("k", failing)
+            except RuntimeError as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(200):
+            if cache.stats().coalesced == 3:
+                break
+            threading.Event().wait(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join(5)
+        assert len(errors) == 4
+        assert len(cache) == 0
+        # The key is retryable after the failure.
+        value, outcome = cache.get_or_compute("k", lambda: "ok")
+        assert (value, outcome) == ("ok", "miss")

@@ -1,0 +1,120 @@
+"""Unit tests for the metrics instruments and Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_labelled_increments(self):
+        counter = Counter("requests", "help", ("route", "status"))
+        counter.inc(route="/a", status="200")
+        counter.inc(route="/a", status="200")
+        counter.inc(route="/a", status="500")
+        assert counter.value(route="/a", status="200") == 2
+        assert counter.value(route="/a", status="500") == 1
+        assert counter.value(route="/b", status="200") == 0
+
+    def test_label_mismatch_raises(self):
+        counter = Counter("requests", "help", ("route",))
+        with pytest.raises(ValueError):
+            counter.inc(path="/a")
+
+    def test_thread_safety(self):
+        counter = Counter("hits", "help")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("inflight", "help")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value() == 1
+
+    def test_callback_gauge_reads_live(self):
+        state = {"value": 3}
+        gauge = Gauge("size", "help", callback=lambda: state["value"])
+        assert gauge.value() == 3
+        state["value"] = 7
+        assert gauge.value() == 7
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self):
+        histogram = Histogram("latency", "help", (),
+                              buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        counts, total, count = histogram.snapshot()
+        assert counts == [1, 2, 1]       # per-bucket raw counts
+        assert count == 5                # includes the overflow (50.0)
+        assert total == pytest.approx(56.05)
+
+    def test_boundary_value_counts_as_le(self):
+        histogram = Histogram("latency", "help", (), buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        counts, _, _ = histogram.snapshot()
+        assert counts == [1, 0]
+
+    def test_quantile_estimate(self):
+        histogram = Histogram("latency", "help", (),
+                              buckets=(0.1, 1.0, 10.0))
+        for _ in range(99):
+            histogram.observe(0.05)
+        histogram.observe(5.0)
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(0.99) == 0.1
+        assert histogram.quantile(1.0) == 10.0
+
+
+class TestRegistry:
+    def test_render_prometheus_text(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svc_requests_total", "Requests.",
+                                   ("route",))
+        registry.gauge("svc_inflight", "In flight.")
+        histogram = registry.histogram("svc_latency_seconds", "Latency.",
+                                       ("route",), buckets=(0.1, 1.0))
+        counter.inc(route="/v1/solve")
+        histogram.observe(0.05, route="/v1/solve")
+        text = registry.render()
+        assert "# HELP svc_requests_total Requests.\n" in text
+        assert "# TYPE svc_requests_total counter\n" in text
+        assert 'svc_requests_total{route="/v1/solve"} 1\n' in text
+        assert "# TYPE svc_latency_seconds histogram" in text
+        assert ('svc_latency_seconds_bucket{route="/v1/solve",le="0.1"} 1'
+                in text)
+        assert ('svc_latency_seconds_bucket{route="/v1/solve",le="+Inf"} 1'
+                in text)
+        assert 'svc_latency_seconds_count{route="/v1/solve"} 1' in text
+        assert text.endswith("\n")
+
+    def test_duplicate_metric_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("one", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("one", "help")
+
+    def test_label_values_escaped(self):
+        counter = Counter("c", "help", ("route",))
+        counter.inc(route='we"ird\nlabel')
+        (sample,) = counter.samples()
+        assert '\\"' in sample and "\\n" in sample

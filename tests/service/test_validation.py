@@ -1,0 +1,117 @@
+"""Unit tests for request validation (repro.service.validation)."""
+
+import pytest
+
+from repro.core.scenario import ScenarioRequest
+from repro.service.errors import ValidationError
+from repro.service.validation import (
+    MAX_SWEEP_POINTS,
+    validate_solve_request,
+    validate_sweep_request,
+)
+
+
+def fields_of(error: ValidationError):
+    return [fe.field for fe in error.errors]
+
+
+class TestSolveValidation:
+    def test_defaults(self):
+        request = validate_solve_request({})
+        assert request == ScenarioRequest()
+
+    def test_full_request(self):
+        request = validate_solve_request({
+            "ceas": 256, "alpha": 0.45, "budget": 1.5,
+            "techniques": ["DRAM=8", "CC/LC=2"],
+        })
+        assert request.ceas == 256.0
+        assert request.alpha == 0.45
+        assert request.techniques == ("DRAM=8", "CC/LC=2")
+
+    def test_non_object_body(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_solve_request([1, 2, 3])
+        assert fields_of(excinfo.value) == ["$"]
+
+    def test_bad_alpha_reports_field(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_solve_request({"alpha": -1})
+        assert fields_of(excinfo.value) == ["alpha"]
+
+    def test_non_numeric_and_boolean_rejected(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_solve_request({"ceas": "32", "budget": True})
+        assert set(fields_of(excinfo.value)) == {"ceas", "budget"}
+
+    def test_all_errors_collected_at_once(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_solve_request({
+                "ceas": 0, "alpha": float("nan"),
+                "techniques": ["WARP=9"],
+            })
+        assert set(fields_of(excinfo.value)) == \
+            {"ceas", "alpha", "techniques[0]"}
+
+    def test_unknown_technique_names_valid_labels(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_solve_request({"techniques": ["WARP"]})
+        (error,) = excinfo.value.errors
+        assert "unknown technique" in error.message
+        assert "DRAM" in error.message
+
+    def test_bad_technique_parameter(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_solve_request({"techniques": ["CC=0.5"]})
+        (error,) = excinfo.value.errors
+        assert error.field == "techniques[0]"
+        assert "CC" in error.message
+
+    def test_conflicting_techniques_rejected(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_solve_request({"techniques": ["DRAM=8", "DRAM=16"]})
+        (error,) = excinfo.value.errors
+        assert error.field == "techniques"
+        assert "densit" in error.message
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_solve_request({"cea": 32})
+        (error,) = excinfo.value.errors
+        assert error.field == "cea"
+        assert "alpha" in error.message  # lists the allowed fields
+
+
+class TestSweepValidation:
+    def test_scalar_ceas_promoted_to_grid(self):
+        request = validate_sweep_request({"ceas": 32})
+        assert request.ceas == (32.0,)
+        assert request.budgets == (1.0,)
+        assert request.num_points == 1
+
+    def test_full_grid(self):
+        request = validate_sweep_request({
+            "ceas": [32, 64, 128], "budgets": [1.0, 1.5],
+            "alpha": 0.3, "techniques": ["LC=2"],
+        })
+        assert request.num_points == 6
+
+    def test_missing_ceas_is_an_error(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_sweep_request({})
+        assert "ceas" in fields_of(excinfo.value)
+
+    def test_bad_grid_element_reports_index(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_sweep_request({"ceas": [32, -1, "x"]})
+        assert set(fields_of(excinfo.value)) == {"ceas[1]", "ceas[2]"}
+
+    def test_oversized_grid_rejected(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_sweep_request({
+                "ceas": list(range(1, 202)),
+                "budgets": [float(b) for b in range(1, 51)],
+            })
+        assert any("grid too large" in fe.message
+                   for fe in excinfo.value.errors)
+        assert 201 * 50 > MAX_SWEEP_POINTS
