@@ -19,10 +19,21 @@ Three modes:
 
 * **serving mode** — run the model as a long-lived HTTP/JSON API::
 
-      bandwidth-wall serve --port 8100 --workers 8
+      bandwidth-wall serve --port 8100 --workers 8 --state-dir .jobs
 
   exposes ``/v1/solve``, ``/v1/sweep``, ``/v1/experiments``,
-  ``/healthz`` and Prometheus ``/metrics`` (see docs/SERVICE.md).
+  ``/v1/jobs``, ``/healthz`` and Prometheus ``/metrics`` (see
+  docs/SERVICE.md).
+
+* **jobs mode** — durable background jobs against a running service::
+
+      bandwidth-wall jobs submit fig2 fig3 table2
+      bandwidth-wall jobs submit            # the whole registry
+      bandwidth-wall jobs status            # list jobs
+      bandwidth-wall jobs watch <id>        # poll until terminal
+      bandwidth-wall jobs cancel <id>
+
+  (see docs/JOBS.md for checkpoint/resume and retry semantics).
 
 Every experiment prints the rows/series the paper reports plus the
 paper's checkpoint values for comparison.
@@ -96,6 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-size", type=int, default=1024,
                         help="[serve] response cache LRU bound "
                              "(default 1024)")
+    parser.add_argument("--state-dir", default=None,
+                        help="[serve] durable job-store directory "
+                             "(default: a temporary one per instance)")
+    parser.add_argument("--job-workers", type=int, default=2,
+                        help="[serve] in-process background-job workers; "
+                             "0 leaves jobs to external workers "
+                             "(default 2)")
     return parser
 
 
@@ -120,6 +138,8 @@ def _serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache_ttl=args.cache_ttl,
             cache_maxsize=args.cache_size,
+            state_dir=args.state_dir,
+            job_workers=args.job_workers,
         )
     except ValueError as error:
         print(error, file=sys.stderr)
@@ -127,7 +147,152 @@ def _serve(args: argparse.Namespace) -> int:
     return serve(config)
 
 
+def _jobs_parser() -> argparse.ArgumentParser:
+    # Connection flags ride on every subcommand (not the top parser),
+    # so `jobs submit --port 8200` parses the way people type it.
+    connection = argparse.ArgumentParser(add_help=False)
+    connection.add_argument("--host", default="127.0.0.1",
+                            help="service address (default 127.0.0.1)")
+    connection.add_argument("--port", type=int, default=8100,
+                            help="service port (default 8100)")
+    connection.add_argument("--timeout", type=float, default=30.0,
+                            help="per-request timeout in seconds "
+                                 "(default 30)")
+    parser = argparse.ArgumentParser(
+        prog="bandwidth-wall jobs",
+        description="Durable background jobs against a running "
+                    "bandwidth-wall service (see docs/JOBS.md).",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    submit = commands.add_parser(
+        "submit", parents=[connection],
+        help="submit an experiments job (no ids = all 28)")
+    submit.add_argument("ids", nargs="*", metavar="ID",
+                        help="experiment ids (e.g. fig2 table2 ext-het); "
+                             "empty runs the whole registry")
+    submit.add_argument("--chunk-size", type=int, default=None,
+                        help="work items per checkpoint "
+                             "(default: 1 experiment)")
+    submit.add_argument("--max-attempts", type=int, default=None,
+                        help="execution attempts before the job fails "
+                             "(default 3)")
+    submit.add_argument("--watch", action="store_true",
+                        help="poll the submitted job until it finishes")
+    submit.add_argument("--interval", type=float, default=0.5,
+                        help="[--watch] poll interval seconds "
+                             "(default 0.5)")
+
+    status = commands.add_parser(
+        "status", parents=[connection],
+        help="show one job, or list recent jobs")
+    status.add_argument("id", nargs="?", default=None,
+                        help="job id (omit to list)")
+    status.add_argument("--filter", dest="status_filter", default=None,
+                        metavar="STATUS",
+                        help="[list] only queued/running/succeeded/"
+                             "failed/cancelled jobs")
+
+    watch = commands.add_parser(
+        "watch", parents=[connection],
+        help="poll a job until it reaches a terminal status")
+    watch.add_argument("id", help="job id")
+    watch.add_argument("--interval", type=float, default=0.5,
+                       help="poll interval seconds (default 0.5)")
+    watch.add_argument("--for", dest="wait_timeout", type=float,
+                       default=600.0, metavar="SECONDS",
+                       help="give up after this long (default 600)")
+
+    cancel = commands.add_parser("cancel", parents=[connection],
+                                 help="cancel a job")
+    cancel.add_argument("id", help="job id")
+    return parser
+
+
+def _job_line(payload: dict) -> str:
+    progress = payload["progress"]
+    fraction = progress["fraction"]
+    line = (f"{payload['id']}  {payload['kind']:<12} "
+            f"{payload['status']:<10} "
+            f"{progress['chunks_done']}/{progress['chunks_total']} chunks "
+            f"({fraction:.0%})")
+    if payload.get("retries"):
+        line += f"  retries={payload['retries']}"
+    return line
+
+
+def _watch_job(client, job_id: str, interval: float,
+               timeout: float) -> int:
+    import time as _time
+
+    deadline = _time.monotonic() + timeout
+    last = None
+    while True:
+        payload = client.job(job_id)
+        line = _job_line(payload)
+        if line != last:
+            print(line, flush=True)
+            last = line
+        if payload["status"] in ("succeeded", "failed", "cancelled"):
+            if payload["status"] == "failed" and payload.get("error"):
+                print(payload["error"], file=sys.stderr)
+            return 0 if payload["status"] == "succeeded" else 3
+        if _time.monotonic() >= deadline:
+            print(f"gave up after {timeout:g}s; job {job_id} is still "
+                  f"{payload['status']}", file=sys.stderr)
+            return 3
+        _time.sleep(interval)
+
+
+def _jobs_main(argv: List[str]) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    parser = _jobs_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.command == "submit":
+            payload = client.submit_experiments_job(
+                args.ids or None,
+                chunk_size=args.chunk_size,
+                max_attempts=args.max_attempts,
+            )
+            print(_job_line(payload))
+            if args.watch:
+                return _watch_job(client, payload["id"], args.interval,
+                                  timeout=600.0)
+            return 0
+        if args.command == "status":
+            if args.id is None:
+                listing = client.jobs(status=args.status_filter)
+                for job in listing["jobs"]:
+                    print(_job_line(job))
+                print(f"{listing['count']} job(s)")
+                return 0
+            print(_job_line(client.job(args.id)))
+            return 0
+        if args.command == "watch":
+            return _watch_job(client, args.id, args.interval,
+                              args.wait_timeout)
+        payload = client.cancel_job(args.id)
+        print(_job_line(payload))
+        return 0
+    except ServiceError as error:
+        print(error, file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot reach service at {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0].lower() == "jobs":
+        return _jobs_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.lower()
 

@@ -1,0 +1,154 @@
+"""Job specifications: what a durable job runs, in serialisable form.
+
+A :class:`JobSpec` is the immutable description of one background job —
+either an **experiments** job (a list of registry ids executed through
+the serial :class:`~repro.experiments.engine.SweepEngine` path, one or
+more ids per chunk) or a **sweep** job (a ``(ceas x budgets)`` grid
+solved through :func:`~repro.experiments.engine.sweep_grid`, a slice of
+grid points per chunk).
+
+Specs round-trip losslessly through ``to_dict``/``from_dict`` so they
+can live in the job store and be re-planned identically by whichever
+worker process leases the job — chunk planning is a pure function of
+the spec (:mod:`repro.jobs.executor`), which is what makes crash-resume
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "JobSpec",
+    "EXPERIMENTS_KIND",
+    "SWEEP_KIND",
+    "KINDS",
+    "DEFAULT_EXPERIMENT_CHUNK",
+    "DEFAULT_SWEEP_CHUNK",
+    "DEFAULT_MAX_ATTEMPTS",
+]
+
+EXPERIMENTS_KIND = "experiments"
+SWEEP_KIND = "sweep"
+KINDS = (EXPERIMENTS_KIND, SWEEP_KIND)
+
+#: One experiment per chunk: a checkpoint lands after every artifact,
+#: so a crash mid-registry loses at most one experiment's work.
+DEFAULT_EXPERIMENT_CHUNK = 1
+
+#: Grid points per sweep chunk; single solves are ~10µs, so a chunk is
+#: still sub-millisecond of work but keeps checkpoint traffic bounded.
+DEFAULT_SWEEP_CHUNK = 64
+
+#: Execution attempts before a job is marked failed for good.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One durable job's immutable description.
+
+    ``ids`` drives experiments jobs; ``ceas``/``budgets``/``alpha``/
+    ``techniques`` drive sweep jobs.  ``chunk_size`` of 0 means the
+    kind's default.
+    """
+
+    kind: str
+    ids: Tuple[str, ...] = ()
+    ceas: Tuple[float, ...] = ()
+    budgets: Tuple[float, ...] = (1.0,)
+    alpha: float = 0.5
+    techniques: Tuple[str, ...] = ()
+    chunk_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; choose from {list(KINDS)}"
+            )
+        if self.chunk_size < 0:
+            raise ValueError(
+                f"chunk_size must be non-negative, got {self.chunk_size}"
+            )
+        if self.kind == SWEEP_KIND and not self.ceas:
+            raise ValueError("sweep jobs need at least one ceas value")
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def experiments(cls, ids: Optional[Sequence[str]] = None,
+                    *, chunk_size: int = 0) -> "JobSpec":
+        """An experiments job; ``ids=None`` means the whole registry.
+
+        Ids are normalised eagerly (``"Figure 2"`` → ``"fig2"``) so the
+        stored spec — and therefore the chunk plan — is canonical.
+        """
+        from ..experiments.runner import experiment_ids, \
+            resolve_experiment_id
+
+        keys = (tuple(resolve_experiment_id(i) for i in ids)
+                if ids else tuple(experiment_ids()))
+        return cls(kind=EXPERIMENTS_KIND, ids=keys, chunk_size=chunk_size)
+
+    @classmethod
+    def sweep(cls, *, ceas: Sequence[float],
+              budgets: Sequence[float] = (1.0,),
+              alpha: float = 0.5,
+              techniques: Sequence[str] = (),
+              chunk_size: int = 0) -> "JobSpec":
+        """A sweep-grid job over ``(ceas x budgets)`` in grid order."""
+        return cls(
+            kind=SWEEP_KIND,
+            ceas=tuple(float(c) for c in ceas),
+            budgets=tuple(float(b) for b in budgets),
+            alpha=float(alpha),
+            techniques=tuple(techniques),
+            chunk_size=chunk_size,
+        )
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, stored verbatim in the job store."""
+        payload: Dict[str, Any] = {"kind": self.kind,
+                                   "chunk_size": self.chunk_size}
+        if self.kind == EXPERIMENTS_KIND:
+            payload["ids"] = list(self.ids)
+        else:
+            payload.update(
+                ceas=list(self.ceas),
+                budgets=list(self.budgets),
+                alpha=self.alpha,
+                techniques=list(self.techniques),
+            )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        """Inverse of :meth:`to_dict` (raises ValueError on bad shapes)."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"job spec must be a mapping, "
+                             f"got {type(payload).__name__}")
+        kind = payload.get("kind", EXPERIMENTS_KIND)
+        chunk_size = int(payload.get("chunk_size", 0))
+        if kind == EXPERIMENTS_KIND:
+            return cls(kind=kind, ids=tuple(payload.get("ids", ())),
+                       chunk_size=chunk_size)
+        return cls(
+            kind=kind,
+            ceas=tuple(float(c) for c in payload.get("ceas", ())),
+            budgets=tuple(float(b) for b in payload.get("budgets", (1.0,))),
+            alpha=float(payload.get("alpha", 0.5)),
+            techniques=tuple(payload.get("techniques", ())),
+            chunk_size=chunk_size,
+        )
+
+    # -- planning helpers ----------------------------------------------
+
+    @property
+    def effective_chunk_size(self) -> int:
+        if self.chunk_size > 0:
+            return self.chunk_size
+        return (DEFAULT_EXPERIMENT_CHUNK if self.kind == EXPERIMENTS_KIND
+                else DEFAULT_SWEEP_CHUNK)

@@ -12,8 +12,12 @@ out — wired to the evaluation core:
   over the validated (ceas x budget) grid;
 * ``GET /v1/experiments`` and ``/v1/experiments/{id}`` →
   :mod:`repro.experiments.runner` payload rendering;
-* ``GET /healthz``     → liveness + drain state;
-* ``GET /metrics``     → Prometheus text.
+* ``POST/GET/DELETE /v1/jobs[/{id}]`` → :mod:`repro.jobs` — durable,
+  checkpointed background execution of experiment runs and sweep grids
+  (see docs/JOBS.md);
+* ``GET /healthz``     → liveness + drain state + job-queue health;
+* ``GET /metrics``     → Prometheus text (incl. the ``jobs_*``
+  families).
 
 Expensive handlers run through a TTL+LRU :class:`~repro.service.cache.
 ResponseCache` with single-flight coalescing, layered on the process
@@ -28,8 +32,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import re
+import shutil
 import signal
 import sys
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -37,7 +43,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlsplit
 
-from ..analysis.export import dumps_strict
+from ..analysis.export import dumps_strict, strict_jsonable
 from ..core import memo
 from ..core.presets import paper_baseline_design
 from ..core.scaling import BandwidthWallModel
@@ -46,13 +52,17 @@ from ..core.scenario import (
     scenario_payload,
     solve_scenario,
 )
+from ..jobs import JobManager, JobRecord
+from ..jobs.store import FAILED, STATUSES, SUCCEEDED
 from .cache import ResponseCache
 from ..core.solver import BracketError
 from .errors import (
     ApiError,
+    ConflictError,
     MethodNotAllowedError,
     NotFoundError,
     PayloadTooLargeError,
+    ServiceDrainingError,
     UnsolvableError,
     ValidationError,
     FieldError,
@@ -60,6 +70,7 @@ from .errors import (
 from .metrics import MetricsRegistry
 from .validation import (
     SweepRequest,
+    validate_job_request,
     validate_solve_request,
     validate_sweep_request,
 )
@@ -82,7 +93,15 @@ _PROM = "text/plain; version=0.0.4; charset=utf-8"
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tunables for one service instance."""
+    """Tunables for one service instance.
+
+    ``state_dir`` is the durable job store's home; ``None`` uses a
+    fresh temporary directory (jobs work, but do not survive the
+    instance — point every replica and external worker at a real
+    directory for durability).  ``job_workers=0`` disables in-process
+    execution: jobs queue up for external ``python -m
+    repro.jobs.worker`` processes.
+    """
 
     host: str = "127.0.0.1"
     port: int = 8100
@@ -90,12 +109,21 @@ class ServiceConfig:
     cache_ttl: float = 300.0
     cache_maxsize: int = 1024
     drain_deadline: float = 10.0
+    state_dir: Optional[str] = None
+    job_workers: int = 2
+    job_lease_ttl: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
             raise ValueError(f"workers must be positive, got {self.workers}")
         if self.drain_deadline < 0:
             raise ValueError("drain_deadline must be non-negative")
+        if self.job_workers < 0:
+            raise ValueError(
+                f"job_workers must be non-negative, got {self.job_workers}"
+            )
+        if self.job_lease_ttl <= 0:
+            raise ValueError("job_lease_ttl must be positive")
 
 
 @dataclass(frozen=True)
@@ -118,6 +146,18 @@ class BandwidthWallService:
             maxsize=config.cache_maxsize, ttl=config.cache_ttl
         )
         self._init_metrics()
+        self._owns_state_dir = config.state_dir is None
+        self.state_dir = (config.state_dir or
+                          tempfile.mkdtemp(prefix="bandwidth-wall-jobs-"))
+        self.job_manager = JobManager(
+            self.state_dir,
+            workers=config.job_workers,
+            lease_ttl=config.job_lease_ttl,
+            on_chunk=lambda seconds: self.jobs_chunk_latency.observe(
+                seconds
+            ),
+        )
+        self.job_manager.start()
         # (method, compiled path pattern, handler, route label)
         self._routes: List[Tuple[str, Any, Callable, str]] = [
             ("GET", re.compile(r"^/healthz$"), self._handle_healthz,
@@ -132,6 +172,14 @@ class BandwidthWallService:
              self._handle_experiments, "/v1/experiments"),
             ("GET", re.compile(r"^/v1/experiments/(?P<eid>[^/]+)$"),
              self._handle_experiment, "/v1/experiments/{id}"),
+            ("POST", re.compile(r"^/v1/jobs$"), self._handle_job_submit,
+             "/v1/jobs"),
+            ("GET", re.compile(r"^/v1/jobs$"), self._handle_job_list,
+             "/v1/jobs"),
+            ("GET", re.compile(r"^/v1/jobs/(?P<jid>[^/]+)$"),
+             self._handle_job_get, "/v1/jobs/{id}"),
+            ("DELETE", re.compile(r"^/v1/jobs/(?P<jid>[^/]+)$"),
+             self._handle_job_cancel, "/v1/jobs/{id}"),
         ]
 
     def _init_metrics(self) -> None:
@@ -178,6 +226,11 @@ class BandwidthWallService:
             callback=lambda: cache_stats().evictions,
         )
         registry.gauge(
+            "service_response_cache_expirations_total",
+            "Responses dropped because their TTL elapsed.",
+            callback=lambda: cache_stats().expirations,
+        )
+        registry.gauge(
             "service_response_cache_size",
             "Responses currently stored.",
             callback=lambda: cache_stats().size,
@@ -206,6 +259,53 @@ class BandwidthWallService:
             "solve_memo_hit_rate",
             "Fraction of solve lookups served from the memo.",
             callback=lambda: memo.stats_snapshot().hit_rate,
+        )
+        # Job subsystem.  Backlog/liveness gauges read the durable
+        # store at scrape time, so external workers pointed at the same
+        # state dir are reflected too.
+        self.jobs_submitted = registry.counter(
+            "jobs_submitted_total",
+            "Jobs accepted via POST /v1/jobs, by kind.",
+            ("kind",),
+        )
+        self.jobs_chunk_latency = registry.histogram(
+            "jobs_chunk_duration_seconds",
+            "Wall seconds per executed job chunk (in-process workers).",
+        )
+        registry.gauge(
+            "jobs_queue_depth",
+            "Claimable jobs: queued plus expired-lease running.",
+            callback=lambda: self.job_manager.store.queue_depth(),
+        )
+        registry.gauge(
+            "jobs_running",
+            "Jobs currently executing under a live lease.",
+            callback=lambda: self.job_manager.store.running_count(),
+        )
+        registry.gauge(
+            "jobs_retries_total",
+            "Chunk-failure retries recorded across all jobs.",
+            callback=lambda: self.job_manager.store.retries_total(),
+        )
+        registry.gauge(
+            "jobs_succeeded_total",
+            "Jobs that finished with a complete artifact.",
+            callback=lambda: self.job_manager.store.counts()["succeeded"],
+        )
+        registry.gauge(
+            "jobs_failed_total",
+            "Jobs that exhausted their retry budget.",
+            callback=lambda: self.job_manager.store.counts()["failed"],
+        )
+        registry.gauge(
+            "jobs_cancelled_total",
+            "Jobs cancelled before completing.",
+            callback=lambda: self.job_manager.store.counts()["cancelled"],
+        )
+        registry.gauge(
+            "jobs_workers_alive",
+            "In-process job worker threads currently alive.",
+            callback=lambda: self.job_manager.workers_alive(),
         )
 
     # -- dispatch ------------------------------------------------------
@@ -274,6 +374,7 @@ class BandwidthWallService:
             "status": "draining" if draining else "ok",
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "experiments": len(self._experiment_ids()),
+            "jobs": self.job_manager.stats(),
         }
         return self._json_response(payload, status=503 if draining else 200)
 
@@ -374,6 +475,93 @@ class BandwidthWallService:
         )
         return self._json_response(payload)
 
+    # -- job handlers --------------------------------------------------
+
+    def _handle_job_submit(self, match, query, body) -> Response:
+        if self.draining.is_set():
+            raise ServiceDrainingError(
+                "service is draining; job submissions are not accepted"
+            )
+        request = validate_job_request(self._parse_json(body))
+        record = self.job_manager.submit(
+            request.spec, max_attempts=request.max_attempts
+        )
+        self.jobs_submitted.inc(kind=record.kind)
+        return self._json_response(self._job_payload(record), status=202)
+
+    def _handle_job_list(self, match, query, body) -> Response:
+        status = None
+        values = query.get("status", [])
+        if values:
+            status = values[-1].lower()
+            if status not in STATUSES:
+                raise ValidationError([FieldError(
+                    "status",
+                    f"must be one of {sorted(STATUSES)}, got {status!r}",
+                )])
+        records = self.job_manager.list_jobs(status=status)
+        return self._json_response({
+            "count": len(records),
+            "jobs": [self._job_payload(record, include_result=False)
+                     for record in records],
+        })
+
+    def _handle_job_get(self, match, query, body) -> Response:
+        record = self._job_record(match)
+        return self._json_response(self._job_payload(record))
+
+    def _handle_job_cancel(self, match, query, body) -> Response:
+        record = self._job_record(match)
+        if record.status in (SUCCEEDED, FAILED):
+            raise ConflictError(
+                f"job {record.id} already {record.status}; "
+                f"only queued or running jobs can be cancelled",
+                {"status": record.status},
+            )
+        record = self.job_manager.cancel(record.id)
+        return self._json_response(
+            self._job_payload(record, include_result=False)
+        )
+
+    def _job_record(self, match) -> JobRecord:
+        job_id = unquote(match.group("jid"))
+        record = self.job_manager.get(job_id)
+        if record is None:
+            raise NotFoundError(f"unknown job {job_id!r}")
+        return record
+
+    @staticmethod
+    def _job_payload(record: JobRecord,
+                     include_result: bool = True) -> Dict[str, Any]:
+        """One job's API shape: status + progress (+ result when done)."""
+        payload: Dict[str, Any] = {
+            "id": record.id,
+            "kind": record.kind,
+            "status": record.status,
+            "cancel_requested": record.cancel_requested,
+            "spec": record.spec,
+            "progress": {
+                "chunks_done": record.chunks_done,
+                "chunks_total": record.chunks_total,
+                "fraction": record.progress,
+            },
+            "attempts": record.attempts,
+            "retries": record.failures,
+            "max_attempts": record.max_attempts,
+            "created_at": record.created_at,
+            "started_at": record.started_at,
+            "finished_at": record.finished_at,
+            "error": record.error,
+        }
+        if include_result and record.status == SUCCEEDED \
+                and record.result_text is not None:
+            # The stored artifact is golden-encoded (bare NaN allowed);
+            # strictify here so the HTTP payload stays valid JSON.
+            payload["result"] = strict_jsonable(
+                json.loads(record.result_text)
+            )
+        return payload
+
     # -- helpers -------------------------------------------------------
 
     @staticmethod
@@ -407,6 +595,21 @@ class BandwidthWallService:
     def _error_response(self, error: ApiError) -> Response:
         return self._json_response(error.payload(), status=error.status)
 
+    # -- lifecycle -----------------------------------------------------
+
+    def shutdown_jobs(self, deadline: float = 10.0) -> bool:
+        """Drain the worker pool: in-flight jobs checkpoint their
+        current chunk and return to the queue, resumable on next boot.
+
+        Returns True when every worker thread exited in time.  The
+        auto-created temporary state dir is removed only after a clean
+        drain — never out from under a live worker.
+        """
+        stopped = self.job_manager.stop(deadline)
+        if stopped and self._owns_state_dir:
+            shutil.rmtree(self.state_dir, ignore_errors=True)
+        return stopped
+
 
 # ----------------------------------------------------------------------
 # HTTP transport
@@ -439,6 +642,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("DELETE")
 
     def _dispatch(self, method: str) -> None:
         service: BandwidthWallService = self.server.service
@@ -486,6 +692,8 @@ class RunningService:
                  server: _ServiceHTTPServer) -> None:
         self.service = service
         self.server = server
+        self._stopped = False
+        self._drain_result = False
         self._thread = threading.Thread(
             target=server.serve_forever, kwargs={"poll_interval": 0.05},
             name="service-accept", daemon=True,
@@ -511,19 +719,28 @@ class RunningService:
 
     def drain_and_stop(self,
                        deadline: Optional[float] = None) -> bool:
-        """Graceful shutdown: stop accepting, drain, close.
+        """Graceful shutdown: stop accepting, drain requests and jobs.
 
-        Returns True when every in-flight request finished before the
-        deadline; stragglers (daemon threads) are abandoned otherwise.
+        HTTP first (stop the accept loop, let in-flight requests
+        finish), then the job workers — each checkpoints its current
+        chunk and releases its lease, so every in-flight job resumes
+        from where it stopped on the next boot.  Returns True when both
+        drained before the deadline; stragglers (daemon threads) are
+        abandoned otherwise.  Idempotent.
         """
         if deadline is None:
             deadline = self.service.config.drain_deadline
+        if self._stopped:
+            return self._drain_result
+        self._stopped = True
         self.service.draining.set()
         self.server.shutdown()
         self._thread.join(timeout=max(deadline, 0.1))
         drained = self._wait_for_idle(deadline)
+        jobs_drained = self.service.shutdown_jobs(deadline)
         self.server.server_close()
-        return drained
+        self._drain_result = drained and jobs_drained
+        return self._drain_result
 
     def _wait_for_idle(self, deadline: float) -> bool:
         limit = time.monotonic() + deadline
@@ -572,7 +789,9 @@ def serve(config: ServiceConfig = ServiceConfig()) -> int:
     for signum in (signal.SIGTERM, signal.SIGINT):
         previous[signum] = signal.signal(signum, request_stop)
     print(f"bandwidth-wall service listening on {running.url} "
-          f"({config.workers} workers, cache ttl {config.cache_ttl:g}s)",
+          f"({config.workers} workers, cache ttl {config.cache_ttl:g}s, "
+          f"{config.job_workers} job workers, "
+          f"state dir {running.service.state_dir})",
           flush=True)
     try:
         stop.wait()

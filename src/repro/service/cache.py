@@ -177,8 +177,19 @@ class ResponseCache:
         return entry
 
     def _store(self, key: Hashable, value: Any) -> None:
+        now = self._clock()
+        # Sweep entries whose TTL already elapsed before consulting the
+        # LRU bound: dead entries otherwise linger until their exact key
+        # is looked up again, consuming maxsize and forcing live
+        # responses out instead.
+        expired = [stored_key
+                   for stored_key, (stamp, _) in self._entries.items()
+                   if now - stamp >= self.ttl]
+        for stored_key in expired:
+            del self._entries[stored_key]
+        self._expirations += len(expired)
         if key not in self._entries and len(self._entries) >= self.maxsize:
             self._entries.popitem(last=False)
             self._evictions += 1
-        self._entries[key] = (self._clock(), value)
+        self._entries[key] = (now, value)
         self._entries.move_to_end(key)

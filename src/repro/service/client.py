@@ -6,6 +6,11 @@ closed-loop load benchmark and the CI smoke check.  Error responses
 raise :class:`ServiceError` carrying the decoded error envelope, so
 callers assert on ``error.code``/``error.field_errors`` instead of
 string-matching bodies.
+
+Idempotent GETs (``healthz``, ``metrics_text``, job polling) retry
+with bounded exponential backoff on connection errors, so a service
+restart mid-poll degrades to a short stall instead of an exception;
+mutating requests never retry implicitly.
 """
 
 from __future__ import annotations
@@ -17,7 +22,12 @@ import time
 import urllib.parse
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "IDEMPOTENT_RETRIES"]
+
+#: Extra attempts (beyond the first) for idempotent GETs that hit a
+#: connection error; delay doubles from 50ms per retry.
+IDEMPOTENT_RETRIES = 2
+_RETRY_BACKOFF = 0.05
 
 
 class ServiceError(Exception):
@@ -51,8 +61,27 @@ class ServiceClient:
     # -- transport -----------------------------------------------------
 
     def request(self, method: str, path: str,
-                body: Optional[Any] = None) -> Tuple[int, bytes]:
-        """One HTTP exchange; returns ``(status, raw body bytes)``."""
+                body: Optional[Any] = None,
+                *, retries: int = 0) -> Tuple[int, bytes]:
+        """One HTTP exchange; returns ``(status, raw body bytes)``.
+
+        ``retries`` allows that many extra attempts after a connection
+        error (refused, reset, unreachable), with exponential backoff.
+        Only pass it for idempotent requests — the default of 0 keeps
+        POST/DELETE single-shot.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except (ConnectionError, socket.error):
+                if attempt >= retries:
+                    raise
+                time.sleep(_RETRY_BACKOFF * (2 ** attempt))
+                attempt += 1
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Any]) -> Tuple[int, bytes]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -69,9 +98,10 @@ class ServiceClient:
             connection.close()
 
     def request_json(self, method: str, path: str,
-                     body: Optional[Any] = None) -> Any:
+                     body: Optional[Any] = None,
+                     *, retries: int = 0) -> Any:
         """One exchange, decoded; raises :class:`ServiceError` on non-2xx."""
-        status, raw = self.request(method, path, body)
+        status, raw = self.request(method, path, body, retries=retries)
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -84,10 +114,12 @@ class ServiceClient:
     # -- endpoints -----------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
-        return self.request_json("GET", "/healthz")
+        return self.request_json("GET", "/healthz",
+                                 retries=IDEMPOTENT_RETRIES)
 
     def metrics_text(self) -> str:
-        status, raw = self.request("GET", "/metrics")
+        status, raw = self.request("GET", "/metrics",
+                                   retries=IDEMPOTENT_RETRIES)
         if status != 200:
             raise ServiceError(status, {})
         return raw.decode("utf-8")
@@ -129,6 +161,88 @@ class ServiceClient:
         if report:
             path += "?report=1"
         return self.request_json("GET", path)
+
+    # -- jobs ----------------------------------------------------------
+
+    def submit_job(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Raw ``POST /v1/jobs`` with an explicit body (202 on accept)."""
+        return self.request_json("POST", "/v1/jobs", spec)
+
+    def submit_experiments_job(
+            self, ids: Optional[Sequence[str]] = None, *,
+            chunk_size: Optional[int] = None,
+            max_attempts: Optional[int] = None) -> Dict[str, Any]:
+        """Submit a checkpointed experiments run (None = all 28 ids)."""
+        body: Dict[str, Any] = {"kind": "experiments"}
+        if ids is not None:
+            body["ids"] = list(ids)
+        if chunk_size is not None:
+            body["chunk_size"] = chunk_size
+        if max_attempts is not None:
+            body["max_attempts"] = max_attempts
+        return self.submit_job(body)
+
+    def submit_sweep_job(
+            self, *, ceas: Union[float, Sequence[float]],
+            budgets: Union[float, Sequence[float], None] = None,
+            alpha: float = 0.5, techniques: Sequence[str] = (),
+            chunk_size: Optional[int] = None,
+            max_attempts: Optional[int] = None) -> Dict[str, Any]:
+        """Submit a checkpointed ``(ceas x budgets)`` sweep-grid job."""
+        body: Dict[str, Any] = {
+            "kind": "sweep",
+            "ceas": list(ceas) if isinstance(ceas, (list, tuple)) else ceas,
+            "alpha": alpha,
+            "techniques": list(techniques),
+        }
+        if budgets is not None:
+            body["budgets"] = (list(budgets)
+                               if isinstance(budgets, (list, tuple))
+                               else budgets)
+        if chunk_size is not None:
+            body["chunk_size"] = chunk_size
+        if max_attempts is not None:
+            body["max_attempts"] = max_attempts
+        return self.submit_job(body)
+
+    def jobs(self, status: Optional[str] = None) -> Dict[str, Any]:
+        path = "/v1/jobs"
+        if status is not None:
+            path += "?status=" + urllib.parse.quote(status, safe="")
+        return self.request_json("GET", path, retries=IDEMPOTENT_RETRIES)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self.request_json("GET", self._job_path(job_id),
+                                 retries=IDEMPOTENT_RETRIES)
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        return self.request_json("DELETE", self._job_path(job_id))
+
+    def wait_for_job(self, job_id: str, *, timeout: float = 120.0,
+                     poll_interval: float = 0.2) -> Dict[str, Any]:
+        """Poll one job until it reaches a terminal status.
+
+        Returns the terminal payload (``status`` is ``succeeded``,
+        ``failed`` or ``cancelled`` — the caller decides what each
+        means); raises TimeoutError when time runs out first.
+        """
+        deadline = time.monotonic() + timeout
+        payload = self.job(job_id)
+        while payload["status"] not in ("succeeded", "failed", "cancelled"):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['status']} "
+                    f"({payload['progress']['chunks_done']}/"
+                    f"{payload['progress']['chunks_total']} chunks) "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+            payload = self.job(job_id)
+        return payload
+
+    @staticmethod
+    def _job_path(job_id: str) -> str:
+        return "/v1/jobs/" + urllib.parse.quote(job_id, safe="")
 
     # -- readiness -----------------------------------------------------
 

@@ -23,6 +23,8 @@ __all__ = [
     "NotFoundError",
     "MethodNotAllowedError",
     "PayloadTooLargeError",
+    "ConflictError",
+    "ServiceDrainingError",
 ]
 
 
@@ -105,3 +107,22 @@ class PayloadTooLargeError(ApiError):
 
     status = 413
     code = "payload_too_large"
+
+
+class ConflictError(ApiError):
+    """409 — the operation conflicts with the resource's current state.
+
+    E.g. cancelling a job that already succeeded or failed: the request
+    is well-formed and the resource exists, but the transition is
+    impossible.
+    """
+
+    status = 409
+    code = "conflict"
+
+
+class ServiceDrainingError(ApiError):
+    """503 — the service is draining and no longer accepts new work."""
+
+    status = 503
+    code = "draining"

@@ -12,9 +12,12 @@ then asserts the full serving contract:
    ``text`` matches the CLI ``solve`` output byte for byte;
 3. ``/v1/experiments/fig02`` reproduces Figure 2's checkpoints;
 4. a bad request gets a structured 400 and an unknown id a 404;
-5. ``/metrics`` exposes request counters, latency histograms and both
-   cache hit-rate families;
-6. SIGTERM drains and exits cleanly (code 0).
+5. a background job (``POST /v1/jobs``) runs to completion with the
+   right artifact, and a second, longer job cancels mid-run;
+6. ``/metrics`` exposes request counters, latency histograms, both
+   cache hit-rate families and the ``jobs_*`` families, and
+   ``/healthz`` reports job-queue health and worker liveness;
+7. SIGTERM drains and exits cleanly (code 0).
 
 CI runs this on every supported Python; it is the "is the service
 actually servable" gate that unit tests cannot give.
@@ -91,13 +94,50 @@ def main() -> int:
         else:
             raise AssertionError("unknown experiment id was accepted")
 
+        submitted = client.submit_experiments_job(["fig13",
+                                                   "ext-amdahl"])
+        _check(submitted["status"] in ("queued", "running"),
+               "POST /v1/jobs accepts a background job (202)")
+        finished = client.wait_for_job(submitted["id"], timeout=60)
+        _check(finished["status"] == "succeeded",
+               "background job runs to completion")
+        _check(finished["result"]["count"] == 2
+               and finished["result"]["experiments"][0]
+                   ["experiment_id"] == "fig13",
+               "job artifact holds the requested experiments in order")
+
+        # A longer job (fig14 simulates for seconds): cancel it mid-run
+        # and watch it stop at a chunk boundary.
+        doomed = client.submit_experiments_job(["fig14", "fig1"])
+        cancelled = client.cancel_job(doomed["id"])
+        _check(cancelled["cancel_requested"]
+               or cancelled["status"] == "cancelled",
+               "DELETE /v1/jobs/{id} requests cancellation")
+        terminal = client.wait_for_job(doomed["id"], timeout=60)
+        _check(terminal["status"] == "cancelled",
+               "cancelled job reaches the cancelled status")
+
+        health = client.healthz()
+        _check(health["jobs"]["workers_alive"] >= 1,
+               "/healthz reports live job workers")
+        _check(health["jobs"]["succeeded"] >= 1
+               and health["jobs"]["cancelled"] >= 1,
+               "/healthz jobs block tallies outcomes")
+
         metrics = client.metrics_text()
         for needle in (
             'service_requests_total{route="/v1/solve",method="POST",'
             'status="200"}',
             "service_request_duration_seconds_bucket",
             "service_response_cache_hit_rate",
+            "service_response_cache_expirations_total",
             "solve_memo_hit_rate",
+            'jobs_submitted_total{kind="experiments"}',
+            "jobs_queue_depth",
+            "jobs_workers_alive",
+            "jobs_succeeded_total",
+            "jobs_cancelled_total",
+            "jobs_chunk_duration_seconds",
         ):
             _check(needle in metrics, f"metrics expose {needle.split('{')[0]}")
         match = re.search(

@@ -17,17 +17,27 @@ from .errors import FieldError, ValidationError
 
 __all__ = [
     "MAX_SWEEP_POINTS",
+    "MAX_JOB_ATTEMPTS",
+    "MAX_JOB_CHUNK_SIZE",
     "SweepRequest",
+    "JobRequest",
     "validate_solve_request",
     "validate_sweep_request",
+    "validate_job_request",
 ]
 
 #: Upper bound on one sweep's grid (|ceas| x |budgets|).  A request
 #: above it is a 400, not a multi-minute stall.
 MAX_SWEEP_POINTS = 10_000
 
+#: Bounds on ``POST /v1/jobs`` knobs: retry attempts and chunk size.
+MAX_JOB_ATTEMPTS = 10
+MAX_JOB_CHUNK_SIZE = 1_000
+
 _SOLVE_FIELDS = ("ceas", "alpha", "budget", "techniques")
 _SWEEP_FIELDS = ("ceas", "alpha", "budgets", "techniques")
+_JOB_FIELDS = ("kind", "ids", "ceas", "budgets", "alpha", "techniques",
+               "chunk_size", "max_attempts")
 
 
 @dataclass(frozen=True)
@@ -169,6 +179,136 @@ def validate_solve_request(payload: Any) -> ScenarioRequest:
         raise ValidationError(errors)
     return ScenarioRequest(
         ceas=ceas, alpha=alpha, budget=budget, techniques=techniques
+    )
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated ``POST /v1/jobs`` body: a spec plus retry budget."""
+
+    spec: "JobSpec"
+    max_attempts: int
+
+
+def _bounded_int(payload: Dict[str, Any], name: str, default: int,
+                 upper: int, errors: List[FieldError]) -> int:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        errors.append(FieldError(
+            name, f"must be an integer, got {type(value).__name__}"
+        ))
+        return default
+    if not 1 <= value <= upper:
+        errors.append(FieldError(
+            name, f"must be between 1 and {upper}, got {value}"
+        ))
+        return default
+    return value
+
+
+def _experiment_ids_field(payload: Dict[str, Any],
+                          errors: List[FieldError]) -> Tuple[str, ...]:
+    """Resolve ``ids`` (any accepted spelling) or collect 400s."""
+    from ..experiments.runner import experiment_ids, resolve_experiment_id
+
+    raw = payload.get("ids")
+    if raw is None:
+        return ()
+    if isinstance(raw, str):
+        raw = [raw]
+    if not isinstance(raw, list) or not raw:
+        errors.append(FieldError(
+            "ids", "must be a non-empty list of experiment ids "
+                   "(omit for the whole registry)"
+        ))
+        return ()
+    keys: List[str] = []
+    for index, value in enumerate(raw):
+        if not isinstance(value, str):
+            errors.append(FieldError(
+                f"ids[{index}]",
+                f"must be a string, got {type(value).__name__}",
+            ))
+            continue
+        try:
+            keys.append(resolve_experiment_id(value))
+        except KeyError:
+            errors.append(FieldError(
+                f"ids[{index}]",
+                f"unknown experiment {value!r}; "
+                f"valid ids: {experiment_ids()}",
+            ))
+    return tuple(keys)
+
+
+def validate_job_request(payload: Any) -> JobRequest:
+    """Validate a ``POST /v1/jobs`` body into a :class:`JobRequest`.
+
+    ``kind`` defaults to ``"experiments"``; an experiments job with no
+    ``ids`` runs the whole registry.  Sweep jobs take the same grid
+    fields as ``POST /v1/sweep``.
+    """
+    from ..jobs.spec import (
+        DEFAULT_MAX_ATTEMPTS,
+        EXPERIMENTS_KIND,
+        KINDS,
+        SWEEP_KIND,
+        JobSpec,
+    )
+
+    payload = _require_object(payload)
+    errors: List[FieldError] = []
+    _check_unknown_fields(payload, _JOB_FIELDS, errors)
+    kind = payload.get("kind", EXPERIMENTS_KIND)
+    if kind not in KINDS:
+        errors.append(FieldError(
+            "kind", f"must be one of {list(KINDS)}, got {kind!r}"
+        ))
+        kind = EXPERIMENTS_KIND
+    # chunk_size 0 (the default) means "the kind's default chunking".
+    chunk_size = 0
+    if "chunk_size" in payload:
+        chunk_size = _bounded_int(payload, "chunk_size", 1,
+                                  MAX_JOB_CHUNK_SIZE, errors)
+    max_attempts = _bounded_int(payload, "max_attempts",
+                                DEFAULT_MAX_ATTEMPTS, MAX_JOB_ATTEMPTS,
+                                errors)
+    if kind == EXPERIMENTS_KIND:
+        for name in ("ceas", "budgets", "alpha"):
+            if name in payload:
+                errors.append(FieldError(
+                    name, "only valid for sweep jobs"
+                ))
+        ids = _experiment_ids_field(payload, errors)
+        if errors:
+            raise ValidationError(errors)
+        spec = (JobSpec.experiments(ids, chunk_size=chunk_size) if ids
+                else JobSpec.experiments(chunk_size=chunk_size))
+        return JobRequest(spec=spec, max_attempts=max_attempts)
+    if "ids" in payload:
+        errors.append(FieldError("ids", "only valid for experiments jobs"))
+    if "ceas" not in payload:
+        errors.append(FieldError(
+            "ceas", "required for sweep jobs: a number or non-empty "
+                    "list of die sizes"
+        ))
+    ceas = _number_list(payload, "ceas", (32.0,), errors)
+    budgets = _number_list(payload, "budgets", (1.0,), errors)
+    alpha = _positive_number(payload, "alpha", 0.5, errors)
+    techniques = _technique_specs(payload, errors)
+    _combined_effect_errors(techniques, errors)
+    if len(ceas) * len(budgets) > MAX_SWEEP_POINTS:
+        errors.append(FieldError(
+            "ceas",
+            f"grid too large: {len(ceas)} ceas x {len(budgets)} budgets "
+            f"> {MAX_SWEEP_POINTS} points",
+        ))
+    if errors:
+        raise ValidationError(errors)
+    return JobRequest(
+        spec=JobSpec.sweep(ceas=ceas, budgets=budgets, alpha=alpha,
+                           techniques=techniques, chunk_size=chunk_size),
+        max_attempts=max_attempts,
     )
 
 

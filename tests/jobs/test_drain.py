@@ -1,0 +1,138 @@
+"""SIGTERM drain: finish the current chunk, checkpoint, re-lease clean.
+
+Unlike the SIGKILL crash test, a drained worker exits on its own
+terms: the in-flight chunk completes and checkpoints, the lease is
+released immediately (no expiry wait, no failure counted), and a
+successor resumes without executing any chunk twice — the chunk
+execution log must show every chunk exactly once across both lives.
+"""
+
+import collections
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.jobs.executor import (
+    chunk_count,
+    encode_artifact,
+    serial_artifact,
+)
+from repro.jobs.manager import JobManager
+from repro.jobs.spec import JobSpec
+from repro.jobs.store import QUEUED, SUCCEEDED, JobStore
+from repro.jobs.worker import CHUNK_LOG_ENV, CHUNK_SLEEP_ENV
+
+CHEAP_IDS = ["fig13", "ext-amdahl", "fig10", "fig7"]
+
+
+def wait_for(predicate, *, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def chunk_execution_counts(chunk_log):
+    counts = collections.Counter()
+    for line in Path(chunk_log).read_text().splitlines():
+        _, _, index = line.rpartition(":")
+        counts[int(index)] += 1
+    return counts
+
+
+@pytest.mark.slow
+def test_sigterm_drains_checkpoint_and_releases_cleanly(tmp_path):
+    spec = JobSpec.experiments(CHEAP_IDS)
+    store = JobStore(tmp_path)
+    job = store.submit(spec, chunks_total=chunk_count(spec))
+    chunk_log = tmp_path / "chunks.log"
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env[CHUNK_LOG_ENV] = str(chunk_log)
+    env[CHUNK_SLEEP_ENV] = "0.3"
+
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.jobs.worker",
+         "--state-dir", str(tmp_path), "--worker-id", "drained",
+         "--poll-interval", "0.05"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        assert wait_for(lambda: store.get(job.id).chunks_done >= 1), \
+            "worker never checkpointed a chunk"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=10) == 0  # clean, voluntary exit
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    drained = store.get(job.id)
+    assert drained.status == QUEUED        # clean re-lease: no expiry wait
+    assert drained.lease_owner is None
+    assert drained.failures == 0           # drain never burns retry budget
+    assert drained.chunks_done >= 1
+    # The chunk that was in flight at SIGTERM completed and
+    # checkpointed: every logged execution has a checkpoint row.
+    counts_after_term = chunk_execution_counts(chunk_log)
+    assert set(counts_after_term) == set(store.checkpoints(job.id))
+
+    env.pop(CHUNK_SLEEP_ENV)
+    resume = subprocess.run(
+        [sys.executable, "-m", "repro.jobs.worker",
+         "--state-dir", str(tmp_path), "--worker-id", "successor",
+         "--poll-interval", "0.05", "--once"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        timeout=60,
+    )
+    assert resume.returncode == 0
+
+    record = store.get(job.id)
+    assert record.status == SUCCEEDED
+    assert record.result_text == encode_artifact(serial_artifact(spec))
+    # No duplicate chunk execution across the two worker lives.
+    counts = chunk_execution_counts(chunk_log)
+    assert counts == {index: 1 for index in range(chunk_count(spec))}
+
+
+def test_manager_drain_then_new_manager_resumes(tmp_path, monkeypatch):
+    chunk_log = tmp_path / "chunks.log"
+    monkeypatch.setenv(CHUNK_LOG_ENV, str(chunk_log))
+    monkeypatch.setenv(CHUNK_SLEEP_ENV, "0.2")
+    spec = JobSpec.experiments(CHEAP_IDS)
+    store = JobStore(tmp_path)
+
+    first = JobManager(tmp_path, workers=1, poll_interval=0.05)
+    first.start()
+    job = first.submit(spec)
+    assert wait_for(lambda: store.get(job.id).chunks_done >= 1)
+    assert first.stop(deadline=10.0)  # every worker thread joined
+    assert first.workers_alive() == 0
+    assert store.get(job.id).status == QUEUED
+
+    monkeypatch.delenv(CHUNK_SLEEP_ENV)
+    second = JobManager(tmp_path, workers=1, poll_interval=0.05)
+    second.start()
+    try:
+        assert wait_for(lambda: store.get(job.id).status == SUCCEEDED)
+    finally:
+        assert second.stop(deadline=10.0)
+
+    record = store.get(job.id)
+    assert record.result_text == encode_artifact(serial_artifact(spec))
+    counts = chunk_execution_counts(chunk_log)
+    assert counts == {index: 1 for index in range(chunk_count(spec))}
+
+    stats = second.stats()
+    assert stats["succeeded"] == 1
+    assert stats["queue_depth"] == 0
+    assert stats["retries_total"] == 0

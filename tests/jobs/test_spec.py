@@ -1,0 +1,88 @@
+"""JobSpec construction, serialisation and chunk planning."""
+
+import pytest
+
+from repro.jobs.executor import chunk_count, execute_chunk, plan_chunks
+from repro.jobs.spec import (
+    DEFAULT_EXPERIMENT_CHUNK,
+    DEFAULT_SWEEP_CHUNK,
+    JobSpec,
+)
+
+
+class TestConstruction:
+    def test_experiments_normalises_ids(self):
+        spec = JobSpec.experiments(["Figure 2", "table2"])
+        assert spec.ids == ("fig2", "table2")
+
+    def test_experiments_defaults_to_whole_registry(self):
+        from repro.experiments.runner import experiment_ids
+
+        spec = JobSpec.experiments()
+        assert spec.ids == tuple(experiment_ids())
+        assert len(spec.ids) == 28
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            JobSpec.experiments(["not-an-experiment"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(kind="bogus")
+
+    def test_sweep_requires_ceas(self):
+        with pytest.raises(ValueError, match="at least one ceas"):
+            JobSpec.sweep(ceas=())
+
+    def test_negative_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            JobSpec(kind="experiments", ids=("fig2",), chunk_size=-1)
+
+
+class TestSerialisation:
+    def test_experiments_round_trip(self):
+        spec = JobSpec.experiments(["fig2", "fig3"], chunk_size=2)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_sweep_round_trip(self):
+        spec = JobSpec.sweep(ceas=[16, 32], budgets=[1.0, 2.0],
+                             alpha=0.45, techniques=("DRAM=8",),
+                             chunk_size=3)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            JobSpec.from_dict([1, 2])
+
+
+class TestPlanning:
+    def test_experiment_default_is_one_id_per_chunk(self):
+        spec = JobSpec.experiments(["fig2", "fig3", "table2"])
+        assert spec.effective_chunk_size == DEFAULT_EXPERIMENT_CHUNK
+        assert plan_chunks(spec) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_sweep_default_chunk(self):
+        spec = JobSpec.sweep(ceas=[16.0])
+        assert spec.effective_chunk_size == DEFAULT_SWEEP_CHUNK
+
+    def test_uneven_tail_chunk(self):
+        spec = JobSpec.experiments(["fig2", "fig3", "table2"],
+                                   chunk_size=2)
+        assert plan_chunks(spec) == [(0, 2), (2, 3)]
+        assert chunk_count(spec) == 2
+
+    def test_sweep_plan_covers_grid(self):
+        spec = JobSpec.sweep(ceas=[16, 32, 64], budgets=[1.0, 2.0],
+                             chunk_size=4)
+        assert plan_chunks(spec) == [(0, 4), (4, 6)]
+
+    def test_plan_is_pure_function_of_round_tripped_spec(self):
+        spec = JobSpec.sweep(ceas=[16, 32, 64], budgets=[1.0, 2.0],
+                             chunk_size=4)
+        assert plan_chunks(JobSpec.from_dict(spec.to_dict())) == \
+            plan_chunks(spec)
+
+    def test_execute_chunk_rejects_bad_index(self):
+        spec = JobSpec.experiments(["fig13"])
+        with pytest.raises(IndexError):
+            execute_chunk(spec, 5)

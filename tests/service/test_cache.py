@@ -51,6 +51,29 @@ class TestTTLAndLRU:
         assert cache.get_or_compute("b", lambda: 9)[1] == "miss"
         assert cache.stats().evictions >= 1
 
+    def test_store_sweeps_expired_before_evicting_live(self, clock):
+        cache = ResponseCache(maxsize=2, ttl=10, clock=clock)
+        cache.get_or_compute("dead", lambda: 1)
+        clock.advance(5.0)
+        cache.get_or_compute("live", lambda: 2)   # cache now full
+        clock.advance(5.0)                        # "dead" expires
+        cache.get_or_compute("new", lambda: 3)    # sweeps, no eviction
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.evictions == 0               # "live" kept its slot
+        assert cache.get_or_compute("live", lambda: 9)[1] == "hit"
+
+    def test_store_sweep_counts_every_expired_entry(self, clock):
+        cache = ResponseCache(maxsize=2, ttl=10, clock=clock)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        clock.advance(10.0)                       # both dead
+        cache.get_or_compute("c", lambda: 3)
+        stats = cache.stats()
+        assert stats.expirations == 2
+        assert stats.evictions == 0
+        assert stats.size == 1
+
     def test_zero_ttl_disables_storage(self, clock):
         cache = ResponseCache(maxsize=4, ttl=0, clock=clock)
         cache.get_or_compute("k", lambda: 1)

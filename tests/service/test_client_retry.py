@@ -1,0 +1,73 @@
+"""Client retry policy: idempotent GETs retry, mutations never do."""
+
+import pytest
+
+from repro.service.client import IDEMPOTENT_RETRIES, ServiceClient
+
+
+class FlakyTransport:
+    """Counts attempts; fails with ConnectionError the first N times."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.attempts = 0
+
+    def __call__(self, method, path, body):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise ConnectionError("connection refused")
+        return 200, b'{"status": "ok"}'
+
+
+@pytest.fixture()
+def client(monkeypatch):
+    client = ServiceClient("127.0.0.1", 1)
+    monkeypatch.setattr("repro.service.client.time.sleep",
+                        lambda seconds: None)
+    return client
+
+
+def attach(client, monkeypatch, transport):
+    monkeypatch.setattr(client, "_request_once", transport)
+
+
+def test_retries_recover_from_transient_connection_errors(
+        client, monkeypatch):
+    transport = FlakyTransport(failures=2)
+    attach(client, monkeypatch, transport)
+    status, _ = client.request("GET", "/healthz",
+                               retries=IDEMPOTENT_RETRIES)
+    assert status == 200
+    assert transport.attempts == 3
+
+
+def test_retry_budget_is_bounded(client, monkeypatch):
+    transport = FlakyTransport(failures=10)
+    attach(client, monkeypatch, transport)
+    with pytest.raises(ConnectionError):
+        client.request("GET", "/healthz", retries=IDEMPOTENT_RETRIES)
+    assert transport.attempts == 1 + IDEMPOTENT_RETRIES
+
+
+def test_default_is_single_shot(client, monkeypatch):
+    transport = FlakyTransport(failures=1)
+    attach(client, monkeypatch, transport)
+    with pytest.raises(ConnectionError):
+        client.request("POST", "/v1/solve", {"ceas": 32})
+    assert transport.attempts == 1
+
+
+def test_backoff_delays_double(client, monkeypatch):
+    delays = []
+    monkeypatch.setattr("repro.service.client.time.sleep", delays.append)
+    transport = FlakyTransport(failures=2)
+    attach(client, monkeypatch, transport)
+    client.request("GET", "/healthz", retries=IDEMPOTENT_RETRIES)
+    assert delays == [0.05, 0.1]
+
+
+def test_healthz_uses_the_retry_budget(client, monkeypatch):
+    transport = FlakyTransport(failures=2)
+    attach(client, monkeypatch, transport)
+    assert client.healthz() == {"status": "ok"}
+    assert transport.attempts == 3
