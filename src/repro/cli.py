@@ -114,6 +114,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="[serve] in-process background-job workers; "
                              "0 leaves jobs to external workers "
                              "(default 2)")
+    parser.add_argument("--admission-capacity", type=int, default=4,
+                        help="[serve] concurrent expensive requests "
+                             "(sweeps, experiment renders) before "
+                             "queueing/shedding with 429 (default 4)")
+    parser.add_argument("--admission-queue", type=int, default=8,
+                        help="[serve] expensive requests allowed to "
+                             "wait for a slot (default 8)")
+    parser.add_argument("--default-deadline-ms", type=float, default=None,
+                        help="[serve] deadline applied to requests that "
+                             "send no X-Request-Deadline-Ms header "
+                             "(default: none)")
+    parser.add_argument("--fault-profile", default=None,
+                        help="[serve] chaos mode: builtin fault-profile "
+                             "name or JSON profile path (also honours "
+                             "the REPRO_FAULT_PROFILE env var); see "
+                             "docs/RESILIENCE.md")
     return parser
 
 
@@ -140,6 +156,10 @@ def _serve(args: argparse.Namespace) -> int:
             cache_maxsize=args.cache_size,
             state_dir=args.state_dir,
             job_workers=args.job_workers,
+            admission_capacity=args.admission_capacity,
+            admission_queue=args.admission_queue,
+            default_deadline_ms=args.default_deadline_ms,
+            fault_profile=args.fault_profile,
         )
     except ValueError as error:
         print(error, file=sys.stderr)

@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..core import memo
 from ..core.scaling import BandwidthWallModel, ScalingSolution
 from ..core.techniques import NEUTRAL_EFFECT, TechniqueEffect
+from ..resilience.deadline import check_deadline
 
 __all__ = [
     "SweepEngine",
@@ -103,17 +104,27 @@ class GridPoint:
     effect: TechniqueEffect = NEUTRAL_EFFECT
 
 
+#: Grid points solved between cooperative deadline checks.  Single
+#: solves are ~10µs, so 32 points bounds overrun at well under a
+#: millisecond while keeping the check itself off the hot path.
+_DEADLINE_CHECK_STRIDE = 32
+
+
 def _solve_grid_chunk(
     model: BandwidthWallModel, chunk: Sequence[GridPoint]
 ) -> List[ScalingSolution]:
-    return [
-        model.supportable_cores(
-            point.total_ceas,
-            traffic_budget=point.traffic_budget,
-            effect=point.effect,
+    solutions: List[ScalingSolution] = []
+    for index, point in enumerate(chunk):
+        if index % _DEADLINE_CHECK_STRIDE == 0:
+            check_deadline("grid sweep")
+        solutions.append(
+            model.supportable_cores(
+                point.total_ceas,
+                traffic_budget=point.traffic_budget,
+                effect=point.effect,
+            )
         )
-        for point in chunk
-    ]
+    return solutions
 
 
 def sweep_grid(
@@ -361,6 +372,7 @@ class SweepEngine:
     ) -> List[ExperimentRun]:
         runs = []
         for key in keys:
+            check_deadline(f"experiment {key}")
             output = (_worker_report(key) if reports else _worker_run(key))
             run = ExperimentRun(
                 experiment_id=key,

@@ -41,10 +41,25 @@ class JobManager:
         lease_ttl: float = 30.0,
         poll_interval: float = 0.1,
         on_chunk: Optional[Callable[[float], None]] = None,
+        fault_injector: Optional[Any] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
-        self.store = JobStore(state_dir)
+        execute_chunk = None
+        if fault_injector is not None:
+            # Chaos mode: the store gets a skewable clock plus scripted
+            # method faults, and the chunk executor gets the
+            # ``worker.chunk`` fault point.  Lazy import keeps the jobs
+            # package free of a hard resilience dependency.
+            from ..resilience.faultinject import (
+                faulty_execute_chunk,
+                faulty_store,
+            )
+
+            self.store: Any = faulty_store(state_dir, fault_injector)
+            execute_chunk = faulty_execute_chunk(fault_injector)
+        else:
+            self.store = JobStore(state_dir)
         self.workers = workers
         self._stop = threading.Event()
         self._stopped = False
@@ -56,6 +71,7 @@ class JobManager:
                 lease_ttl=lease_ttl,
                 poll_interval=poll_interval,
                 on_chunk=on_chunk,
+                execute_chunk=execute_chunk,
             )
             for index in range(workers)
         ]

@@ -313,10 +313,26 @@ class JobStore:
         ``count_failure`` records one chunk failure and arms the
         ``not_before`` backoff gate ``delay`` seconds out.  Only the
         lease holder may release; anyone else is a no-op (False).
+
+        A cancel that landed while the worker held the lease (e.g.
+        during a SIGTERM drain's final checkpoint) is honoured here,
+        in the same transaction: ``lease`` refuses cancel-requested
+        jobs, so requeueing one would strand it QUEUED-but-unclaimable
+        forever — a zombie that resurrects in listings on next boot.
         """
         now = self._clock()
         with self._connection() as conn:
             conn.execute("BEGIN IMMEDIATE")
+            cursor = conn.execute(
+                "UPDATE jobs SET status = ?, error = ?, finished_at = ?,"
+                " lease_owner = NULL, lease_expires_at = NULL"
+                " WHERE id = ? AND status = ? AND lease_owner = ?"
+                " AND cancel_requested = 1",
+                (CANCELLED, "cancelled by request", now,
+                 job_id, RUNNING, owner),
+            )
+            if cursor.rowcount == 1:
+                return True
             cursor = conn.execute(
                 "UPDATE jobs SET status = ?, lease_owner = NULL,"
                 " lease_expires_at = NULL, not_before = ?,"

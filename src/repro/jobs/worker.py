@@ -39,6 +39,7 @@ import json
 import os
 import random
 import signal
+import sqlite3
 import sys
 import threading
 import time
@@ -119,13 +120,37 @@ class Worker:
         one-shot CLI workers.
         """
         while not stop.is_set():
-            job = self.store.lease(self.worker_id, lease_ttl=self.lease_ttl)
+            # Store faults (a locked sqlite file, a failing disk, an
+            # injected chaos profile) must cost this worker one poll
+            # interval, not its life: a dead thread shrinks the pool
+            # permanently, which turns a transient fault into an
+            # availability incident.
+            try:
+                job = self.store.lease(self.worker_id,
+                                       lease_ttl=self.lease_ttl)
+            except (sqlite3.Error, OSError):
+                if once:
+                    return
+                stop.wait(self.poll_interval)
+                continue
             if job is None:
                 if once:
                     return
                 stop.wait(self.poll_interval)
                 continue
-            self.execute_job(job, stop)
+            try:
+                self.execute_job(job, stop)
+            except (sqlite3.Error, OSError):
+                # Mid-job store fault: try to hand the lease back so
+                # the job requeues immediately; if even that fails,
+                # lease expiry reclaims it.
+                try:
+                    self.store.release(job.id, self.worker_id)
+                except (sqlite3.Error, OSError):
+                    pass
+                if once:
+                    return
+                stop.wait(self.poll_interval)
 
     def execute_job(self, job: JobRecord, stop: threading.Event) -> None:
         """Run one leased job to a boundary: finished, drained or failed."""
@@ -249,6 +274,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--once", action="store_true",
                         help="exit when no job is claimable instead of "
                              "polling forever")
+    parser.add_argument("--fault-profile", default=None,
+                        help="chaos mode: builtin fault-profile name or "
+                             "JSON profile path (also honours the "
+                             "REPRO_FAULT_PROFILE env var)")
     args = parser.parse_args(argv)
 
     stop = threading.Event()
@@ -259,14 +288,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, request_stop)
 
+    store = JobStore(args.state_dir)
+    execute_chunk = None
+    injector = None
+    if args.fault_profile:
+        from ..resilience.faultinject import FaultInjector, load_profile
+
+        injector = FaultInjector(load_profile(args.fault_profile))
+    else:
+        from ..resilience.faultinject import injector_from_env
+
+        injector = injector_from_env()
+    if injector is not None:
+        from ..resilience.faultinject import (
+            faulty_execute_chunk,
+            faulty_store,
+        )
+
+        store = faulty_store(args.state_dir, injector)
+        execute_chunk = faulty_execute_chunk(injector)
+
     worker = Worker(
-        JobStore(args.state_dir),
+        store,
         worker_id=args.worker_id,
         lease_ttl=args.lease_ttl,
         poll_interval=args.poll_interval,
+        execute_chunk=execute_chunk,
     )
     print(f"job worker {worker.worker_id} polling {args.state_dir}",
           flush=True)
+    if injector is not None:
+        print(f"FAULT INJECTION ACTIVE: profile "
+              f"{injector.profile.name!r} (seed {injector.profile.seed})",
+              flush=True)
     worker.run_forever(stop, once=args.once)
     print(f"job worker {worker.worker_id} stopped", flush=True)
     return 0

@@ -1,0 +1,97 @@
+"""Resilience primitives: deadlines, admission control, breakers, chaos.
+
+This package holds the pure-python state machines the service layer
+composes to saturate gracefully instead of collapsing — the serving
+analogue of the paper's bandwidth-wall argument that shared resources
+need explicit budgets:
+
+* :mod:`repro.resilience.deadline` — per-request budgets propagated in
+  a thread-local scope with cooperative cancellation checks;
+* :mod:`repro.resilience.admission` — bounded, cost-aware load
+  shedding for the expensive request tier;
+* :mod:`repro.resilience.breaker` — a closed/open/half-open circuit
+  breaker for the sqlite job store;
+* :mod:`repro.resilience.faultinject` — seeded, scenario-scripted
+  fault injection so every one of the above is testable
+  deterministically, without sockets or real failures.
+"""
+
+from .admission import (
+    CHEAP,
+    EXPENSIVE,
+    AdmissionController,
+    SaturatedError,
+)
+from .breaker import (
+    CLOSED,
+    HALF_OPEN,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    STATE_VALUES,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+from .deadline import (
+    DEADLINE_HEADER,
+    MAX_DEADLINE_MS,
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_from_ms,
+    deadline_scope,
+)
+from .faultinject import (
+    BUILTIN_PROFILES,
+    FAULT_PROFILE_ENV,
+    FaultInjector,
+    FaultProfile,
+    FaultRule,
+    FaultyJobStore,
+    FaultyResponseCache,
+    SimulatedCrash,
+    builtin_profile_names,
+    faulty_execute_chunk,
+    faulty_store,
+    injector_from_env,
+    load_profile,
+)
+
+__all__ = [
+    # deadline
+    "DEADLINE_HEADER",
+    "MAX_DEADLINE_MS",
+    "Deadline",
+    "DeadlineExceeded",
+    "deadline_from_ms",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+    # admission
+    "CHEAP",
+    "EXPENSIVE",
+    "AdmissionController",
+    "SaturatedError",
+    # breaker
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "STATE_VALUES",
+    "LEGAL_TRANSITIONS",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    # faultinject
+    "FAULT_PROFILE_ENV",
+    "SimulatedCrash",
+    "FaultRule",
+    "FaultProfile",
+    "FaultInjector",
+    "FaultyJobStore",
+    "FaultyResponseCache",
+    "BUILTIN_PROFILES",
+    "builtin_profile_names",
+    "load_profile",
+    "injector_from_env",
+    "faulty_store",
+    "faulty_execute_chunk",
+]

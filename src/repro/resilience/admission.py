@@ -1,0 +1,212 @@
+"""Admission control: bounded, cost-aware load shedding.
+
+The service's shared resource is its worker threads.  Without a
+bound, a burst of expensive requests (grid sweeps, simulation-backed
+experiment renders) occupies every thread and *cheap* traffic —
+health checks, single solves, job polling — queues behind multi-second
+work.  That is the serving-layer version of the paper's bandwidth
+wall: an unmanaged shared resource collapsing under load instead of
+saturating gracefully.
+
+:class:`AdmissionController` gives the expensive tier an explicit
+budget:
+
+* at most ``capacity`` expensive requests execute concurrently;
+* at most ``queue_limit`` more may wait, each for at most
+  ``queue_timeout`` seconds (clamped to the request's deadline);
+* everything beyond that is **shed immediately** with
+  :class:`SaturatedError`, which the HTTP layer maps to
+  429 + ``Retry-After``.
+
+Cheap requests are never queued or shed — they are only counted, so
+``/healthz`` stays sub-millisecond while the expensive tier is
+saturated.  The controller is pure python + ``threading.Condition``;
+unit tests drive it with plain threads and no sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from .deadline import Deadline
+
+__all__ = [
+    "CHEAP",
+    "EXPENSIVE",
+    "SaturatedError",
+    "AdmissionController",
+]
+
+#: Request cost classes.  Cheap: always admitted (healthz, metrics,
+#: single solves, job polling).  Expensive: budgeted (sweep grids,
+#: experiment renders).
+CHEAP = "cheap"
+EXPENSIVE = "expensive"
+
+
+class SaturatedError(Exception):
+    """The expensive tier is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(
+            f"expensive-request capacity saturated ({reason}); "
+            f"retry in {retry_after:.2f}s"
+        )
+        self.reason = reason
+        self.retry_after = max(0.0, retry_after)
+
+
+class AdmissionController:
+    """Bounded expensive-request slots with a short, bounded queue.
+
+    Parameters
+    ----------
+    capacity:
+        Expensive requests allowed to execute concurrently.
+    queue_limit:
+        Expensive requests allowed to wait for a slot; ``0`` sheds the
+        moment all slots are busy.
+    queue_timeout:
+        Longest a queued request waits before being shed (clamped
+        further by the request's own deadline).
+    retry_after:
+        Floor for the ``Retry-After`` hint; the controller scales it
+        by observed hold times and queue depth.
+    clock:
+        Injectable monotonic clock (used for hold-time accounting and
+        wait bookkeeping; the condition still waits in real time).
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 4,
+        queue_limit: int = 8,
+        queue_timeout: float = 0.5,
+        retry_after: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if queue_limit < 0:
+            raise ValueError(
+                f"queue_limit must be non-negative, got {queue_limit}"
+            )
+        if queue_timeout < 0:
+            raise ValueError(
+                f"queue_timeout must be non-negative, got {queue_timeout}"
+            )
+        self.capacity = capacity
+        self.queue_limit = queue_limit
+        self.queue_timeout = queue_timeout
+        self.retry_after_floor = max(0.0, retry_after)
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._cheap_active = 0
+        self._admitted = {CHEAP: 0, EXPENSIVE: 0}
+        self._shed: Dict[str, int] = {}
+        self._hold_ewma = 0.0  # seconds an expensive slot stays held
+
+    @contextmanager
+    def admit(self, cost: str = CHEAP,
+              deadline: Optional[Deadline] = None) -> Iterator[None]:
+        """Hold one admission for the duration of the ``with`` body.
+
+        Cheap admissions never block.  Expensive admissions take a
+        slot, wait bounded for one, or raise :class:`SaturatedError`.
+        """
+        if cost not in (CHEAP, EXPENSIVE):
+            raise ValueError(f"unknown cost class {cost!r}")
+        if cost == CHEAP:
+            with self._cond:
+                self._cheap_active += 1
+                self._admitted[CHEAP] += 1
+            try:
+                yield
+            finally:
+                with self._cond:
+                    self._cheap_active -= 1
+            return
+
+        self._acquire_expensive(deadline)
+        held_from = self._clock()
+        try:
+            yield
+        finally:
+            held = self._clock() - held_from
+            with self._cond:
+                self._active -= 1
+                # EWMA of slot hold time feeds the Retry-After hint.
+                self._hold_ewma = (held if self._hold_ewma == 0.0
+                                   else 0.8 * self._hold_ewma + 0.2 * held)
+                self._cond.notify()
+
+    # -- observability -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The /healthz view: occupancy, queue, shed tallies."""
+        with self._cond:
+            return {
+                "capacity": self.capacity,
+                "active": self._active,
+                "waiting": self._waiting,
+                "queue_limit": self.queue_limit,
+                "cheap_active": self._cheap_active,
+                "admitted": dict(self._admitted),
+                "shed": dict(self._shed),
+            }
+
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    def waiting(self) -> int:
+        with self._cond:
+            return self._waiting
+
+    def shed_total(self) -> int:
+        with self._cond:
+            return sum(self._shed.values())
+
+    # -- internals -----------------------------------------------------
+
+    def _acquire_expensive(self, deadline: Optional[Deadline]) -> None:
+        with self._cond:
+            if self._active < self.capacity:
+                self._active += 1
+                self._admitted[EXPENSIVE] += 1
+                return
+            if self._waiting >= self.queue_limit:
+                raise self._shed_locked("queue_full")
+            budget = self.queue_timeout
+            if deadline is not None:
+                budget = min(budget, deadline.remaining())
+            if budget <= 0:
+                raise self._shed_locked("queue_timeout")
+            self._waiting += 1
+            limit = self._clock() + budget
+            try:
+                while self._active >= self.capacity:
+                    remaining = limit - self._clock()
+                    if remaining <= 0:
+                        raise self._shed_locked("queue_timeout")
+                    self._cond.wait(remaining)
+                self._active += 1
+                self._admitted[EXPENSIVE] += 1
+            finally:
+                self._waiting -= 1
+
+    def _shed_locked(self, reason: str) -> SaturatedError:
+        self._shed[reason] = self._shed.get(reason, 0) + 1
+        # Hint: roughly how long until a slot should free up, given the
+        # observed hold time and everyone already in line.
+        depth = self._active + self._waiting
+        estimate = self._hold_ewma * max(1, depth) / self.capacity
+        return SaturatedError(
+            reason, max(self.retry_after_floor, estimate)
+        )

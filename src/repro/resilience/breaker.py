@@ -1,0 +1,255 @@
+"""Circuit breaker: fail fast when a dependency is down.
+
+The classic three-state machine, tuned for wrapping the sqlite job
+store:
+
+* **closed** — calls flow through; failures are recorded in a rolling
+  time window.  When the window accumulates ``failure_threshold``
+  failures the breaker *opens*.
+* **open** — every :meth:`CircuitBreaker.allow` raises
+  :class:`BreakerOpenError` immediately (callers translate that to a
+  503 with ``Retry-After``), so a dead store costs microseconds per
+  request instead of a blocked worker thread.  After
+  ``recovery_time`` seconds the next ``allow`` moves to half-open.
+* **half-open** — up to ``half_open_probes`` trial calls are let
+  through.  Any failure re-opens the breaker (fresh recovery clock);
+  ``half_open_probes`` successes close it and clear the window.
+
+Everything is pure python over an injectable monotonic clock, so the
+state machine is unit- and property-testable without sockets or
+sleeps.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "STATE_VALUES",
+    "LEGAL_TRANSITIONS",
+    "BreakerOpenError",
+    "CircuitBreaker",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for the ``resilience_breaker_state`` gauge.
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Every edge the machine may take; property tests assert no others.
+LEGAL_TRANSITIONS = frozenset([
+    (CLOSED, OPEN),
+    (OPEN, HALF_OPEN),
+    (HALF_OPEN, OPEN),
+    (HALF_OPEN, CLOSED),
+])
+
+
+class BreakerOpenError(Exception):
+    """The breaker refused the call; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, retry_after)
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker over a rolling window.
+
+    Parameters
+    ----------
+    name:
+        Dependency label used in error messages and snapshots.
+    failure_threshold:
+        Failures within ``window`` seconds that trip the breaker.
+    window:
+        Rolling failure-window length in seconds.
+    recovery_time:
+        Seconds the breaker stays open before probing.
+    half_open_probes:
+        Trial calls admitted half-open; the same count of consecutive
+        successes closes the breaker.
+    clock:
+        Injectable monotonic clock.
+    on_transition:
+        Optional ``(from_state, to_state)`` callback — the service
+        feeds its transition counter through this; property tests use
+        it to assert edge legality.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str = "dependency",
+        failure_threshold: int = 5,
+        window: float = 30.0,
+        recovery_time: float = 5.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError(
+                f"failure_threshold must be positive, got {failure_threshold}"
+            )
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if recovery_time <= 0:
+            raise ValueError(
+                f"recovery_time must be positive, got {recovery_time}"
+            )
+        if half_open_probes <= 0:
+            raise ValueError(
+                f"half_open_probes must be positive, got {half_open_probes}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.recovery_time = recovery_time
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures: Deque[float] = deque()
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._probe_successes = 0
+        self._open_total = 0
+
+    # -- gatekeeping ---------------------------------------------------
+
+    def allow(self) -> None:
+        """Admit one call or raise :class:`BreakerOpenError`.
+
+        Every admitted call must be resolved with
+        :meth:`record_success` or :meth:`record_failure` (use
+        :meth:`call` to get the pairing for free).
+        """
+        with self._lock:
+            self._advance_locked()
+            if self._state == OPEN:
+                raise BreakerOpenError(
+                    f"{self.name} circuit is open; "
+                    f"retry in {self._retry_after_locked():.2f}s",
+                    retry_after=self._retry_after_locked(),
+                )
+            if self._state == HALF_OPEN:
+                if self._probes_inflight >= self.half_open_probes:
+                    raise BreakerOpenError(
+                        f"{self.name} circuit is half-open and its "
+                        f"probe budget is in use",
+                        retry_after=self.recovery_time / 2,
+                    )
+                self._probes_inflight += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._transition_locked(CLOSED)
+            # Closed: successes don't clear recorded failures — only
+            # the window sliding does, so a slow trickle of failures
+            # under load still trips the breaker.
+
+    def record_failure(self) -> None:
+        with self._lock:
+            now = self._clock()
+            if self._state == HALF_OPEN:
+                self._transition_locked(OPEN)
+                return
+            if self._state == OPEN:
+                return
+            self._failures.append(now)
+            self._prune_locked(now)
+            if len(self._failures) >= self.failure_threshold:
+                self._transition_locked(OPEN)
+
+    def call(self, func: Callable[..., Any], *args: Any,
+             **kwargs: Any) -> Any:
+        """Run ``func`` under the breaker: allow → run → record."""
+        self.allow()
+        try:
+            result = func(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._advance_locked()
+            return self._state
+
+    def state_value(self) -> int:
+        """The gauge encoding: 0 closed, 1 half-open, 2 open."""
+        return STATE_VALUES[self.state]
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker starts probing (0 otherwise)."""
+        with self._lock:
+            self._advance_locked()
+            if self._state != OPEN:
+                return 0.0
+            return self._retry_after_locked()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The /healthz view of this breaker."""
+        with self._lock:
+            self._advance_locked()
+            now = self._clock()
+            self._prune_locked(now)
+            return {
+                "name": self.name,
+                "state": self._state,
+                "recent_failures": len(self._failures),
+                "failure_threshold": self.failure_threshold,
+                "opened_total": self._open_total,
+                "retry_after": (self._retry_after_locked()
+                                if self._state == OPEN else 0.0),
+            }
+
+    # -- internals (lock held) -----------------------------------------
+
+    def _advance_locked(self) -> None:
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.recovery_time:
+            self._transition_locked(HALF_OPEN)
+
+    def _transition_locked(self, to_state: str) -> None:
+        from_state = self._state
+        if from_state == to_state:
+            return
+        self._state = to_state
+        if to_state == OPEN:
+            self._opened_at = self._clock()
+            self._open_total += 1
+        if to_state in (HALF_OPEN, CLOSED):
+            self._probes_inflight = 0
+            self._probe_successes = 0
+        if to_state == CLOSED:
+            self._failures.clear()
+        if self._on_transition is not None:
+            self._on_transition(from_state, to_state)
+
+    def _prune_locked(self, now: float) -> None:
+        while self._failures and now - self._failures[0] > self.window:
+            self._failures.popleft()
+
+    def _retry_after_locked(self) -> float:
+        return max(0.0,
+                   self._opened_at + self.recovery_time - self._clock())

@@ -1,0 +1,150 @@
+"""Request deadlines: a budget that travels with the request thread.
+
+A :class:`Deadline` is an absolute expiry on an injectable monotonic
+clock.  The service parses one per request from the
+``X-Request-Deadline-Ms`` header, installs it in a thread-local scope
+(:func:`deadline_scope`) for the duration of the handler, and maps
+:class:`DeadlineExceeded` to a 504.  Deep compute loops — the sweep
+grid solver, the serial experiment runner — call
+:func:`check_deadline` at chunk boundaries, so an expired request
+stops consuming its worker thread at the next boundary instead of
+running to completion for a client that already gave up.
+
+The scope is thread-local on purpose: request handling is
+thread-per-request, and background job workers (which must never be
+cancelled by a request's deadline) simply run with no scope installed,
+making every check a no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "MAX_DEADLINE_MS",
+    "Deadline",
+    "DeadlineExceeded",
+    "deadline_from_ms",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+]
+
+#: HTTP request header carrying the client's remaining budget.
+DEADLINE_HEADER = "X-Request-Deadline-Ms"
+
+#: Largest accepted header value: anything above a day is a client bug.
+MAX_DEADLINE_MS = 86_400_000
+
+
+class DeadlineExceeded(Exception):
+    """The work outlived its deadline (caught at the service boundary)."""
+
+    def __init__(self, message: str, overrun: float = 0.0) -> None:
+        super().__init__(message)
+        self.overrun = overrun
+
+
+class Deadline:
+    """An absolute expiry with a remaining-time view.
+
+    Parameters
+    ----------
+    budget:
+        Seconds from now until expiry (non-negative).
+    clock:
+        Injectable monotonic clock; tests freeze it.
+    """
+
+    __slots__ = ("budget", "expires_at", "_clock")
+
+    def __init__(self, budget: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        self.budget = float(budget)
+        self._clock = clock
+        self.expires_at = clock() + self.budget
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` once the budget is spent."""
+        overrun = self._clock() - self.expires_at
+        if overrun >= 0:
+            where = f" during {context}" if context else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget * 1000:.0f}ms exceeded{where}",
+                overrun=overrun,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def deadline_from_ms(value: str,
+                     clock: Callable[[], float] = time.monotonic
+                     ) -> Deadline:
+    """Parse an ``X-Request-Deadline-Ms`` header value.
+
+    Raises ValueError with a client-quotable message on junk: the
+    header is an API surface, so ``-5``/``NaN``/``1e12`` are 400s, not
+    silently ignored budgets.
+    """
+    try:
+        ms = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{DEADLINE_HEADER} must be a number of milliseconds, "
+            f"got {value!r}"
+        ) from None
+    if not ms > 0 or ms != ms:
+        raise ValueError(
+            f"{DEADLINE_HEADER} must be positive, got {value!r}"
+        )
+    if ms > MAX_DEADLINE_MS:
+        raise ValueError(
+            f"{DEADLINE_HEADER} must be at most {MAX_DEADLINE_MS}, "
+            f"got {value!r}"
+        )
+    return Deadline(ms / 1000.0, clock=clock)
+
+
+_scope = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline installed on this thread, if any."""
+    return getattr(_scope, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[None]:
+    """Install ``deadline`` as this thread's current deadline.
+
+    ``None`` installs nothing (checks stay no-ops) but still restores
+    any outer scope on exit, so nesting is safe.
+    """
+    previous = current_deadline()
+    _scope.deadline = deadline
+    try:
+        yield
+    finally:
+        _scope.deadline = previous
+
+
+def check_deadline(context: str = "") -> None:
+    """Cooperative cancellation point: cheap no-op without a scope."""
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(context)

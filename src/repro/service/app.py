@@ -34,6 +34,7 @@ import json
 import re
 import shutil
 import signal
+import sqlite3
 import sys
 import tempfile
 import threading
@@ -54,15 +55,41 @@ from ..core.scenario import (
 )
 from ..jobs import JobManager, JobRecord
 from ..jobs.store import FAILED, STATUSES, SUCCEEDED
-from .cache import ResponseCache
+from ..resilience.admission import (
+    CHEAP,
+    EXPENSIVE,
+    AdmissionController,
+    SaturatedError,
+)
+from ..resilience.breaker import BreakerOpenError, CircuitBreaker
+from ..resilience.deadline import (
+    DEADLINE_HEADER,
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    deadline_from_ms,
+)
+from ..resilience.faultinject import (
+    FaultInjector,
+    FaultyResponseCache,
+    injector_from_env,
+    load_profile,
+)
+from .cache import FlightWaitTimeout, ResponseCache
 from ..core.solver import BracketError
 from .errors import (
     ApiError,
+    CircuitOpenError,
     ConflictError,
+    DeadlineExceededError,
     MethodNotAllowedError,
     NotFoundError,
     PayloadTooLargeError,
     ServiceDrainingError,
+    StoreUnavailableError,
+    TooManyRequestsError,
     UnsolvableError,
     ValidationError,
     FieldError,
@@ -112,6 +139,14 @@ class ServiceConfig:
     state_dir: Optional[str] = None
     job_workers: int = 2
     job_lease_ttl: float = 30.0
+    admission_capacity: int = 4
+    admission_queue: int = 8
+    admission_timeout: float = 0.5
+    breaker_threshold: int = 5
+    breaker_window: float = 30.0
+    breaker_recovery: float = 5.0
+    default_deadline_ms: Optional[float] = None
+    fault_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -124,6 +159,21 @@ class ServiceConfig:
             )
         if self.job_lease_ttl <= 0:
             raise ValueError("job_lease_ttl must be positive")
+        if self.admission_capacity <= 0:
+            raise ValueError("admission_capacity must be positive")
+        if self.admission_queue < 0:
+            raise ValueError("admission_queue must be non-negative")
+        if self.admission_timeout < 0:
+            raise ValueError("admission_timeout must be non-negative")
+        if self.breaker_threshold <= 0:
+            raise ValueError("breaker_threshold must be positive")
+        if self.breaker_window <= 0 or self.breaker_recovery <= 0:
+            raise ValueError(
+                "breaker_window and breaker_recovery must be positive"
+            )
+        if self.default_deadline_ms is not None \
+                and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
 
 
 @dataclass(frozen=True)
@@ -133,6 +183,15 @@ class Response:
     status: int
     body: bytes
     content_type: str = _JSON
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+
+#: Routes budgeted by admission control; everything else is cheap and
+#: always admitted (healthz, metrics, single solves, job polling).
+EXPENSIVE_ROUTES = frozenset([
+    ("POST", "/v1/sweep"),
+    ("GET", "/v1/experiments/{id}"),
+])
 
 
 class BandwidthWallService:
@@ -142,8 +201,27 @@ class BandwidthWallService:
         self.config = config
         self.started_monotonic = time.monotonic()
         self.draining = threading.Event()
-        self.response_cache = ResponseCache(
-            maxsize=config.cache_maxsize, ttl=config.cache_ttl
+        self.fault_injector = self._build_injector(config)
+        if self.fault_injector is not None:
+            self.response_cache = FaultyResponseCache(
+                self.fault_injector,
+                maxsize=config.cache_maxsize, ttl=config.cache_ttl,
+            )
+        else:
+            self.response_cache = ResponseCache(
+                maxsize=config.cache_maxsize, ttl=config.cache_ttl
+            )
+        self.admission = AdmissionController(
+            capacity=config.admission_capacity,
+            queue_limit=config.admission_queue,
+            queue_timeout=config.admission_timeout,
+        )
+        self.store_breaker = CircuitBreaker(
+            name="job-store",
+            failure_threshold=config.breaker_threshold,
+            window=config.breaker_window,
+            recovery_time=config.breaker_recovery,
+            on_transition=self._on_breaker_transition,
         )
         self._init_metrics()
         self._owns_state_dir = config.state_dir is None
@@ -156,6 +234,7 @@ class BandwidthWallService:
             on_chunk=lambda seconds: self.jobs_chunk_latency.observe(
                 seconds
             ),
+            fault_injector=self.fault_injector,
         )
         self.job_manager.start()
         # (method, compiled path pattern, handler, route label)
@@ -181,6 +260,22 @@ class BandwidthWallService:
             ("DELETE", re.compile(r"^/v1/jobs/(?P<jid>[^/]+)$"),
              self._handle_job_cancel, "/v1/jobs/{id}"),
         ]
+
+    @staticmethod
+    def _build_injector(config: ServiceConfig) -> Optional[FaultInjector]:
+        if config.fault_profile:
+            return FaultInjector(load_profile(config.fault_profile))
+        return injector_from_env()
+
+    def _on_breaker_transition(self, from_state: str,
+                               to_state: str) -> None:
+        # Fires from inside the breaker lock; the counter is lock-free
+        # enough (its own lock) that this cannot deadlock.
+        self.breaker_transitions.inc(**{
+            "dependency": "job-store",
+            "from": from_state,
+            "to": to_state,
+        })
 
     def _init_metrics(self) -> None:
         registry = MetricsRegistry()
@@ -260,6 +355,46 @@ class BandwidthWallService:
             "Fraction of solve lookups served from the memo.",
             callback=lambda: memo.stats_snapshot().hit_rate,
         )
+        # Resilience.  Shed/deadline counters are bumped on the request
+        # path; breaker state is a live per-dependency gauge.
+        self.shed_total = registry.counter(
+            "resilience_shed_total",
+            "Requests shed by admission control, by reason.",
+            ("reason",),
+        )
+        self.deadline_exceeded_total = registry.counter(
+            "request_deadline_exceeded_total",
+            "Requests that outlived their deadline, by route.",
+            ("route",),
+        )
+        self.breaker_transitions = registry.counter(
+            "resilience_breaker_transitions_total",
+            "Circuit-breaker state transitions, by dependency and edge.",
+            ("dependency", "from", "to"),
+        )
+        breaker_state = registry.gauge(
+            "resilience_breaker_state",
+            "Breaker state per dependency: 0 closed, 1 half-open, 2 open.",
+            ("dependency",),
+        )
+        breaker_state.set_callback(
+            self.store_breaker.state_value, dependency="job-store"
+        )
+        registry.gauge(
+            "resilience_breaker_opened_total",
+            "Times the job-store breaker has tripped open.",
+            callback=lambda: self.store_breaker.snapshot()["opened_total"],
+        )
+        registry.gauge(
+            "resilience_admission_active",
+            "Expensive requests currently holding an admission slot.",
+            callback=self.admission.active,
+        )
+        registry.gauge(
+            "resilience_admission_waiting",
+            "Expensive requests currently queued for admission.",
+            callback=self.admission.waiting,
+        )
         # Job subsystem.  Backlog/liveness gauges read the durable
         # store at scrape time, so external workers pointed at the same
         # state dir are reflected too.
@@ -272,35 +407,51 @@ class BandwidthWallService:
             "jobs_chunk_duration_seconds",
             "Wall seconds per executed job chunk (in-process workers).",
         )
+        # A faulty or injected store must not take the whole scrape
+        # page down with it: broken callbacks render NaN, not a 500.
+        def store_gauge(read: Callable[[], float]) -> Callable[[], float]:
+            def safe() -> float:
+                try:
+                    return float(read())
+                except Exception:  # noqa: BLE001 - scrape must survive
+                    return float("nan")
+            return safe
+
         registry.gauge(
             "jobs_queue_depth",
             "Claimable jobs: queued plus expired-lease running.",
-            callback=lambda: self.job_manager.store.queue_depth(),
+            callback=store_gauge(
+                lambda: self.job_manager.store.queue_depth()),
         )
         registry.gauge(
             "jobs_running",
             "Jobs currently executing under a live lease.",
-            callback=lambda: self.job_manager.store.running_count(),
+            callback=store_gauge(
+                lambda: self.job_manager.store.running_count()),
         )
         registry.gauge(
             "jobs_retries_total",
             "Chunk-failure retries recorded across all jobs.",
-            callback=lambda: self.job_manager.store.retries_total(),
+            callback=store_gauge(
+                lambda: self.job_manager.store.retries_total()),
         )
         registry.gauge(
             "jobs_succeeded_total",
             "Jobs that finished with a complete artifact.",
-            callback=lambda: self.job_manager.store.counts()["succeeded"],
+            callback=store_gauge(
+                lambda: self.job_manager.store.counts()["succeeded"]),
         )
         registry.gauge(
             "jobs_failed_total",
             "Jobs that exhausted their retry budget.",
-            callback=lambda: self.job_manager.store.counts()["failed"],
+            callback=store_gauge(
+                lambda: self.job_manager.store.counts()["failed"]),
         )
         registry.gauge(
             "jobs_cancelled_total",
             "Jobs cancelled before completing.",
-            callback=lambda: self.job_manager.store.counts()["cancelled"],
+            callback=store_gauge(
+                lambda: self.job_manager.store.counts()["cancelled"]),
         )
         registry.gauge(
             "jobs_workers_alive",
@@ -310,9 +461,15 @@ class BandwidthWallService:
 
     # -- dispatch ------------------------------------------------------
 
-    def dispatch(self, method: str, target: str,
-                 body: bytes) -> Response:
-        """Route one request, instrumenting latency/counters/in-flight."""
+    def dispatch(self, method: str, target: str, body: bytes,
+                 headers: Optional[Any] = None) -> Response:
+        """Route one request, instrumenting latency/counters/in-flight.
+
+        ``headers`` is any mapping with ``.get`` (the stdlib handler's
+        message object or a plain dict); only ``X-Request-Deadline-Ms``
+        is consulted.  The request runs inside a thread-local deadline
+        scope and, for expensive routes, under admission control.
+        """
         split = urlsplit(target)
         path = split.path
         query = parse_qs(split.query)
@@ -322,11 +479,33 @@ class BandwidthWallService:
         response: Optional[Response] = None
         try:
             try:
+                deadline = self._request_deadline(headers)
                 route = self._match(method, path)
                 if route is None:
                     raise self._unknown_route(method, path)
                 pattern_match, handler, route_label = route
-                response = handler(pattern_match, query, body)
+                cost = (EXPENSIVE if (method, route_label) in
+                        EXPENSIVE_ROUTES else CHEAP)
+                with deadline_scope(deadline):
+                    try:
+                        with self.admission.admit(cost, deadline=deadline):
+                            check_deadline("admission")
+                            response = handler(pattern_match, query, body)
+                    except SaturatedError as error:
+                        self.shed_total.inc(reason=error.reason)
+                        raise TooManyRequestsError(
+                            str(error), {"reason": error.reason},
+                            retry_after=error.retry_after,
+                        ) from None
+            except (DeadlineExceeded, FlightWaitTimeout) as error:
+                self.deadline_exceeded_total.inc(route=route_label)
+                response = self._error_response(
+                    DeadlineExceededError(str(error))
+                )
+            except BreakerOpenError as error:
+                response = self._error_response(CircuitOpenError(
+                    str(error), retry_after=error.retry_after
+                ))
             except ApiError as error:
                 response = self._error_response(error)
             except Exception as error:  # noqa: BLE001 - service boundary
@@ -342,6 +521,36 @@ class BandwidthWallService:
                 route=route_label, method=method, status=status
             )
             self.request_latency.observe(elapsed, route=route_label)
+
+    def route_cost(self, method: str, path: str) -> str:
+        """Cost class for a path — the transport uses this to let cheap
+        requests bypass the worker-slot semaphore entirely."""
+        for route_method, pattern, _, label in self._routes:
+            if route_method == method and pattern.match(path):
+                return (EXPENSIVE if (method, label) in EXPENSIVE_ROUTES
+                        else CHEAP)
+        return CHEAP
+
+    def _request_deadline(self,
+                          headers: Optional[Any]) -> Optional[Deadline]:
+        value = None
+        if headers is not None:
+            value = headers.get(DEADLINE_HEADER)
+            if value is None and hasattr(headers, "keys"):
+                # Plain dicts are case-sensitive; accept the lowercase
+                # spelling tests and proxies tend to produce.
+                value = headers.get(DEADLINE_HEADER.lower())
+        if value is None:
+            if self.config.default_deadline_ms is not None:
+                return Deadline(self.config.default_deadline_ms / 1000.0)
+            return None
+        try:
+            return deadline_from_ms(value)
+        except ValueError as error:
+            raise ValidationError(
+                [FieldError(DEADLINE_HEADER, str(error))],
+                "invalid deadline header",
+            ) from None
 
     def _match(self, method: str, path: str):
         allowed: List[str] = []
@@ -370,23 +579,43 @@ class BandwidthWallService:
 
     def _handle_healthz(self, match, query, body) -> Response:
         draining = self.draining.is_set()
+        # A broken store must not take liveness down with it — the
+        # whole point of /healthz is answering while things burn.
+        try:
+            jobs: Dict[str, Any] = self.job_manager.stats()
+        except Exception as error:  # noqa: BLE001 - liveness survives
+            jobs = {"error": f"{type(error).__name__}: {error}"}
+        resilience: Dict[str, Any] = {
+            "admission": self.admission.snapshot(),
+            "breakers": [self.store_breaker.snapshot()],
+        }
+        if self.fault_injector is not None:
+            resilience["fault_injection"] = self.fault_injector.stats()
         payload = {
             "status": "draining" if draining else "ok",
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "experiments": len(self._experiment_ids()),
-            "jobs": self.job_manager.stats(),
+            "jobs": jobs,
+            "resilience": resilience,
         }
         return self._json_response(payload, status=503 if draining else 200)
 
     def _handle_metrics(self, match, query, body) -> Response:
         return Response(200, self.metrics.render().encode("utf-8"), _PROM)
 
+    @staticmethod
+    def _flight_wait() -> Optional[float]:
+        """Cap a coalesced wait at the request's remaining deadline."""
+        deadline = current_deadline()
+        return deadline.remaining() if deadline is not None else None
+
     def _handle_solve(self, match, query, body) -> Response:
         request = validate_solve_request(self._parse_json(body))
         key = ("solve", request)
         try:
             payload, _ = self.response_cache.get_or_compute(
-                key, lambda: scenario_payload(solve_scenario(request))
+                key, lambda: scenario_payload(solve_scenario(request)),
+                wait_timeout=self._flight_wait(),
             )
         except (BracketError, ValueError) as error:
             raise UnsolvableError(str(error)) from None
@@ -397,7 +626,8 @@ class BandwidthWallService:
         key = ("sweep", request)
         try:
             payload, _ = self.response_cache.get_or_compute(
-                key, lambda: self._compute_sweep(request)
+                key, lambda: self._compute_sweep(request),
+                wait_timeout=self._flight_wait(),
             )
         except (BracketError, ValueError) as error:
             raise UnsolvableError(str(error)) from None
@@ -472,10 +702,28 @@ class BandwidthWallService:
         payload, _ = self.response_cache.get_or_compute(
             ("experiment", key, include_report),
             lambda: experiment_payload(key, include_report=include_report),
+            wait_timeout=self._flight_wait(),
         )
         return self._json_response(payload)
 
     # -- job handlers --------------------------------------------------
+
+    def _store_call(self, func: Callable, *args: Any,
+                    **kwargs: Any) -> Any:
+        """Run a job-store-backed call under the circuit breaker.
+
+        Breaker-open refusals surface as 503 ``circuit_open`` (handled
+        in dispatch); store faults count against the breaker window and
+        surface as 503 ``store_unavailable``.
+        """
+        try:
+            return self.store_breaker.call(func, *args, **kwargs)
+        except BreakerOpenError:
+            raise
+        except (sqlite3.Error, OSError) as error:
+            raise StoreUnavailableError(
+                f"job store unavailable: {error}"
+            ) from None
 
     def _handle_job_submit(self, match, query, body) -> Response:
         if self.draining.is_set():
@@ -483,8 +731,9 @@ class BandwidthWallService:
                 "service is draining; job submissions are not accepted"
             )
         request = validate_job_request(self._parse_json(body))
-        record = self.job_manager.submit(
-            request.spec, max_attempts=request.max_attempts
+        record = self._store_call(
+            self.job_manager.submit,
+            request.spec, max_attempts=request.max_attempts,
         )
         self.jobs_submitted.inc(kind=record.kind)
         return self._json_response(self._job_payload(record), status=202)
@@ -499,7 +748,8 @@ class BandwidthWallService:
                     "status",
                     f"must be one of {sorted(STATUSES)}, got {status!r}",
                 )])
-        records = self.job_manager.list_jobs(status=status)
+        records = self._store_call(self.job_manager.list_jobs,
+                                   status=status)
         return self._json_response({
             "count": len(records),
             "jobs": [self._job_payload(record, include_result=False)
@@ -518,14 +768,14 @@ class BandwidthWallService:
                 f"only queued or running jobs can be cancelled",
                 {"status": record.status},
             )
-        record = self.job_manager.cancel(record.id)
+        record = self._store_call(self.job_manager.cancel, record.id)
         return self._json_response(
             self._job_payload(record, include_result=False)
         )
 
     def _job_record(self, match) -> JobRecord:
         job_id = unquote(match.group("jid"))
-        record = self.job_manager.get(job_id)
+        record = self._store_call(self.job_manager.get, job_id)
         if record is None:
             raise NotFoundError(f"unknown job {job_id!r}")
         return record
@@ -593,7 +843,13 @@ class BandwidthWallService:
         return Response(status, text.encode("utf-8"), _JSON)
 
     def _error_response(self, error: ApiError) -> Response:
-        return self._json_response(error.payload(), status=error.status)
+        response = self._json_response(error.payload(),
+                                       status=error.status)
+        if error.retry_after is not None:
+            response = dataclasses.replace(response, headers=(
+                ("Retry-After", str(max(1, int(error.retry_after + 0.5)))),
+            ))
+        return response
 
     # -- lifecycle -----------------------------------------------------
 
@@ -653,8 +909,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except ApiError as error:
             self._send(service._error_response(error))
             return
-        with self.server.worker_slots:
-            response = service.dispatch(method, self.path, body)
+        # Cheap routes bypass the worker semaphore: /healthz and job
+        # polling must answer fast even when every slot is occupied by
+        # multi-second sweeps (that's what admission control bounds).
+        if service.route_cost(method, urlsplit(self.path).path) == CHEAP:
+            response = service.dispatch(method, self.path, body,
+                                        self.headers)
+        else:
+            with self.server.worker_slots:
+                response = service.dispatch(method, self.path, body,
+                                            self.headers)
         self._send(response)
 
     def _read_body(self) -> bytes:
@@ -671,6 +935,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.send_response(response.status)
             self.send_header("Content-Type", response.content_type)
             self.send_header("Content-Length", str(len(response.body)))
+            for name, value in response.headers:
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(response.body)
         except (BrokenPipeError, ConnectionResetError):
@@ -793,6 +1059,11 @@ def serve(config: ServiceConfig = ServiceConfig()) -> int:
           f"{config.job_workers} job workers, "
           f"state dir {running.service.state_dir})",
           flush=True)
+    injector = running.service.fault_injector
+    if injector is not None:
+        print(f"FAULT INJECTION ACTIVE: profile "
+              f"{injector.profile.name!r} (seed {injector.profile.seed})",
+              flush=True)
     try:
         stop.wait()
     finally:

@@ -21,7 +21,17 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Tuple
 
-__all__ = ["ResponseCacheStats", "ResponseCache"]
+__all__ = ["ResponseCacheStats", "ResponseCache", "FlightWaitTimeout"]
+
+
+class FlightWaitTimeout(Exception):
+    """A coalesced waiter outlived its ``wait_timeout``.
+
+    Raised instead of blocking forever behind a leader whose compute
+    stalls; the leader's flight (and any eventual result) is
+    unaffected.  Defined here so deadline-aware callers don't force a
+    dependency from the cache onto the resilience package.
+    """
 
 #: ``get_or_compute`` outcome labels, in metric-friendly spelling.
 HIT, MISS, COALESCED = "hit", "miss", "coalesced"
@@ -95,12 +105,17 @@ class ResponseCache:
         self._expirations = 0
 
     def get_or_compute(self, key: Hashable,
-                       compute: Callable[[], Any]) -> Tuple[Any, str]:
+                       compute: Callable[[], Any],
+                       wait_timeout: float = None) -> Tuple[Any, str]:
         """Return ``(value, outcome)`` where outcome is hit/miss/coalesced.
 
         Exactly one caller per key runs ``compute`` at a time; the rest
         wait on its flight.  ``compute`` runs outside the cache lock, so
         distinct keys never serialise each other.
+
+        ``wait_timeout`` bounds how long a coalesced waiter blocks on
+        the leader's flight; on expiry :class:`FlightWaitTimeout` is
+        raised (the leader keeps computing).  ``None`` waits forever.
         """
         while True:
             with self._lock:
@@ -118,7 +133,11 @@ class ResponseCache:
                     self._coalesced += 1
             if leader:
                 break
-            flight.done.wait()
+            if not flight.done.wait(wait_timeout):
+                raise FlightWaitTimeout(
+                    f"gave up waiting {wait_timeout:.3f}s for the "
+                    f"in-flight computation of {key!r}"
+                )
             if flight.error is not None:
                 raise flight.error
             return flight.value, COALESCED

@@ -50,13 +50,33 @@ class ServiceError(Exception):
 
 
 class ServiceClient:
-    """Typed access to every service endpoint."""
+    """Typed access to every service endpoint.
+
+    ``retry_budget`` caps the *total* wall time one logical request may
+    spend across retries and backoff sleeps (default: ``timeout``), so
+    a retrying GET can never outlive the deadline its caller planned
+    for.  ``deadline_ms`` (optional) is sent as the service's
+    ``X-Request-Deadline-Ms`` header on every request, propagating the
+    client's patience to the server's cooperative-cancellation checks.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8100,
-                 *, timeout: float = 30.0) -> None:
+                 *, timeout: float = 30.0,
+                 retry_budget: Optional[float] = None,
+                 deadline_ms: Optional[float] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_budget = timeout if retry_budget is None else retry_budget
+        if self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be non-negative, got {retry_budget}"
+            )
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        self.deadline_ms = deadline_ms
 
     # -- transport -----------------------------------------------------
 
@@ -66,18 +86,26 @@ class ServiceClient:
         """One HTTP exchange; returns ``(status, raw body bytes)``.
 
         ``retries`` allows that many extra attempts after a connection
-        error (refused, reset, unreachable), with exponential backoff.
-        Only pass it for idempotent requests — the default of 0 keeps
+        error (refused, reset, unreachable), with exponential backoff —
+        bounded jointly by the attempt count and ``retry_budget``:
+        a retry whose backoff sleep would overrun the budget is not
+        taken, and the connection error propagates instead.  Only pass
+        ``retries`` for idempotent requests — the default of 0 keeps
         POST/DELETE single-shot.
         """
         attempt = 0
+        started = time.monotonic()
         while True:
             try:
                 return self._request_once(method, path, body)
             except (ConnectionError, socket.error):
                 if attempt >= retries:
                     raise
-                time.sleep(_RETRY_BACKOFF * (2 ** attempt))
+                delay = _RETRY_BACKOFF * (2 ** attempt)
+                elapsed = time.monotonic() - started
+                if elapsed + delay > self.retry_budget:
+                    raise
+                time.sleep(delay)
                 attempt += 1
 
     def _request_once(self, method: str, path: str,
@@ -91,6 +119,9 @@ class ServiceClient:
             if body is not None:
                 encoded = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
+            if self.deadline_ms is not None:
+                headers["X-Request-Deadline-Ms"] = \
+                    f"{self.deadline_ms:g}"
             connection.request(method, path, body=encoded, headers=headers)
             response = connection.getresponse()
             return response.status, response.read()

@@ -25,20 +25,31 @@ __all__ = [
     "PayloadTooLargeError",
     "ConflictError",
     "ServiceDrainingError",
+    "TooManyRequestsError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "StoreUnavailableError",
 ]
 
 
 class ApiError(Exception):
-    """Base class: an HTTP status plus a structured JSON body."""
+    """Base class: an HTTP status plus a structured JSON body.
+
+    ``retry_after`` (seconds, optional) is rendered as an HTTP
+    ``Retry-After`` header by the transport so shed and breaker-open
+    responses tell clients when to come back.
+    """
 
     status = 500
     code = "internal_error"
 
     def __init__(self, message: str,
-                 detail: Optional[Dict[str, Any]] = None) -> None:
+                 detail: Optional[Dict[str, Any]] = None,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.message = message
         self.detail = detail or {}
+        self.retry_after = retry_after
 
     def payload(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {"code": self.code, "message": self.message}
@@ -126,3 +137,35 @@ class ServiceDrainingError(ApiError):
 
     status = 503
     code = "draining"
+
+
+class TooManyRequestsError(ApiError):
+    """429 — admission control shed the request; honour ``Retry-After``."""
+
+    status = 429
+    code = "saturated"
+
+
+class DeadlineExceededError(ApiError):
+    """504 — the request's ``X-Request-Deadline-Ms`` budget expired.
+
+    The work was cancelled cooperatively at the next check point; the
+    client already stopped waiting, so nothing useful was lost.
+    """
+
+    status = 504
+    code = "deadline_exceeded"
+
+
+class CircuitOpenError(ApiError):
+    """503 — a dependency's circuit breaker is open; failing fast."""
+
+    status = 503
+    code = "circuit_open"
+
+
+class StoreUnavailableError(ApiError):
+    """503 — the job store errored and the call could not complete."""
+
+    status = 503
+    code = "store_unavailable"

@@ -99,37 +99,107 @@ class Counter:
 
 
 class Gauge:
-    """A settable value, or a live callback evaluated at scrape time."""
+    """A settable value, or a live callback evaluated at scrape time.
+
+    Optionally labelled: with ``label_names`` each label set carries
+    its own value or callback (``set_callback``), and only label sets
+    that have been touched are rendered.  Unlabelled gauges keep the
+    original contract of always rendering exactly one sample
+    (default ``0``).
+    """
 
     kind = "gauge"
 
     def __init__(self, name: str, help_text: str,
+                 label_names: Sequence[str] = (),
                  callback: Callable[[], float] = None) -> None:
         self.name = name
         self.help_text = help_text
+        self.label_names = tuple(label_names)
+        if callback is not None and self.label_names:
+            raise ValueError(
+                f"{name}: a labelled gauge takes per-label callbacks "
+                f"via set_callback(), not a constructor callback"
+            )
         self._callback = callback
         self._lock = threading.Lock()
         self._value = 0.0
+        self._values: Dict[LabelValues, float] = {}
+        self._callbacks: Dict[LabelValues, Callable[[], float]] = {}
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
         with self._lock:
-            self._value = float(value)
+            if key is None:
+                self._value = float(value)
+            else:
+                self._values[key] = float(value)
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
         with self._lock:
-            self._value += amount
+            if key is None:
+                self._value += amount
+            else:
+                self._values[key] = self._values.get(key, 0.0) + amount
 
-    def dec(self, amount: float = 1.0) -> None:
-        self.inc(-amount)
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
 
-    def value(self) -> float:
-        if self._callback is not None:
-            return float(self._callback())
+    def set_callback(self, callback: Callable[[], float],
+                     **labels: str) -> None:
+        """Bind a scrape-time callback for one label set."""
+        key = self._key(labels)
         with self._lock:
-            return self._value
+            if key is None:
+                self._callback = callback
+            else:
+                self._callbacks[key] = callback
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        if key is None:
+            if self._callback is not None:
+                return float(self._callback())
+            with self._lock:
+                return self._value
+        with self._lock:
+            callback = self._callbacks.get(key)
+            if callback is None:
+                return self._values.get(key, 0.0)
+        return float(callback())
+
+    def _key(self, labels: Dict[str, str]):
+        if not self.label_names:
+            if labels:
+                raise ValueError(
+                    f"{self.name} takes no labels, got {sorted(labels)}"
+                )
+            return None
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
 
     def samples(self) -> List[str]:
-        return [f"{self.name} {_format_value(self.value())}"]
+        if not self.label_names:
+            return [f"{self.name} {_format_value(self.value())}"]
+        with self._lock:
+            keys = sorted(set(self._values) | set(self._callbacks))
+            callbacks = dict(self._callbacks)
+            values = dict(self._values)
+        lines: List[str] = []
+        for key in keys:
+            callback = callbacks.get(key)
+            value = (float(callback()) if callback is not None
+                     else values.get(key, 0.0))
+            lines.append(
+                f"{self.name}{_format_labels(self.label_names, key)}"
+                f" {_format_value(value)}"
+            )
+        return lines
 
 
 class Histogram:
@@ -245,8 +315,9 @@ class MetricsRegistry:
         return self.register(Counter(name, help_text, label_names))
 
     def gauge(self, name: str, help_text: str,
+              label_names: Sequence[str] = (),
               callback: Callable[[], float] = None) -> Gauge:
-        return self.register(Gauge(name, help_text, callback))
+        return self.register(Gauge(name, help_text, label_names, callback))
 
     def histogram(self, name: str, help_text: str,
                   label_names: Sequence[str] = (),

@@ -15,9 +15,16 @@ then asserts the full serving contract:
 5. a background job (``POST /v1/jobs``) runs to completion with the
    right artifact, and a second, longer job cancels mid-run;
 6. ``/metrics`` exposes request counters, latency histograms, both
-   cache hit-rate families and the ``jobs_*`` families, and
-   ``/healthz`` reports job-queue health and worker liveness;
-7. SIGTERM drains and exits cleanly (code 0).
+   cache hit-rate families, the ``jobs_*`` families AND the
+   ``resilience_*`` families, and ``/healthz`` reports job-queue
+   health, worker liveness and the resilience block;
+7. a request past its ``X-Request-Deadline-Ms`` budget gets a 504;
+8. SIGTERM drains and exits cleanly (code 0).
+
+Run with ``--fault-profile NAME`` (e.g. ``breaker-trip``) the smoke
+instead boots the service under that seeded fault-injection profile
+and asserts graceful degradation: the jobs API fails fast through the
+circuit breaker while solve/healthz/metrics stay up.
 
 CI runs this on every supported Python; it is the "is the service
 actually servable" gate that unit tests cannot give.
@@ -25,11 +32,13 @@ actually servable" gate that unit tests cannot give.
 
 from __future__ import annotations
 
+import argparse
 import re
 import signal
 import socket
 import subprocess
 import sys
+import time
 
 from .client import ServiceClient, ServiceError
 
@@ -48,7 +57,20 @@ def _check(condition: bool, label: str) -> None:
     print(f"  ok: {label}")
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fault-profile", default=None,
+        help="run the degradation smoke under this seeded fault "
+             "profile instead of the standard contract smoke",
+    )
+    args = parser.parse_args(argv)
+    if args.fault_profile:
+        return fault_main(args.fault_profile)
+    return contract_main()
+
+
+def contract_main() -> int:
     port = _free_port()
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve",
@@ -138,6 +160,9 @@ def main() -> int:
             "jobs_succeeded_total",
             "jobs_cancelled_total",
             "jobs_chunk_duration_seconds",
+            'resilience_breaker_state{dependency="job-store"} 0',
+            "resilience_admission_active",
+            "resilience_admission_waiting",
         ):
             _check(needle in metrics, f"metrics expose {needle.split('{')[0]}")
         match = re.search(
@@ -145,6 +170,27 @@ def main() -> int:
             r'status="200"\} (\d+)', metrics)
         _check(match is not None and int(match.group(1)) >= 1,
                "solve request was counted")
+
+        resilience = health.get("resilience", {})
+        _check(resilience.get("admission", {}).get("capacity", 0) >= 1,
+               "/healthz reports the admission snapshot")
+        _check(resilience.get("breakers", [{}])[0].get("state")
+               == "closed",
+               "/healthz reports the job-store breaker closed")
+
+        impatient = ServiceClient("127.0.0.1", port, timeout=30.0,
+                                  deadline_ms=0.001)
+        try:
+            impatient.sweep(ceas=[16.0, 32.0], budgets=[1.0, 2.0])
+        except ServiceError as error:
+            _check(error.status == 504
+                   and error.code == "deadline_exceeded",
+                   "a 1µs deadline on /v1/sweep yields a 504")
+        else:
+            raise AssertionError("expired deadline was not enforced")
+        metrics = client.metrics_text()
+        _check('request_deadline_exceeded_total{route="/v1/sweep"}'
+               in metrics, "deadline overruns are counted per route")
 
         process.send_signal(signal.SIGTERM)
         returncode = process.wait(timeout=30)
@@ -157,6 +203,97 @@ def main() -> int:
         print(output or "<empty>")
         raise
     print("service smoke: all checks passed")
+    return 0
+
+
+def fault_main(profile: str) -> int:
+    """Degradation smoke: boot under a fault profile, assert the blast
+    radius stays contained to the faulted dependency."""
+    print(f"service smoke: fault profile {profile!r}")
+    port = _free_port()
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--workers", "4",
+         "--fault-profile", profile],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    client = ServiceClient("127.0.0.1", port, timeout=30.0)
+    try:
+        health = client.wait_until_ready(timeout=30.0)
+        _check(health["status"] == "ok",
+               "/healthz answers ok despite active faults")
+        _check(health.get("resilience", {})
+               .get("fault_injection", {}).get("profile") == profile,
+               "/healthz names the active fault profile")
+
+        solved = client.solve()
+        _check(solved["solution"]["cores"] == 11,
+               "/v1/solve is unaffected by store faults")
+
+        # Hammer the store-backed jobs listing until the breaker trips:
+        # every response must be a structured 503, first from the store
+        # fault itself, then — fail-fast — from the open breaker.
+        codes = []
+        for _ in range(20):
+            try:
+                client.jobs()
+            except ServiceError as error:
+                _check(error.status == 503
+                       and error.code in ("store_unavailable",
+                                          "circuit_open"),
+                       f"jobs API degrades to structured 503 "
+                       f"({error.code})")
+                codes.append(error.code)
+                if error.code == "circuit_open":
+                    break
+            else:
+                raise AssertionError(
+                    "store fault profile did not fault the jobs API")
+        _check("store_unavailable" in codes and "circuit_open" in codes,
+               "breaker trips open after repeated store faults")
+
+        started = time.monotonic()
+        try:
+            client.jobs()
+        except ServiceError as error:
+            _check(error.code == "circuit_open",
+                   "open breaker keeps failing fast")
+        else:
+            raise AssertionError("open breaker admitted a request")
+        elapsed = time.monotonic() - started
+        _check(elapsed < 1.0,
+               f"breaker-open rejection is fast ({elapsed * 1000:.0f}ms)")
+
+        metrics = client.metrics_text()
+        for needle in (
+            'resilience_breaker_state{dependency="job-store"} 2',
+            'resilience_breaker_transitions_total'
+            '{dependency="job-store",from="closed",to="open"}',
+            "resilience_breaker_opened_total 1",
+        ):
+            _check(needle in metrics,
+                   f"metrics expose {needle.split('{')[0]}")
+        _check("jobs_queue_depth nan" in metrics,
+               "store gauges degrade to NaN, scrape survives")
+
+        health = client.healthz()
+        _check(health["resilience"]["breakers"][0]["state"] == "open",
+               "/healthz reports the job-store breaker open")
+        _check("error" in health["jobs"],
+               "/healthz jobs block degrades without failing")
+
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=30)
+        _check(returncode == 0,
+               "SIGTERM shuts down cleanly under faults (exit 0)")
+    except Exception:
+        if process.poll() is None:
+            process.kill()
+        output, _ = process.communicate(timeout=10)
+        print("--- server output ---")
+        print(output or "<empty>")
+        raise
+    print(f"service smoke ({profile}): all checks passed")
     return 0
 
 

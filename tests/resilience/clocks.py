@@ -1,0 +1,20 @@
+"""Shared fake clocks for the resilience suites.
+
+Every resilience state machine takes an injectable clock, so these
+tests advance time by assignment instead of sleeping — the whole suite
+is deterministic and fast.
+"""
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        assert seconds >= 0
+        self.now += seconds

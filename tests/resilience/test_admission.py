@@ -1,0 +1,146 @@
+"""Admission control: slots, bounded queueing, cost-aware shedding."""
+
+import threading
+
+import pytest
+
+from repro.resilience.admission import (
+    CHEAP,
+    EXPENSIVE,
+    AdmissionController,
+    SaturatedError,
+)
+from repro.resilience.deadline import Deadline
+
+from .clocks import FakeClock
+
+
+def test_cheap_is_always_admitted():
+    controller = AdmissionController(capacity=1, queue_limit=0)
+    with controller.admit(EXPENSIVE):
+        for _ in range(20):
+            with controller.admit(CHEAP):
+                pass
+    snapshot = controller.snapshot()
+    assert snapshot["admitted"][CHEAP] == 20
+    assert snapshot["shed"] == {}
+
+
+def test_expensive_up_to_capacity_then_shed():
+    controller = AdmissionController(capacity=2, queue_limit=0)
+    with controller.admit(EXPENSIVE):
+        with controller.admit(EXPENSIVE):
+            assert controller.active() == 2
+            with pytest.raises(SaturatedError) as excinfo:
+                with controller.admit(EXPENSIVE):
+                    pass
+            assert excinfo.value.reason == "queue_full"
+            assert excinfo.value.retry_after > 0
+    assert controller.active() == 0
+    assert controller.shed_total() == 1
+
+
+def test_queue_timeout_sheds_waiters():
+    controller = AdmissionController(capacity=1, queue_limit=4,
+                                     queue_timeout=0.05)
+    release = threading.Event()
+    holder_in = threading.Event()
+
+    def hold():
+        with controller.admit(EXPENSIVE):
+            holder_in.set()
+            release.wait(5.0)
+
+    holder = threading.Thread(target=hold)
+    holder.start()
+    assert holder_in.wait(5.0)
+    with pytest.raises(SaturatedError) as excinfo:
+        with controller.admit(EXPENSIVE):
+            pass
+    assert excinfo.value.reason == "queue_timeout"
+    release.set()
+    holder.join(5.0)
+    assert controller.snapshot()["shed"] == {"queue_timeout": 1}
+
+
+def test_waiter_gets_slot_when_freed():
+    controller = AdmissionController(capacity=1, queue_limit=4,
+                                     queue_timeout=5.0)
+    release = threading.Event()
+    holder_in = threading.Event()
+    waiter_done = threading.Event()
+
+    def hold():
+        with controller.admit(EXPENSIVE):
+            holder_in.set()
+            release.wait(5.0)
+
+    def wait_then_run():
+        with controller.admit(EXPENSIVE):
+            waiter_done.set()
+
+    holder = threading.Thread(target=hold)
+    holder.start()
+    assert holder_in.wait(5.0)
+    waiter = threading.Thread(target=wait_then_run)
+    waiter.start()
+    release.set()
+    assert waiter_done.wait(5.0), "queued request never got the freed slot"
+    holder.join(5.0)
+    waiter.join(5.0)
+    assert controller.snapshot()["admitted"][EXPENSIVE] == 2
+    assert controller.shed_total() == 0
+
+
+def test_expired_deadline_sheds_instead_of_waiting():
+    clock = FakeClock()
+    controller = AdmissionController(capacity=1, queue_limit=4,
+                                     queue_timeout=10.0)
+    deadline = Deadline(1.0, clock=clock)
+    clock.advance(2.0)  # request arrives already out of budget
+    with controller.admit(EXPENSIVE):
+        with pytest.raises(SaturatedError) as excinfo:
+            with controller.admit(EXPENSIVE, deadline=deadline):
+                pass
+    assert excinfo.value.reason == "queue_timeout"
+
+
+def test_unknown_cost_class_rejected():
+    controller = AdmissionController()
+    with pytest.raises(ValueError):
+        with controller.admit("luxurious"):
+            pass
+
+
+def test_retry_after_scales_with_observed_hold_time():
+    clock = FakeClock()
+    controller = AdmissionController(capacity=1, queue_limit=0,
+                                     retry_after=0.5, clock=clock)
+    with controller.admit(EXPENSIVE):
+        clock.advance(8.0)  # the slot was held 8s
+    with controller.admit(EXPENSIVE):
+        with pytest.raises(SaturatedError) as excinfo:
+            with controller.admit(EXPENSIVE):
+                pass
+    # EWMA has seen one 8s hold; hint must reflect it, not just the floor.
+    assert excinfo.value.retry_after >= 0.5
+    assert excinfo.value.retry_after > 1.0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(capacity=0)
+    with pytest.raises(ValueError):
+        AdmissionController(queue_limit=-1)
+    with pytest.raises(ValueError):
+        AdmissionController(queue_timeout=-0.1)
+
+
+def test_snapshot_shape():
+    controller = AdmissionController(capacity=3, queue_limit=5)
+    snapshot = controller.snapshot()
+    assert snapshot["capacity"] == 3
+    assert snapshot["queue_limit"] == 5
+    assert snapshot["active"] == 0
+    assert snapshot["waiting"] == 0
+    assert snapshot["cheap_active"] == 0

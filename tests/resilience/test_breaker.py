@@ -1,0 +1,255 @@
+"""Circuit breaker: unit tests plus hypothesis property tests.
+
+The property tests drive the state machine with arbitrary
+success/failure/clock-advance sequences and assert the two invariants
+the satellite task names: every observed transition is a legal edge of
+closed→open→half-open, and the breaker can never get *stuck* open —
+once ``recovery_time`` passes, it always probes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    STATE_VALUES,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+
+from .clocks import FakeClock
+
+
+def make_breaker(clock, transitions=None, **kwargs):
+    params = dict(failure_threshold=3, window=10.0, recovery_time=5.0,
+                  half_open_probes=2, clock=clock)
+    params.update(kwargs)
+    if transitions is not None:
+        params["on_transition"] = \
+            lambda a, b: transitions.append((a, b))
+    return CircuitBreaker(name="store", **params)
+
+
+class TestClosedToOpen:
+    def test_trips_at_threshold(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_window_slide_forgives_old_failures(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(11.0)  # both failures age out of the 10s window
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_successes_do_not_clear_the_window(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+            breaker.allow()
+            breaker.record_success()
+        breaker.allow()
+        breaker.record_failure()
+        # 3 failures within the window trip it, interleaved successes
+        # notwithstanding: a slow trickle under load still counts.
+        assert breaker.state == OPEN
+
+
+class TestOpen:
+    def test_open_refuses_with_retry_after(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        with pytest.raises(BreakerOpenError) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after == pytest.approx(4.0)
+        assert breaker.retry_after() == pytest.approx(4.0)
+
+    def test_failures_while_open_do_not_extend_recovery(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        breaker.record_failure()  # late arrival from an in-flight call
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN  # 5s after opening, not 9s
+
+
+class TestHalfOpen:
+    def trip(self, clock, **kwargs):
+        breaker = make_breaker(clock, **kwargs)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        return breaker
+
+    def test_probe_budget_caps_half_open_calls(self):
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        breaker.allow()
+        breaker.allow()
+        with pytest.raises(BreakerOpenError):
+            breaker.allow()  # third concurrent probe: over budget
+
+    def test_probe_successes_close(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = self.trip(clock, transitions=transitions)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+        assert transitions == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                               (HALF_OPEN, CLOSED)]
+        # The window was cleared: one new failure does not re-trip.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_with_fresh_clock(self):
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        with pytest.raises(BreakerOpenError):
+            breaker.allow()
+        clock.advance(0.2)
+        breaker.allow()  # recovery_time after the re-open: probing again
+
+
+class TestCallAndObservability:
+    def test_call_pairs_allow_and_outcome(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        assert breaker.call(lambda: 42) == 42
+        with pytest.raises(RuntimeError):
+            breaker.call(self._boom)
+        assert breaker.snapshot()["recent_failures"] == 1
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("dependency down")
+
+    def test_state_value_encoding(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        assert breaker.state_value() == STATE_VALUES[CLOSED] == 0
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state_value() == STATE_VALUES[OPEN] == 2
+        clock.advance(5.0)
+        assert breaker.state_value() == STATE_VALUES[HALF_OPEN] == 1
+
+    def test_snapshot_counts_opens(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_failure()  # re-open
+        assert breaker.snapshot()["opened_total"] == 2
+
+    def test_parameter_validation(self):
+        for bad in (dict(failure_threshold=0), dict(window=0),
+                    dict(recovery_time=0), dict(half_open_probes=0)):
+            with pytest.raises(ValueError):
+                CircuitBreaker(**bad)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+OPS = st.lists(
+    st.sampled_from(["success", "failure", "tick", "wait"]),
+    max_size=120,
+)
+
+
+def drive(breaker, clock, ops):
+    """Apply an op sequence the way a caller population would."""
+    for op in ops:
+        if op == "tick":
+            clock.advance(1.0)
+        elif op == "wait":
+            clock.advance(6.0)
+        else:
+            try:
+                breaker.allow()
+            except BreakerOpenError:
+                continue
+            if op == "success":
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_transitions_are_always_legal_edges(ops):
+    clock = FakeClock()
+    transitions = []
+    breaker = make_breaker(clock, transitions=transitions)
+    drive(breaker, clock, ops)
+    for edge in transitions:
+        assert edge in LEGAL_TRANSITIONS, f"illegal transition {edge}"
+    # Bookkeeping invariant: the probe budget can never go negative or
+    # exceed its cap, whatever the interleaving.
+    assert 0 <= breaker._probes_inflight <= breaker.half_open_probes
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_breaker_never_stuck_open(ops):
+    clock = FakeClock()
+    breaker = make_breaker(clock)
+    drive(breaker, clock, ops)
+    if breaker.state == OPEN:
+        clock.advance(breaker.recovery_time)
+        assert breaker.state == HALF_OPEN
+        breaker.allow()  # and the probe is actually admitted
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=OPS)
+def test_closed_state_always_admits(ops):
+    clock = FakeClock()
+    breaker = make_breaker(clock)
+    drive(breaker, clock, ops)
+    if breaker.state == CLOSED:
+        breaker.allow()  # closed must never refuse
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=OPS, probes=st.integers(min_value=1, max_value=4))
+def test_enough_successes_always_close_from_half_open(ops, probes):
+    clock = FakeClock()
+    breaker = make_breaker(clock, half_open_probes=probes)
+    drive(breaker, clock, ops)
+    if breaker.state == OPEN:
+        clock.advance(breaker.recovery_time)
+    if breaker.state == HALF_OPEN:
+        for _ in range(probes):
+            breaker.allow()
+            breaker.record_success()
+        assert breaker.state == CLOSED

@@ -1,0 +1,236 @@
+"""Chaos suite: PR-3 job invariants must hold under every fault profile.
+
+Each scenario drives a real checkpointed job through a fault-injected
+store/worker stack (seeded profiles, fake store clock, injected sleep
+— no real waiting) and asserts the two invariants the durable-job
+layer promises:
+
+* **byte-identical artifacts** — whatever faults fired, the finished
+  job's stored artifact equals the serial reference encoding;
+* **checkpoint idempotence** — every chunk is checkpointed exactly
+  once, however many times crash/retry made a worker revisit it.
+
+Also here: the SIGTERM-drain vs cancel race regression (a cancel that
+lands while a draining worker holds the lease must finish the job
+CANCELLED, not strand it as a queued-but-unclaimable zombie).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.jobs.executor import (
+    chunk_count,
+    encode_artifact,
+    serial_artifact,
+)
+from repro.jobs.spec import JobSpec
+from repro.jobs.store import (
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    SUCCEEDED,
+    JobStore,
+)
+from repro.jobs.worker import Worker
+from repro.resilience.faultinject import (
+    BUILTIN_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    FaultRule,
+    SimulatedCrash,
+    faulty_execute_chunk,
+    faulty_store,
+)
+
+from .clocks import FakeClock
+
+CHEAP_IDS = ["fig13", "ext-amdahl", "fig10", "fig7"]
+TERMINAL = (SUCCEEDED, FAILED, CANCELLED)
+
+#: The shipped scenarios the acceptance criteria name.
+CHAOS_PROFILES = ["store-errors", "worker-stall", "midchunk-crash",
+                  "clock-skew"]
+
+
+def run_chaos_job(tmp_path, profile, *, max_rounds=200):
+    """Drive one experiments job to a terminal state under ``profile``.
+
+    Worker "lives" are separated by fake-clock jumps large enough to
+    expire any dangling lease and clear any retry backoff, so a
+    simulated crash is survived exactly the way a real process death
+    is: by lease expiry and resume-from-checkpoint.
+    """
+    clock = FakeClock(1_000_000.0)
+    injector = FaultInjector(profile, sleep=lambda seconds: None)
+    store = faulty_store(tmp_path, injector, clock=clock)
+    plain = JobStore(tmp_path, clock=clock)
+    spec = JobSpec.experiments(CHEAP_IDS)
+    job = plain.submit(spec, chunks_total=chunk_count(spec))
+    stop = threading.Event()
+    lives = 0
+    for _ in range(max_rounds):
+        if plain.get(job.id).status in TERMINAL:
+            break
+        worker = Worker(
+            store,
+            worker_id=f"chaos-{lives}",
+            lease_ttl=30.0,
+            poll_interval=0.0,
+            backoff_base=0.01,
+            backoff_cap=0.02,
+            backoff_jitter=0.0,
+            execute_chunk=faulty_execute_chunk(injector),
+            rng=random.Random(0),
+        )
+        try:
+            worker.run_forever(stop, once=True)
+        except SimulatedCrash:
+            lives += 1  # process death: the lease is left dangling
+        clock.advance(60.0)  # outlive any lease TTL / backoff gate
+    return plain.get(job.id), spec, injector
+
+
+@pytest.mark.parametrize("profile_name", CHAOS_PROFILES)
+def test_artifact_byte_identical_under_fault_profile(tmp_path,
+                                                     profile_name):
+    record, spec, injector = run_chaos_job(
+        tmp_path, BUILTIN_PROFILES[profile_name]
+    )
+    assert record.status == SUCCEEDED, \
+        f"job did not complete under {profile_name}: {record.error}"
+    # The invariant the whole jobs layer exists for: whatever faults
+    # fired, the artifact equals the serial reference bytes.
+    assert record.result_text == encode_artifact(serial_artifact(spec))
+    assert record.chunks_done == chunk_count(spec)
+    # The profile actually exercised something.
+    assert sum(rule["fired"] for rule in injector.stats()["rules"]) >= 1
+
+
+@pytest.mark.parametrize("profile_name", CHAOS_PROFILES)
+def test_chaos_run_replays_deterministically(tmp_path, profile_name):
+    """Same profile, same seed, fresh store → identical fault firing."""
+    first_dir = tmp_path / "first"
+    second_dir = tmp_path / "second"
+    first_dir.mkdir()
+    second_dir.mkdir()
+    record_a, _, injector_a = run_chaos_job(
+        first_dir, BUILTIN_PROFILES[profile_name]
+    )
+    record_b, _, injector_b = run_chaos_job(
+        second_dir, BUILTIN_PROFILES[profile_name]
+    )
+    assert injector_a.stats() == injector_b.stats()
+    assert record_a.result_text == record_b.result_text
+    assert record_a.status == record_b.status == SUCCEEDED
+
+
+def test_midchunk_crash_does_not_burn_retry_budget(tmp_path):
+    """A crash is not a chunk *failure*: resume, don't count retries."""
+    record, _, _ = run_chaos_job(
+        tmp_path, BUILTIN_PROFILES["midchunk-crash"]
+    )
+    assert record.status == SUCCEEDED
+    assert record.failures == 0
+
+
+def test_worker_thread_survives_persistent_store_faults(tmp_path):
+    """breaker-trip (every store call errors) must not kill the worker
+    thread — a transient store outage may last minutes, and a dead
+    thread would turn it into a permanent capacity loss."""
+    injector = FaultInjector(BUILTIN_PROFILES["breaker-trip"])
+    store = faulty_store(tmp_path, injector)
+    worker = Worker(store, worker_id="survivor", poll_interval=0.005)
+    stop = threading.Event()
+    thread = threading.Thread(target=worker.run_forever, args=(stop,),
+                              daemon=True)
+    thread.start()
+    try:
+        deadline = threading.Event()
+        deadline.wait(0.15)  # several poll cycles of pure lease errors
+        assert thread.is_alive()
+    finally:
+        stop.set()
+        thread.join(5.0)
+    assert not thread.is_alive()
+    stats = injector.stats()
+    assert sum(rule["fired"] for rule in stats["rules"]) >= 3
+
+
+# ----------------------------------------------------------------------
+# Drain vs cancel race (satellite regression)
+# ----------------------------------------------------------------------
+
+
+def test_cancel_during_drain_finishes_cancelled_not_zombie(tmp_path):
+    """The raw store race: release() while cancel_requested is set.
+
+    Before the fix, release() requeued the job with the cancel flag
+    intact; lease() refuses cancel-requested jobs, so the job sat
+    QUEUED forever — resurrected in listings on every boot, claimable
+    by no one.
+    """
+    spec = JobSpec.experiments(["fig13", "fig10"])
+    store = JobStore(tmp_path)
+    job = store.submit(spec, chunks_total=chunk_count(spec))
+    leased = store.lease("drainer", lease_ttl=30.0)
+    assert leased is not None and leased.id == job.id
+    store.request_cancel(job.id)       # cancel lands mid-drain
+    assert store.release(job.id, "drainer")
+    record = store.get(job.id)
+    assert record.status == CANCELLED  # honoured in the same transaction
+    assert record.finished_at is not None
+    assert record.lease_owner is None
+    # Next boot: nothing claimable, nothing pending.
+    assert store.lease("successor", lease_ttl=30.0) is None
+    assert store.queue_depth() == 0
+
+
+def test_release_without_cancel_still_requeues(tmp_path):
+    spec = JobSpec.experiments(["fig13"])
+    store = JobStore(tmp_path)
+    job = store.submit(spec, chunks_total=chunk_count(spec))
+    store.lease("drainer", lease_ttl=30.0)
+    assert store.release(job.id, "drainer")
+    assert store.get(job.id).status == QUEUED
+    assert store.lease("successor", lease_ttl=30.0) is not None
+
+
+def test_cancel_during_drain_with_scripted_stall_profile(tmp_path):
+    """End-to-end scripted reproduction: a worker-stall fault holds the
+    chunk open exactly long enough for cancel + SIGTERM to land, then
+    the drain path must finish the job CANCELLED."""
+    clock = FakeClock(1_000_000.0)
+    plain = JobStore(tmp_path, clock=clock)
+    spec = JobSpec.experiments(CHEAP_IDS)
+    job = plain.submit(spec, chunks_total=chunk_count(spec))
+    stop = threading.Event()
+
+    profile = FaultProfile(
+        name="drain-cancel", seed=11,
+        rules=(FaultRule(target="worker.chunk", action="latency",
+                         latency=0.01, times=1),),
+    )
+
+    def mid_chunk_stall(seconds):
+        # While the worker is stalled inside chunk 0, the user cancels
+        # and the SIGTERM drain begins.
+        plain.request_cancel(job.id)
+        stop.set()
+
+    injector = FaultInjector(profile, sleep=mid_chunk_stall)
+    store = faulty_store(tmp_path, injector, clock=clock)
+    worker = Worker(
+        store, worker_id="draining", lease_ttl=30.0, poll_interval=0.0,
+        execute_chunk=faulty_execute_chunk(injector),
+    )
+    worker.run_forever(stop, once=True)
+
+    record = plain.get(job.id)
+    assert record.status == CANCELLED
+    assert record.lease_owner is None
+    # The stalled chunk still checkpointed (drain semantics), but the
+    # job is terminal: no successor can resurrect it.
+    clock.advance(120.0)
+    assert plain.lease("successor", lease_ttl=30.0) is None

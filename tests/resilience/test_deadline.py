@@ -1,0 +1,123 @@
+"""Deadline primitives: budgets, header parsing, thread-local scope."""
+
+import threading
+
+import pytest
+
+from repro.resilience.deadline import (
+    DEADLINE_HEADER,
+    MAX_DEADLINE_MS,
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_from_ms,
+    deadline_scope,
+)
+
+from .clocks import FakeClock
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+
+    def test_check_raises_with_overrun(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("warmup")  # within budget: no-op
+        clock.advance(1.25)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("grid sweep")
+        assert "grid sweep" in str(excinfo.value)
+        assert excinfo.value.overrun == pytest.approx(0.25)
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline(0.0, clock=FakeClock())
+        assert deadline.expired
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-0.1, clock=FakeClock())
+
+
+class TestHeaderParsing:
+    def test_parses_milliseconds(self):
+        clock = FakeClock()
+        deadline = deadline_from_ms("1500", clock=clock)
+        assert deadline.remaining() == pytest.approx(1.5)
+
+    def test_accepts_fractional_ms(self):
+        deadline = deadline_from_ms("0.5", clock=FakeClock())
+        assert deadline.budget == pytest.approx(0.0005)
+
+    @pytest.mark.parametrize("value", ["", "abc", "nan", "-5", "0",
+                                       str(MAX_DEADLINE_MS + 1), "inf"])
+    def test_rejects_junk(self, value):
+        with pytest.raises(ValueError) as excinfo:
+            deadline_from_ms(value, clock=FakeClock())
+        assert DEADLINE_HEADER in str(excinfo.value)
+
+
+class TestScope:
+    def test_no_scope_checks_are_noops(self):
+        assert current_deadline() is None
+        check_deadline("anywhere")  # must not raise
+
+    def test_scope_installs_and_restores(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+            clock.advance(2.0)
+            with pytest.raises(DeadlineExceeded):
+                check_deadline("inner")
+        assert current_deadline() is None
+
+    def test_scope_restores_after_exception(self):
+        clock = FakeClock()
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline(1.0, clock=clock)):
+                raise RuntimeError("handler blew up")
+        assert current_deadline() is None
+
+    def test_nested_scopes_restore_outer(self):
+        clock = FakeClock()
+        outer = Deadline(10.0, clock=clock)
+        inner = Deadline(1.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_none_scope_is_allowed(self):
+        clock = FakeClock()
+        with deadline_scope(Deadline(1.0, clock=clock)):
+            with deadline_scope(None):
+                check_deadline()  # no deadline installed: no-op
+                assert current_deadline() is None
+
+    def test_scope_is_thread_local(self):
+        clock = FakeClock()
+        seen = {}
+
+        def probe():
+            seen["other_thread"] = current_deadline()
+
+        with deadline_scope(Deadline(1.0, clock=clock)):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other_thread"] is None
