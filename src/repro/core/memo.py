@@ -37,7 +37,8 @@ import contextlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, TYPE_CHECKING
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
+    Tuple, TYPE_CHECKING
 
 from .area import ChipDesign
 from .techniques import TechniqueEffect
@@ -171,12 +172,44 @@ class MemoCache:
                 self._hits += 1
             return value
 
+    def lookup_many(
+        self, keys: Sequence[ModelKey]
+    ) -> List[Optional["ScalingSolution"]]:
+        """Batch :meth:`lookup`: one lock acquisition for a whole grid.
+
+        Returns hits and ``None`` misses in key order; the hit/miss
+        counters advance exactly as per-key lookups would, so sweep
+        cache-rate reporting is unaffected by the batch path.
+        """
+        with self._lock:
+            values = [self._entries.get(key) for key in keys]
+            hits = sum(1 for value in values if value is not None)
+            self._hits += hits
+            self._misses += len(values) - hits
+            return values
+
     def store(self, key: ModelKey, value: "ScalingSolution") -> None:
         """Insert one solve result, evicting the oldest entry when full."""
         with self._lock:
             if key not in self._entries and len(self._entries) >= self.maxsize:
                 self._entries.popitem(last=False)
             self._entries[key] = value
+
+    def store_many(
+        self, items: Iterable[Tuple[ModelKey, "ScalingSolution"]]
+    ) -> None:
+        """Batch :meth:`store` under one lock acquisition.
+
+        FIFO eviction applies entry-by-entry, so interleaving with
+        per-key stores is indistinguishable from calling
+        :meth:`store` in a loop.
+        """
+        with self._lock:
+            for key, value in items:
+                if key not in self._entries \
+                        and len(self._entries) >= self.maxsize:
+                    self._entries.popitem(last=False)
+                self._entries[key] = value
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from . import memo
 from .area import ChipDesign
@@ -165,12 +165,7 @@ class BandwidthWallModel:
         effect:
             Combined effect of any bandwidth-conservation techniques.
         """
-        if total_ceas <= 0:
-            raise ValueError(f"total_ceas must be positive, got {total_ceas}")
-        if traffic_budget <= 0:
-            raise ValueError(
-                f"traffic_budget must be positive, got {traffic_budget}"
-            )
+        self.validate_query(total_ceas, traffic_budget)
 
         # The solve is a pure function of this fully-immutable key, so a
         # process-global memo table (see repro.core.memo) can serve
@@ -178,17 +173,105 @@ class BandwidthWallModel:
         cache = memo.active_cache()
         key: Optional[memo.ModelKey] = None
         if cache is not None:
-            key = memo.ModelKey(
-                baseline=self.baseline,
-                alpha=self.alpha,
-                total_ceas=total_ceas,
-                traffic_budget=traffic_budget,
-                effect=effect,
-            )
+            key = self._memo_key(total_ceas, traffic_budget, effect)
             cached = cache.lookup(key)
             if cached is not None:
                 return cached
 
+        from . import vectorized
+
+        if vectorized.mode() == "force" and vectorized.has_numpy():
+            # The differential test mode: even single solves run through
+            # the batch kernel, proving it byte-identical on every code
+            # path that reaches supportable_cores.
+            solution = vectorized.solve_batch(
+                self, [(total_ceas, traffic_budget, effect)]
+            )[0]
+        else:
+            solution = self.solve_point(total_ceas, traffic_budget, effect)
+        if cache is not None and key is not None:
+            cache.store(key, solution)
+        return solution
+
+    def supportable_cores_batch(
+        self,
+        queries: Sequence[Tuple[float, float, TechniqueEffect]],
+    ) -> List[ScalingSolution]:
+        """Solve many ``(total_ceas, traffic_budget, effect)`` queries.
+
+        Semantically identical — bit-for-bit, including exceptions — to
+        calling :meth:`supportable_cores` once per query in order, but
+        memo lookups and stores happen in bulk and cache misses are
+        solved together through the vectorized batch kernel
+        (:mod:`repro.core.vectorized`) when numpy is available and the
+        miss count warrants it.  The sweep engine, the service's
+        ``/v1/sweep`` and the jobs executor all funnel their grids
+        through here.
+        """
+        from . import vectorized
+
+        queries = list(queries)
+        for total_ceas, traffic_budget, _ in queries:
+            self.validate_query(total_ceas, traffic_budget)
+        cache = memo.active_cache()
+        if cache is None:
+            if vectorized.use_batch(len(queries)):
+                return vectorized.solve_batch(self, queries)
+            return [self.solve_point(*query) for query in queries]
+        keys = [self._memo_key(*query) for query in queries]
+        solutions = cache.lookup_many(keys)
+        miss_indices = [i for i, hit in enumerate(solutions) if hit is None]
+        if miss_indices:
+            misses = [queries[i] for i in miss_indices]
+            if vectorized.use_batch(len(misses)):
+                solved = vectorized.solve_batch(self, misses)
+            else:
+                solved = [self.solve_point(*query) for query in misses]
+            cache.store_many(
+                (keys[i], solution)
+                for i, solution in zip(miss_indices, solved)
+            )
+            for i, solution in zip(miss_indices, solved):
+                solutions[i] = solution
+        return solutions
+
+    # -- solve internals (shared with repro.core.vectorized) -----------
+
+    def validate_query(self, total_ceas: float, traffic_budget: float) -> None:
+        """Reject malformed solve inputs with the canonical messages."""
+        if total_ceas <= 0:
+            raise ValueError(f"total_ceas must be positive, got {total_ceas}")
+        if traffic_budget <= 0:
+            raise ValueError(
+                f"traffic_budget must be positive, got {traffic_budget}"
+            )
+
+    def _memo_key(
+        self,
+        total_ceas: float,
+        traffic_budget: float,
+        effect: TechniqueEffect,
+    ) -> memo.ModelKey:
+        return memo.ModelKey(
+            baseline=self.baseline,
+            alpha=self.alpha,
+            total_ceas=total_ceas,
+            traffic_budget=traffic_budget,
+            effect=effect,
+        )
+
+    def solve_point(
+        self,
+        total_ceas: float,
+        traffic_budget: float,
+        effect: TechniqueEffect = NEUTRAL_EFFECT,
+    ) -> ScalingSolution:
+        """One bisection solve, bypassing memo and batch dispatch.
+
+        The scalar reference path: the vectorized kernel replays its
+        arithmetic and delegates its own guard failures here.
+        """
+        self.validate_query(total_ceas, traffic_budget)
         max_cores = total_ceas / effect.core_area_fraction
 
         def traffic(p2: float) -> float:
@@ -208,22 +291,36 @@ class BandwidthWallModel:
                 area_limited = True
             else:
                 raise
+        return self.finish_solution(
+            total_ceas, traffic_budget, effect, p2, area_limited
+        )
+
+    def finish_solution(
+        self,
+        total_ceas: float,
+        traffic_budget: float,
+        effect: TechniqueEffect,
+        p2: float,
+        area_limited: bool,
+    ) -> ScalingSolution:
+        """Package a solved core count into a :class:`ScalingSolution`.
+
+        Single-sourced so batch-solved roots produce solutions whose
+        derived fields round exactly as scalar-solved ones.
+        """
         design = ChipDesign(
             total_ceas=total_ceas,
             core_ceas=p2,
             core_area_fraction=effect.core_area_fraction,
         )
         s_eff = effect.effective_cache_ceas(total_ceas, p2) / p2
-        solution = ScalingSolution(
+        return ScalingSolution(
             continuous_cores=p2,
             design=design,
             effective_cache_per_core=s_eff,
             traffic_budget=traffic_budget,
             area_limited=area_limited,
         )
-        if cache is not None and key is not None:
-            cache.store(key, solution)
-        return solution
 
     # ------------------------------------------------------------------
     # Multi-generation studies (Figures 3, 15, 16, 17)

@@ -22,7 +22,49 @@ _FLOOR_EPS = 1e-9
 
 
 class BracketError(ValueError):
-    """Raised when the requested root does not lie in the given interval."""
+    """Raised when the requested root does not lie in the given interval.
+
+    Besides a message that names the requested interval, the probed
+    point and the target, the exception carries the same facts as
+    structured attributes so callers (and tests) do not need to parse
+    the message:
+
+    Attributes
+    ----------
+    lo, hi:
+        The requested bracket, exactly as passed to
+        :func:`solve_increasing`.
+    target:
+        The value the solve was asked to reach.
+    endpoint:
+        ``"lo"`` when the function already exceeds the target at the
+        lower end of the interval, ``"hi"`` when it stays below the
+        target at the upper end.
+    evaluated_at:
+        The abscissa actually probed (slightly inside the interval; the
+        solver never evaluates the exact endpoints).
+    value:
+        ``func(evaluated_at)``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lo: float = math.nan,
+        hi: float = math.nan,
+        target: float = math.nan,
+        endpoint: str = "",
+        evaluated_at: float = math.nan,
+        value: float = math.nan,
+    ) -> None:
+        super().__init__(message)
+        self.lo = lo
+        self.hi = hi
+        self.target = target
+        self.endpoint = endpoint
+        self.evaluated_at = evaluated_at
+        self.value = value
 
 
 def solve_increasing(
@@ -78,11 +120,17 @@ def solve_increasing(
     fb = func(b)
     if fa > target:
         raise BracketError(
-            f"func({a}) = {fa} already exceeds target {target}; no root in interval"
+            f"no root in [{lo}, {hi}]: func({a}) = {fa} already exceeds "
+            f"target {target} at the lower endpoint",
+            lo=lo, hi=hi, target=target, endpoint="lo",
+            evaluated_at=a, value=fa,
         )
     if fb < target:
         raise BracketError(
-            f"func({b}) = {fb} stays below target {target}; no root in interval"
+            f"no root in [{lo}, {hi}]: func({b}) = {fb} stays below "
+            f"target {target} at the upper endpoint",
+            lo=lo, hi=hi, target=target, endpoint="hi",
+            evaluated_at=b, value=fb,
         )
 
     for _ in range(max_iter):
@@ -104,7 +152,13 @@ def floor_cores(p: float) -> int:
     continuous solution (e.g. 11.03 -> 11, 24.5 -> 24).  A small epsilon
     keeps analytically exact solutions (32.0 computed as 31.999999...)
     from losing a core to round-off.
+
+    Non-finite and negative inputs are rejected with :class:`ValueError`
+    (``math.floor`` alone would raise an input-dependent mix of
+    ``ValueError`` and ``OverflowError`` for NaN and the infinities).
     """
+    if not math.isfinite(p):
+        raise ValueError(f"core count must be finite, got {p}")
     if p < 0:
         raise ValueError(f"core count must be non-negative, got {p}")
     return int(math.floor(p + _FLOOR_EPS))

@@ -146,3 +146,43 @@ class TestPaperConstants:
 
     def test_hartstein_range_contains_commercial_fit(self):
         assert 0.3 <= ALPHA_COMMERCIAL_AVG <= 0.7
+
+
+class TestBatchMethods:
+    """Batch miss-rate/traffic helpers: bit-identical to scalar loops."""
+
+    MODEL = PowerLawMissModel(alpha=0.48, baseline_miss_rate=0.04,
+                              baseline_cache_size=1024,
+                              writeback_ratio=0.3)
+
+    @given(sizes=st.lists(sizes, min_size=0, max_size=64), alpha=alphas)
+    def test_miss_rate_batch_bitwise_equals_scalar_loop(self, sizes, alpha):
+        model = self.MODEL.with_alpha(alpha)
+        batch = model.miss_rate_batch(sizes)
+        scalar = [model.miss_rate(size) for size in sizes]
+        assert [rate.hex() for rate in batch] \
+            == [rate.hex() for rate in scalar]
+
+    @given(sizes=st.lists(sizes, min_size=0, max_size=64))
+    def test_traffic_batch_bitwise_equals_scalar_loop(self, sizes):
+        batch = self.MODEL.traffic_batch(sizes)
+        scalar = [self.MODEL.traffic(size) for size in sizes]
+        assert [value.hex() for value in batch] \
+            == [value.hex() for value in scalar]
+
+    @given(new=st.lists(sizes, min_size=0, max_size=64), old=sizes)
+    def test_traffic_ratio_batch_bitwise_equals_scalar_loop(self, new, old):
+        batch = self.MODEL.traffic_ratio_batch(new, old)
+        scalar = [self.MODEL.traffic_ratio(size, old) for size in new]
+        assert [value.hex() for value in batch] \
+            == [value.hex() for value in scalar]
+
+    def test_batch_validation_raises_at_first_offender(self):
+        with pytest.raises(ValueError, match="cache_size must be positive"):
+            self.MODEL.miss_rate_batch([1024.0, -1.0, 2048.0])
+        with pytest.raises(ValueError,
+                           match="new_cache_size must be positive"):
+            self.MODEL.traffic_ratio_batch([1024.0, 0.0], 512.0)
+        with pytest.raises(ValueError,
+                           match="old_cache_size must be positive"):
+            self.MODEL.traffic_ratio_batch([1024.0], 0.0)

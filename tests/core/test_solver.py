@@ -55,6 +55,62 @@ class TestSolveIncreasing:
         assert abs(root - 0.5) < 1e-3
 
 
+class TestBracketErrorDiagnostics:
+    """BracketError must say which interval failed, where and why."""
+
+    def test_lower_endpoint_message_names_interval_and_target(self):
+        with pytest.raises(BracketError) as excinfo:
+            solve_increasing(lambda x: x + 10, 5, 0, 1)
+        message = str(excinfo.value)
+        assert "[0, 1]" in message
+        assert "target 5" in message
+        assert "lower endpoint" in message
+        assert "exceeds" in message
+
+    def test_upper_endpoint_message_names_interval_and_target(self):
+        with pytest.raises(BracketError) as excinfo:
+            solve_increasing(lambda x: x, 5, 0, 1)
+        message = str(excinfo.value)
+        assert "[0, 1]" in message
+        assert "target 5" in message
+        assert "upper endpoint" in message
+        assert "stays below" in message
+
+    def test_structured_attributes_lower(self):
+        with pytest.raises(BracketError) as excinfo:
+            solve_increasing(lambda x: x + 10, 5, 0.0, 2.0)
+        error = excinfo.value
+        assert error.lo == 0.0
+        assert error.hi == 2.0
+        assert error.target == 5
+        assert error.endpoint == "lo"
+        # The probe sits just inside the interval and its value is the
+        # function's, so callers can report the miss without re-solving.
+        assert 0.0 < error.evaluated_at < 2e-12 * 2.0 * 1.01
+        assert error.value == error.evaluated_at + 10
+
+    def test_structured_attributes_upper(self):
+        with pytest.raises(BracketError) as excinfo:
+            solve_increasing(lambda x: x, 5, 0.0, 2.0)
+        error = excinfo.value
+        assert error.endpoint == "hi"
+        assert error.evaluated_at == pytest.approx(2.0)
+        assert error.value == error.evaluated_at
+        assert error.value < error.target
+
+    def test_default_construction_keeps_nan_fields(self):
+        error = BracketError("plain message")
+        assert str(error) == "plain message"
+        assert math.isnan(error.lo) and math.isnan(error.hi)
+        assert math.isnan(error.target)
+        assert error.endpoint == ""
+
+    def test_is_a_value_error(self):
+        # Callers that catch ValueError (the service's 422 mapping)
+        # keep working.
+        assert issubclass(BracketError, ValueError)
+
+
 class TestFloorCores:
     def test_plain_floor(self):
         assert floor_cores(11.03) == 11
@@ -76,3 +132,55 @@ class TestFloorCores:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             floor_cores(-1.0)
+
+    def test_rejects_non_finite_deterministically(self):
+        """NaN and both infinities raise ValueError (never the
+        input-dependent OverflowError bare math.floor would give)."""
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError, match="must be finite"):
+                floor_cores(bad)
+
+
+class TestFloorEpsilonBoundary:
+    """The _FLOOR_EPS guard: its exact boundary behaviour, by property."""
+
+    @given(n=st.integers(min_value=1, max_value=10**6))
+    def test_just_below_integer_rounds_up_within_epsilon(self, n):
+        # 1e-12 under the integer is inside the 1e-9 guard band.
+        assert floor_cores(n - 1e-12) == n
+
+    @given(n=st.integers(min_value=0, max_value=10**6))
+    def test_beyond_epsilon_floors_down(self, n):
+        # 2e-9 over the integer is beyond the guard band, so the next
+        # integer up must NOT be reached from below it.
+        value = n + 1 - 2e-9
+        assert floor_cores(value) == n
+
+    @given(n=st.integers(min_value=0, max_value=10**6),
+           fraction=st.floats(min_value=1e-8, max_value=1.0 - 1e-8,
+                              exclude_max=True))
+    def test_interior_fractions_floor_plainly(self, n, fraction):
+        assert floor_cores(n + fraction) == n
+
+    @given(value=st.floats(min_value=0.0, max_value=1e9,
+                           allow_nan=False, allow_infinity=False))
+    def test_result_within_one_of_true_floor(self, value):
+        """The epsilon can lift the floor by at most one, never lower
+        it, and the result is always a plain int."""
+        result = floor_cores(value)
+        plain = math.floor(value)
+        assert isinstance(result, int)
+        assert plain <= result <= plain + 1
+        if result == plain + 1:
+            # Only an epsilon-close landing may round up.
+            assert (plain + 1) - value <= 1e-9
+
+    @given(value=st.floats(allow_nan=True, allow_infinity=True))
+    def test_all_floats_either_int_or_value_error(self, value):
+        """Total behaviour: every float input either floors cleanly or
+        raises ValueError — no other exception type ever escapes."""
+        if math.isfinite(value) and value >= 0:
+            assert isinstance(floor_cores(value), int)
+        else:
+            with pytest.raises(ValueError):
+                floor_cores(value)
