@@ -16,13 +16,19 @@ performance story over time:
   model-serving API, the PR-2 load harness shape (8 threads x 25
   requests against ``/v1/solve``).
 * **powerlaw** — batch vs scalar miss-rate evaluation rates.
+* **optimize** — exhaustive design-space search throughput (technique
+  configurations evaluated per second through the PR-7 optimizer).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/trajectory.py --output BENCH_6.json
+    PYTHONPATH=src python benchmarks/trajectory.py --output BENCH_7.json
     PYTHONPATH=src python benchmarks/trajectory.py --quick
     PYTHONPATH=src python benchmarks/trajectory.py \\
-        --gate new.json --against BENCH_6.json --threshold 0.15
+        --gate new.json --against BENCH_7.json --threshold 0.15
+
+When ``--against`` names a file that does not exist yet the gate is
+skipped with a note instead of failing — the first run on a branch has
+no committed baseline.
 
 The gate compares a fresh artifact against a committed baseline and
 exits non-zero when a gated metric regressed by more than the
@@ -37,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -260,6 +267,46 @@ def measure_powerlaw() -> Dict[str, Any]:
     }
 
 
+def measure_optimize(quick: bool) -> Dict[str, Any]:
+    """Exhaustive design-space search throughput (points evaluated/sec).
+
+    A fixed sub-space of the optimizer's technique grid (compression
+    ratios x DRAM densities x unused-data filtering) solved end to end
+    — effect construction, vectorized batch solves, per-point integer
+    re-evaluation and Pareto pruning — so the gated
+    ``points_per_sec`` covers the whole ``/v1/optimize`` hot path, not
+    just the kernel.
+    """
+    from repro.core import memo
+    from repro.optimize import OptimizeParams, SearchSpace, run_search
+
+    space = SearchSpace.build({
+        "stacked_layers": [0],
+        "line_unused": [0.0],
+        "core_area_fraction": [1.0],
+        "sharing_fraction": [0.0] if quick else [0.0, 0.2, 0.5],
+    })
+    params = OptimizeParams(
+        space=space, ceas=256.0, budget=4.0, alpha=0.5,
+        strategy="exhaustive",
+    )
+    memo.clear_cache()
+    run_search(OptimizeParams(space=SearchSpace.build({
+        name: [values[0]] for name, values in space.to_dict().items()
+    }), ceas=256.0, budget=4.0, alpha=0.5,
+        strategy="exhaustive"))  # warm-up: imports, numpy init
+    memo.clear_cache()
+    start = time.perf_counter()
+    artifact = run_search(params)
+    elapsed = time.perf_counter() - start
+    return {
+        "points": artifact["evaluated"],
+        "seconds": round(elapsed, 4),
+        "points_per_sec": round(artifact["evaluated"] / elapsed, 1),
+        "frontier_size": artifact["frontier_size"],
+    }
+
+
 def run_trajectory(quick: bool) -> Dict[str, Any]:
     from repro.core import vectorized
 
@@ -274,6 +321,7 @@ def run_trajectory(quick: bool) -> Dict[str, Any]:
         "sweeps": measure_sweeps(quick, rate),
         "service": measure_service(quick),
         "powerlaw": measure_powerlaw(),
+        "optimize": measure_optimize(quick),
     }
 
 
@@ -296,6 +344,7 @@ GATED_METRICS: Tuple[Tuple[Tuple[str, ...], str, float], ...] = (
     (("sweeps", "fig9", "normalized_work"), "lower", 1.0),
     (("sweeps", "ext-validation", "normalized_work"), "lower", 1.0),
     (("powerlaw", "speedup"), "higher", 2.0),
+    (("optimize", "points_per_sec"), "higher", 2.0),
 )
 
 
@@ -344,6 +393,10 @@ def compare_artifacts(
 def run_gate(new_path: str, baseline_path: str, threshold: float) -> int:
     with open(new_path) as handle:
         new = json.load(handle)
+    if not os.path.exists(baseline_path):
+        print(f"perf gate skipped: no baseline at {baseline_path} "
+              f"(first run — commit the new artifact to create one)")
+        return 0
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     failures = compare_artifacts(new, baseline, threshold)

@@ -309,10 +309,162 @@ def _jobs_main(argv: List[str]) -> int:
         return 2
 
 
+def _optimize_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bandwidth-wall optimize",
+        description="Pareto search over the technique design space "
+                    "(see docs/OPTIMIZER.md).  Runs in-process by "
+                    "default; --submit posts to a running service.",
+    )
+    parser.add_argument("--ceas", type=float, default=256.0,
+                        help="die size in CEAs (default 256 = 16x "
+                             "the paper baseline)")
+    parser.add_argument("--budget", type=float, default=1.0,
+                        help="relative traffic budget B*t (default 1)")
+    parser.add_argument("--alpha", type=float, default=0.5,
+                        help="workload cache sensitivity (default 0.5)")
+    parser.add_argument("--strategy", default="auto",
+                        choices=["auto", "exhaustive", "evolutionary"],
+                        help="search strategy (auto: exhaustive for "
+                             "small spaces)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="evolutionary RNG seed (default 0)")
+    parser.add_argument("--generations", type=int, default=None,
+                        help="evolutionary generations (default 12)")
+    parser.add_argument("--population", type=int, default=None,
+                        help="evolutionary population size (default 32)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="configs per exhaustive chunk")
+    parser.add_argument("--dimension", action="append", default=[],
+                        metavar="NAME=V1,V2,...",
+                        help="override one dimension's value list "
+                             "(repeatable); a single value freezes it")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full artifact as JSON")
+    parser.add_argument("--top", type=int, default=20,
+                        help="frontier rows to print (default 20)")
+    parser.add_argument("--submit", action="store_true",
+                        help="POST to a running service instead of "
+                             "solving locally")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="[--submit] service address")
+    parser.add_argument("--port", type=int, default=8100,
+                        help="[--submit] service port")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="[--submit] per-request timeout seconds")
+    parser.add_argument("--watch", action="store_true",
+                        help="[--submit] poll the job until it finishes")
+    parser.add_argument("--interval", type=float, default=0.5,
+                        help="[--watch] poll interval seconds")
+    return parser
+
+
+def _parse_dimension_overrides(specs: List[str]) -> dict:
+    overrides = {}
+    for spec in specs:
+        name, _, values = spec.partition("=")
+        if not values:
+            raise ValueError(
+                f"bad --dimension {spec!r}; expected NAME=V1,V2,..."
+            )
+        overrides[name.strip()] = [float(v) for v in values.split(",")]
+    return overrides
+
+
+def _print_frontier(artifact: dict, top: int) -> None:
+    print(f"strategy={artifact['strategy']}  "
+          f"evaluated={artifact['evaluated']}  "
+          f"skipped={artifact['skipped']}  "
+          f"frontier={artifact['frontier_size']}")
+    print(f"{'cores':>6}  {'cache%':>7}  {'traffic':>8}  techniques")
+    for row in artifact["frontier"][:top]:
+        techniques = " ".join(row["techniques"]) or "(baseline)"
+        flags = "  [area-limited]" if row["area_limited"] else ""
+        print(f"{row['cores']:>6}  {row['cache_fraction']:>7.2%}  "
+              f"{row['traffic']:>8.3f}  {techniques}{flags}")
+    hidden = artifact["frontier_size"] - min(top,
+                                             artifact["frontier_size"])
+    if hidden > 0:
+        print(f"... {hidden} more row(s); use --top or --json")
+
+
+def _optimize_main(argv: List[str]) -> int:
+    parser = _optimize_parser()
+    args = parser.parse_args(argv)
+    try:
+        overrides = _parse_dimension_overrides(args.dimension)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    if args.submit:
+        from .service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(args.host, args.port,
+                               timeout=args.timeout)
+        try:
+            payload = client.submit_optimize(
+                ceas=args.ceas, budget=args.budget, alpha=args.alpha,
+                strategy=args.strategy, seed=args.seed,
+                generations=args.generations,
+                population=args.population,
+                space=overrides or None,
+                chunk_size=args.chunk_size,
+            )
+            print(_job_line(payload))
+            if args.watch:
+                code = _watch_job(client, payload["id"], args.interval,
+                                  timeout=600.0)
+                if code == 0:
+                    result = client.optimize_result(payload["id"])
+                    _print_frontier(result["result"], args.top)
+                return code
+            return 0
+        except ServiceError as error:
+            print(error, file=sys.stderr)
+            return 2
+        except OSError as error:
+            print(f"cannot reach service at {args.host}:{args.port}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+
+    from .optimize import OptimizeParams, SearchSpace, resolve_strategy, \
+        run_search
+    from .optimize.search import DEFAULT_GENERATIONS, \
+        DEFAULT_POPULATION, DEFAULT_OPTIMIZE_CHUNK
+
+    try:
+        space = SearchSpace.build(overrides or None)
+        params = OptimizeParams(
+            space=space,
+            ceas=args.ceas,
+            budget=args.budget,
+            alpha=args.alpha,
+            strategy=resolve_strategy(args.strategy, space),
+            seed=args.seed,
+            generations=args.generations or DEFAULT_GENERATIONS,
+            population=args.population or DEFAULT_POPULATION,
+            chunk_size=args.chunk_size or DEFAULT_OPTIMIZE_CHUNK,
+        )
+        artifact = run_search(params)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(artifact, indent=1))
+        return 0
+    _print_frontier(artifact, args.top)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0].lower() == "jobs":
         return _jobs_main(argv[1:])
+    if argv and argv[0].lower() == "optimize":
+        return _optimize_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.lower()
 

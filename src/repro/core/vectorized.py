@@ -496,9 +496,76 @@ def solve_batch(
                 total_ceas, traffic_budget, effect, roots_l[j],
                 area_limited=False,
             )
-    for i in range(n):
-        if solutions[i] is None:
+    failed = [i for i in range(n) if solutions[i] is None]
+    if failed:
+        # Batched guard-failure path.  Each failed point is classified
+        # with two exact endpoint evaluations (vs ~48 for a delegated
+        # bisection): exactly-bracketed stragglers (estimate/exact
+        # disagreement near a guard band) re-solve as a second batch;
+        # unbracketed points resolve area-limited through the same
+        # finish_solution call the scalar fallback makes, or delegate
+        # to solve_point so the canonical BracketError/ValueError —
+        # for the earliest offending index — stays byte-identical.
+        stragglers: List[int] = []
+        errors: List[int] = []
+        t_l, tgt_l = total.tolist(), target.tolist()
+        a_l, b_l = a.tolist(), b.tolist()
+        f_l, d_l, ls_l, cf_l, tf_l = (f.tolist(), d.tolist(),
+                                      ls.tolist(), cf.tolist(),
+                                      tf.tolist())
+        for i in failed:
+            if not math.isfinite(tgt_l[i]):
+                errors.append(i)
+                continue
+            args_i = (t_l[i], f_l[i], d_l[i], ls_l[i], cf_l[i],
+                      tf_l[i], p1, s1, neg_alpha)
+            fa_i = _traffic_exact(a_l[i], *args_i)
+            fb_i = _traffic_exact(b_l[i], *args_i)
+            if fa_i <= tgt_l[i] <= fb_i:
+                stragglers.append(i)
+                continue
+            # Mirror solve_point's BracketError handler op-for-op:
+            # budget admits a full-die core allocation -> area-limited.
+            total_ceas, traffic_budget, effect = queries[i]
+            max_cores = total_ceas / effect.core_area_fraction
+            if model.relative_traffic(
+                total_ceas, max_cores * (1 - 1e-12), effect
+            ) < traffic_budget:
+                solutions[i] = model.finish_solution(
+                    total_ceas, traffic_budget, effect, max_cores,
+                    area_limited=True,
+                )
+            else:
+                errors.append(i)
+        for i in errors:
+            # The first call raises the canonical scalar exception; the
+            # loop shape is defensive against a classification miss.
             total_ceas, traffic_budget, effect = queries[i]
             solutions[i] = model.solve_point(total_ceas, traffic_budget,
                                              effect)
+        if stragglers:
+            sidx = _np.array(stragglers, dtype=int)
+            st, starget = total[sidx], target[sidx]
+            sa, sb, shi = a[sidx], b[sidx], hi[sidx]
+            sf, sd, sls, scf, stf = (f[sidx], d[sidx], ls[sidx],
+                                     cf[sidx], tf[sidx])
+            xhat, converged = _estimate_roots(
+                st, starget, shi, sa, sb, sf, sd, sls, scf, stf,
+                alpha, p1, s1,
+            )
+            margin = _np.maximum(_MARGIN_REL * _np.abs(xhat),
+                                 2.0 * _TOL)
+            margin = _np.where(converged, margin, _np.inf)
+            scalars = ((sf.tolist(), sd.tolist(), sls.tolist(),
+                        scf.tolist(), stf.tolist()),
+                       (p1, s1, neg_alpha))
+            roots = _replay_bisection(st, starget, sa, sb, xhat,
+                                      margin, scalars)
+            roots_l = roots.tolist()
+            for j, i in enumerate(stragglers):
+                total_ceas, traffic_budget, effect = queries[i]
+                solutions[i] = model.finish_solution(
+                    total_ceas, traffic_budget, effect, roots_l[j],
+                    area_limited=False,
+                )
     return solutions

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Sequence, Tuple
 
-from .spec import EXPERIMENTS_KIND, JobSpec
+from .spec import EXPERIMENTS_KIND, OPTIMIZE_KIND, JobSpec
 
 __all__ = [
     "GOLDEN_SCHEMA_VERSION",
@@ -56,8 +56,16 @@ def plan_chunks(spec: JobSpec) -> List[Tuple[int, int]]:
 
     Experiments jobs slice the id list; sweep jobs slice the flattened
     ``(ceas x budgets)`` grid, which is enumerated in the same order
-    ``POST /v1/sweep`` uses.
+    ``POST /v1/sweep`` uses.  Optimize jobs delegate to
+    :mod:`repro.optimize.search`, whose chunks are configuration
+    slices (exhaustive) or whole generations (evolutionary); the
+    ``(start, stop)`` pairs here are nominal chunk indices.
     """
+    if spec.kind == OPTIMIZE_KIND:
+        from ..optimize.search import OptimizeParams
+
+        count = OptimizeParams.from_spec(spec).chunk_count()
+        return [(index, index + 1) for index in range(count)]
     total = (len(spec.ids) if spec.kind == EXPERIMENTS_KIND
              else len(spec.ceas) * len(spec.budgets))
     size = spec.effective_chunk_size
@@ -81,6 +89,12 @@ def execute_chunk(spec: JobSpec, index: int) -> Dict[str, Any]:
     start, stop = plan_chunks(spec)[index]
     if spec.kind == EXPERIMENTS_KIND:
         return _execute_experiments(spec.ids[start:stop])
+    if spec.kind == OPTIMIZE_KIND:
+        from ..optimize.search import OptimizeParams, \
+            execute_optimize_chunk
+
+        return execute_optimize_chunk(OptimizeParams.from_spec(spec),
+                                      index)
     return _execute_sweep(spec, start, stop)
 
 
@@ -162,6 +176,12 @@ def assemble_artifact(spec: JobSpec,
             "count": len(entries),
             "experiments": entries,
         }
+    if spec.kind == OPTIMIZE_KIND:
+        from ..optimize.search import OptimizeParams, \
+            assemble_optimize_artifact
+
+        return assemble_optimize_artifact(OptimizeParams.from_spec(spec),
+                                          list(payloads))
     rows = [row for payload in payloads for row in payload["points"]]
     _, _, labels = _sweep_model_and_effect(spec)
     return {

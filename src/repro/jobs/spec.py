@@ -23,15 +23,18 @@ __all__ = [
     "JobSpec",
     "EXPERIMENTS_KIND",
     "SWEEP_KIND",
+    "OPTIMIZE_KIND",
     "KINDS",
     "DEFAULT_EXPERIMENT_CHUNK",
     "DEFAULT_SWEEP_CHUNK",
+    "DEFAULT_OPTIMIZE_CHUNK",
     "DEFAULT_MAX_ATTEMPTS",
 ]
 
 EXPERIMENTS_KIND = "experiments"
 SWEEP_KIND = "sweep"
-KINDS = (EXPERIMENTS_KIND, SWEEP_KIND)
+OPTIMIZE_KIND = "optimize"
+KINDS = (EXPERIMENTS_KIND, SWEEP_KIND, OPTIMIZE_KIND)
 
 #: One experiment per chunk: a checkpoint lands after every artifact,
 #: so a crash mid-registry loses at most one experiment's work.
@@ -40,6 +43,10 @@ DEFAULT_EXPERIMENT_CHUNK = 1
 #: Grid points per sweep chunk; single solves are ~10µs, so a chunk is
 #: still sub-millisecond of work but keeps checkpoint traffic bounded.
 DEFAULT_SWEEP_CHUNK = 64
+
+#: Valid configurations per exhaustive-optimize chunk.  Evolutionary
+#: jobs ignore this — there, one generation is one chunk.
+DEFAULT_OPTIMIZE_CHUNK = 2048
 
 #: Execution attempts before a job is marked failed for good.
 DEFAULT_MAX_ATTEMPTS = 3
@@ -61,6 +68,13 @@ class JobSpec:
     alpha: float = 0.5
     techniques: Tuple[str, ...] = ()
     chunk_size: int = 0
+    # Optimize-only fields (see repro.optimize).  ``space`` is the
+    # search space in hashable item form: ((name, (values...)), ...).
+    strategy: str = ""
+    seed: int = 0
+    generations: int = 0
+    population: int = 0
+    space: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -73,6 +87,15 @@ class JobSpec:
             )
         if self.kind == SWEEP_KIND and not self.ceas:
             raise ValueError("sweep jobs need at least one ceas value")
+        if self.kind == OPTIMIZE_KIND:
+            if not self.ceas:
+                raise ValueError("optimize jobs need a ceas value")
+            if self.strategy not in ("exhaustive", "evolutionary"):
+                raise ValueError(
+                    f"optimize jobs need a concrete strategy "
+                    f"('exhaustive' or 'evolutionary'), "
+                    f"got {self.strategy!r}"
+                )
 
     # -- construction --------------------------------------------------
 
@@ -107,6 +130,43 @@ class JobSpec:
             chunk_size=chunk_size,
         )
 
+    @classmethod
+    def optimize(cls, *, ceas: float, budget: float = 1.0,
+                 alpha: float = 0.5,
+                 strategy: str = "auto",
+                 seed: int = 0,
+                 generations: int = 0,
+                 population: int = 0,
+                 space: Optional[Any] = None,
+                 chunk_size: int = 0) -> "JobSpec":
+        """A design-space optimizer job (see :mod:`repro.optimize`).
+
+        ``space`` accepts a :class:`~repro.optimize.SearchSpace`, a
+        ``{dimension: [values]}`` mapping of overrides, or ``None`` for
+        the full default space.  ``strategy='auto'`` resolves to
+        exhaustive or evolutionary **here**, so the stored spec — and
+        therefore the chunk plan — is canonical.
+        """
+        from ..optimize import SearchSpace, resolve_strategy
+        from ..optimize.search import DEFAULT_GENERATIONS, \
+            DEFAULT_POPULATION
+
+        if not isinstance(space, SearchSpace):
+            space = SearchSpace.from_dict(space)
+        resolved = resolve_strategy(strategy, space)
+        return cls(
+            kind=OPTIMIZE_KIND,
+            ceas=(float(ceas),),
+            budgets=(float(budget),),
+            alpha=float(alpha),
+            strategy=resolved,
+            seed=int(seed),
+            generations=int(generations) or DEFAULT_GENERATIONS,
+            population=int(population) or DEFAULT_POPULATION,
+            space=space.to_items(),
+            chunk_size=chunk_size,
+        )
+
     # -- serialisation -------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -115,6 +175,17 @@ class JobSpec:
                                    "chunk_size": self.chunk_size}
         if self.kind == EXPERIMENTS_KIND:
             payload["ids"] = list(self.ids)
+        elif self.kind == OPTIMIZE_KIND:
+            payload.update(
+                ceas=list(self.ceas),
+                budgets=list(self.budgets),
+                alpha=self.alpha,
+                strategy=self.strategy,
+                seed=self.seed,
+                generations=self.generations,
+                population=self.population,
+                space={name: list(values) for name, values in self.space},
+            )
         else:
             payload.update(
                 ceas=list(self.ceas),
@@ -135,6 +206,23 @@ class JobSpec:
         if kind == EXPERIMENTS_KIND:
             return cls(kind=kind, ids=tuple(payload.get("ids", ())),
                        chunk_size=chunk_size)
+        if kind == OPTIMIZE_KIND:
+            from ..optimize.space import SearchSpace
+
+            return cls(
+                kind=kind,
+                ceas=tuple(float(c) for c in payload.get("ceas", ())),
+                budgets=tuple(float(b)
+                              for b in payload.get("budgets", (1.0,))),
+                alpha=float(payload.get("alpha", 0.5)),
+                strategy=str(payload.get("strategy", "")),
+                seed=int(payload.get("seed", 0)),
+                generations=int(payload.get("generations", 0)),
+                population=int(payload.get("population", 0)),
+                space=SearchSpace.from_dict(
+                    payload.get("space")).to_items(),
+                chunk_size=chunk_size,
+            )
         return cls(
             kind=kind,
             ceas=tuple(float(c) for c in payload.get("ceas", ())),
@@ -150,5 +238,8 @@ class JobSpec:
     def effective_chunk_size(self) -> int:
         if self.chunk_size > 0:
             return self.chunk_size
-        return (DEFAULT_EXPERIMENT_CHUNK if self.kind == EXPERIMENTS_KIND
-                else DEFAULT_SWEEP_CHUNK)
+        if self.kind == EXPERIMENTS_KIND:
+            return DEFAULT_EXPERIMENT_CHUNK
+        if self.kind == OPTIMIZE_KIND:
+            return DEFAULT_OPTIMIZE_CHUNK
+        return DEFAULT_SWEEP_CHUNK

@@ -232,6 +232,19 @@ class JobStore:
             counts[row["status"]] = row["n"]
         return counts
 
+    def kind_status_counts(self, kind: str) -> Dict[str, int]:
+        """Jobs of one kind per status (zeroes included) — one GROUP BY
+        query, so per-kind gauges stay a single store round-trip."""
+        with self._connection() as conn:
+            rows = conn.execute(
+                "SELECT status, COUNT(*) AS n FROM jobs"
+                " WHERE kind = ? GROUP BY status", (kind,),
+            ).fetchall()
+        counts = {status: 0 for status in STATUSES}
+        for row in rows:
+            counts[row["status"]] = row["n"]
+        return counts
+
     def retries_total(self) -> int:
         """Chunk-failure retries recorded across all jobs, ever."""
         with self._connection() as conn:

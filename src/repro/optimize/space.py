@@ -1,0 +1,371 @@
+"""The design-space model: which knobs the optimizer may turn.
+
+A :class:`SearchSpace` is an ordered tuple of :class:`Dimension`\\ s,
+each a named, discretised axis derived from the paper's technique
+catalogue (:mod:`repro.core.techniques`).  A *configuration* is a tuple
+of value indices, one per dimension, in dimension order — the index
+tuple (not the float values) is the canonical identity of a point, so
+ties, sorting and golden artifacts are exact regardless of float
+formatting.
+
+Dimensions and their neutral (technique-off) values:
+
+================== ============================== ========================
+dimension          default values                 technique
+================== ============================== ========================
+cache_compression  1, 1.25, 2, 3.5                CC (Table 2 ratios)
+link_compression   1, 1.25, 2, 3.5                LC (Table 2 ratios)
+dram_density       1, 4, 8, 16                    DRAM (Table 2 densities)
+stacked_layers     0, 1                           3D (SRAM layer)
+line_unused        0, 0.1, 0.4, 0.8               SmCl (unused fraction)
+filter_unused      0, 0.1, 0.4, 0.8               Fltr (unused fraction)
+core_area_fraction 1, 1/9, 1/40, 1/80             SmCo (relative core area)
+sharing_fraction   0, 0.2, 0.5, 0.8               shared-data traffic model
+================== ============================== ========================
+
+Validity constraint: ``filter_unused`` and ``line_unused`` both model
+the exploitation of never-referenced words, so a configuration enabling
+both is rejected (the paper never pairs them either — Fltr appears in
+Figure 16 combos only where SmCl/Sect do not).
+
+``sharing_fraction`` is not a Table 2 technique; it folds the
+data-sharing model of Section 4 (Equation 13/14) into a traffic factor
+using the large-``P`` limit: shared-cache traffic is no-sharing traffic
+times ``(P'/P)^(1+alpha)`` with ``P' = f + (1-f)P``, which tends to
+``(1-f)^(1+alpha)`` as ``P`` grows.  Representing that as a constant
+``traffic_factor = (1-f)^-(1+alpha)`` (computed at the request's alpha)
+keeps every configuration solvable by the closed bandwidth-wall kernel;
+the approximation overstates the benefit at small core counts and is
+exact in the limit — see ``docs/OPTIMIZER.md`` for the error bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, \
+    Tuple
+
+from ..core.techniques import (
+    CacheCompression,
+    DRAMCache,
+    LinkCompression,
+    SmallCacheLines,
+    SmallerCores,
+    TechniqueEffect,
+    UnusedDataFiltering,
+)
+
+__all__ = [
+    "Dimension",
+    "SearchSpace",
+    "DIMENSION_NAMES",
+    "default_space",
+]
+
+#: Canonical dimension order; configurations are index tuples in this
+#: order and every serialisation lists dimensions this way.
+DIMENSION_NAMES: Tuple[str, ...] = (
+    "cache_compression",
+    "link_compression",
+    "dram_density",
+    "stacked_layers",
+    "line_unused",
+    "filter_unused",
+    "core_area_fraction",
+    "sharing_fraction",
+)
+
+_DEFAULT_VALUES: Dict[str, Tuple[float, ...]] = {
+    "cache_compression": (1.0, 1.25, 2.0, 3.5),
+    "link_compression": (1.0, 1.25, 2.0, 3.5),
+    "dram_density": (1.0, 4.0, 8.0, 16.0),
+    "stacked_layers": (0.0, 1.0),
+    "line_unused": (0.0, 0.1, 0.4, 0.8),
+    "filter_unused": (0.0, 0.1, 0.4, 0.8),
+    "core_area_fraction": (1.0, 1.0 / 9.0, 1.0 / 40.0, 1.0 / 80.0),
+    "sharing_fraction": (0.0, 0.2, 0.5, 0.8),
+}
+
+#: Neutral (technique-off) value per dimension.  Every dimension must
+#: include its neutral value so the baseline configuration is always in
+#: the space and mutation repair has a well-defined "off" index.
+_NEUTRAL: Dict[str, float] = {
+    "cache_compression": 1.0,
+    "link_compression": 1.0,
+    "dram_density": 1.0,
+    "stacked_layers": 0.0,
+    "line_unused": 0.0,
+    "filter_unused": 0.0,
+    "core_area_fraction": 1.0,
+    "sharing_fraction": 0.0,
+}
+
+
+def _check_values(name: str, values: Sequence[float]) -> Tuple[float, ...]:
+    """Validate and canonicalise one dimension's value list."""
+    if not values:
+        raise ValueError(f"dimension {name!r} needs at least one value")
+    cleaned: List[float] = []
+    for value in values:
+        v = float(value)
+        if not math.isfinite(v):
+            raise ValueError(f"dimension {name!r} has non-finite value {v}")
+        if name in ("cache_compression", "link_compression", "dram_density"):
+            if v < 1.0:
+                raise ValueError(
+                    f"dimension {name!r} values must be >= 1, got {v}"
+                )
+        elif name == "stacked_layers":
+            if v != int(v) or not 0 <= v <= 4:
+                raise ValueError(
+                    f"dimension {name!r} values must be integers in "
+                    f"[0, 4], got {v}"
+                )
+        elif name in ("line_unused", "filter_unused", "sharing_fraction"):
+            if not 0.0 <= v < 1.0:
+                raise ValueError(
+                    f"dimension {name!r} values must be in [0, 1), got {v}"
+                )
+        elif name == "core_area_fraction":
+            if not 0.0 < v <= 1.0:
+                raise ValueError(
+                    f"dimension {name!r} values must be in (0, 1], got {v}"
+                )
+        cleaned.append(v)
+    # Ascending order with duplicates dropped: the stored spec is
+    # canonical, so two requests describing the same space plan the
+    # same chunks and produce the same artifact bytes.
+    unique = sorted(set(cleaned))
+    if _NEUTRAL[name] not in unique:
+        unique = sorted(unique + [_NEUTRAL[name]])
+    return tuple(unique)
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One discretised axis of the search space."""
+
+    name: str
+    values: Tuple[float, ...]
+
+    @property
+    def neutral_index(self) -> int:
+        return self.values.index(_NEUTRAL[self.name])
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """An ordered product of :class:`Dimension` value lists.
+
+    Examples
+    --------
+    >>> space = default_space()
+    >>> space.size
+    32768
+    >>> space.valid_count()
+    14336
+    >>> space.config_values(space.baseline_config())["dram_density"]
+    1.0
+    """
+
+    dimensions: Tuple[Dimension, ...]
+
+    def __post_init__(self) -> None:
+        names = tuple(d.name for d in self.dimensions)
+        if names != DIMENSION_NAMES:
+            raise ValueError(
+                f"dimensions must be exactly {list(DIMENSION_NAMES)} in "
+                f"order, got {list(names)}"
+            )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, overrides: Optional[Mapping[str, Sequence[float]]]
+              = None) -> "SearchSpace":
+        """The default space, with named dimensions optionally replaced.
+
+        An override pins a dimension to a custom value list (a single
+        value freezes it); unknown names raise.
+        """
+        overrides = dict(overrides or {})
+        unknown = sorted(set(overrides) - set(DIMENSION_NAMES))
+        if unknown:
+            raise ValueError(
+                f"unknown dimension(s) {unknown}; choose from "
+                f"{list(DIMENSION_NAMES)}"
+            )
+        dims = tuple(
+            Dimension(name, _check_values(
+                name, overrides.get(name, _DEFAULT_VALUES[name])))
+            for name in DIMENSION_NAMES
+        )
+        return cls(dimensions=dims)
+
+    # -- geometry ------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total configurations, valid or not."""
+        product = 1
+        for dim in self.dimensions:
+            product *= len(dim.values)
+        return product
+
+    def baseline_config(self) -> Tuple[int, ...]:
+        """The all-techniques-off configuration."""
+        return tuple(d.neutral_index for d in self.dimensions)
+
+    def is_valid(self, config: Sequence[int]) -> bool:
+        """Whether an index tuple satisfies the validity constraints."""
+        values = self.config_values(config)
+        # Fltr and SmCl both monetise unused words; enabling both would
+        # double-count the same capacity headroom.
+        return not (values["filter_unused"] > 0.0
+                    and values["line_unused"] > 0.0)
+
+    def repair(self, config: Sequence[int]) -> Tuple[int, ...]:
+        """Nearest valid configuration: switch ``line_unused`` off.
+
+        Deterministic by construction — the only constraint is the
+        Fltr/SmCl exclusion, and repair always yields to Fltr.
+        """
+        config = tuple(config)
+        if self.is_valid(config):
+            return config
+        fixed = list(config)
+        fixed[DIMENSION_NAMES.index("line_unused")] = \
+            self.dimensions[DIMENSION_NAMES.index("line_unused")] \
+            .neutral_index
+        return tuple(fixed)
+
+    def enumerate_valid(self) -> Iterator[Tuple[int, ...]]:
+        """All valid configurations in lexicographic index order."""
+        ranges = [range(len(d.values)) for d in self.dimensions]
+        for config in itertools.product(*ranges):
+            if self.is_valid(config):
+                yield config
+
+    def valid_count(self) -> int:
+        """Number of valid configurations (full product minus the
+        Fltr x SmCl exclusion block)."""
+        fltr = self.dimensions[DIMENSION_NAMES.index("filter_unused")]
+        smcl = self.dimensions[DIMENSION_NAMES.index("line_unused")]
+        fltr_on = sum(1 for v in fltr.values if v > 0.0)
+        smcl_on = sum(1 for v in smcl.values if v > 0.0)
+        rest = 1
+        for dim in self.dimensions:
+            if dim.name not in ("filter_unused", "line_unused"):
+                rest *= len(dim.values)
+        return self.size - rest * fltr_on * smcl_on
+
+    # -- interpretation ------------------------------------------------
+
+    def check_config(self, config: Sequence[int]) -> Tuple[int, ...]:
+        config = tuple(config)
+        if len(config) != len(self.dimensions):
+            raise ValueError(
+                f"config must have {len(self.dimensions)} indices, "
+                f"got {len(config)}"
+            )
+        for index, dim in zip(config, self.dimensions):
+            if not 0 <= index < len(dim.values):
+                raise ValueError(
+                    f"index {index} out of range for dimension "
+                    f"{dim.name!r} with {len(dim.values)} values"
+                )
+        return config
+
+    def config_values(self, config: Sequence[int]) -> Dict[str, float]:
+        """Index tuple -> ``{dimension name: value}`` mapping."""
+        config = self.check_config(config)
+        return {dim.name: dim.values[index]
+                for dim, index in zip(self.dimensions, config)}
+
+    def effect(self, config: Sequence[int],
+               alpha: float) -> Tuple[TechniqueEffect, Tuple[str, ...]]:
+        """Fold a configuration into a single :class:`TechniqueEffect`.
+
+        Returns the combined effect plus human-readable labels for the
+        enabled techniques (paper abbreviations).  ``alpha`` enters only
+        through the sharing-fraction traffic factor.
+        """
+        values = self.config_values(config)
+        if not self.is_valid(config):
+            raise ValueError(
+                "invalid configuration: filter_unused and line_unused "
+                "cannot both be enabled"
+            )
+        effect = TechniqueEffect()
+        labels: List[str] = []
+        if values["cache_compression"] > 1.0:
+            ratio = values["cache_compression"]
+            effect = effect.combine(CacheCompression(ratio).effect())
+            labels.append(f"CC={ratio:g}")
+        if values["link_compression"] > 1.0:
+            ratio = values["link_compression"]
+            effect = effect.combine(LinkCompression(ratio).effect())
+            labels.append(f"LC={ratio:g}")
+        if values["dram_density"] > 1.0:
+            density = values["dram_density"]
+            effect = effect.combine(DRAMCache(density).effect())
+            labels.append(f"DRAM={density:g}")
+        layers = int(values["stacked_layers"])
+        if layers >= 1:
+            # Multi-layer stacks generalise ThreeDStackedCache (which
+            # pins stacked_layers=1); the stacked die stays SRAM and
+            # inherits DRAM density via resolved_stacked_density.
+            effect = effect.combine(
+                TechniqueEffect(stacked_layers=layers))
+            labels.append("3D" if layers == 1 else f"3D={layers}")
+        if values["line_unused"] > 0.0:
+            fraction = values["line_unused"]
+            effect = effect.combine(SmallCacheLines(fraction).effect())
+            labels.append(f"SmCl={fraction:g}")
+        if values["filter_unused"] > 0.0:
+            fraction = values["filter_unused"]
+            effect = effect.combine(UnusedDataFiltering(fraction).effect())
+            labels.append(f"Fltr={fraction:g}")
+        if values["core_area_fraction"] < 1.0:
+            fraction = values["core_area_fraction"]
+            effect = effect.combine(SmallerCores(fraction).effect())
+            labels.append(f"SmCo={fraction:g}")
+        if values["sharing_fraction"] > 0.0:
+            fraction = values["sharing_fraction"]
+            # Large-P limit of Eq 13: traffic scales by (1-f)^(1+alpha).
+            factor = (1.0 - fraction) ** -(1.0 + alpha)
+            effect = effect.combine(TechniqueEffect(traffic_factor=factor))
+            labels.append(f"share={fraction:g}")
+        return effect, tuple(labels)
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """JSON-ready ``{name: [values]}`` in canonical order."""
+        return {dim.name: list(dim.values) for dim in self.dimensions}
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Mapping[str, Any]]
+                  ) -> "SearchSpace":
+        """Inverse of :meth:`to_dict`; None or {} means the default."""
+        if not payload:
+            return cls.build()
+        return cls.build(payload)
+
+    def to_items(self) -> Tuple[Tuple[str, Tuple[float, ...]], ...]:
+        """Hashable form for embedding in a frozen JobSpec."""
+        return tuple((dim.name, dim.values) for dim in self.dimensions)
+
+    @classmethod
+    def from_items(cls, items: Sequence[Tuple[str, Sequence[float]]]
+                   ) -> "SearchSpace":
+        if not items:
+            return cls.build()
+        return cls.build({name: tuple(values) for name, values in items})
+
+
+def default_space() -> SearchSpace:
+    """The full eight-dimension Table 2 space."""
+    return SearchSpace.build()

@@ -98,6 +98,7 @@ from .metrics import MetricsRegistry
 from .validation import (
     SweepRequest,
     validate_job_request,
+    validate_optimize_request,
     validate_solve_request,
     validate_sweep_request,
 )
@@ -191,6 +192,7 @@ class Response:
 EXPENSIVE_ROUTES = frozenset([
     ("POST", "/v1/sweep"),
     ("GET", "/v1/experiments/{id}"),
+    ("POST", "/v1/optimize"),
 ])
 
 
@@ -259,6 +261,10 @@ class BandwidthWallService:
              self._handle_job_get, "/v1/jobs/{id}"),
             ("DELETE", re.compile(r"^/v1/jobs/(?P<jid>[^/]+)$"),
              self._handle_job_cancel, "/v1/jobs/{id}"),
+            ("POST", re.compile(r"^/v1/optimize$"),
+             self._handle_optimize_submit, "/v1/optimize"),
+            ("GET", re.compile(r"^/v1/optimize/(?P<jid>[^/]+)$"),
+             self._handle_optimize_get, "/v1/optimize/{id}"),
         ]
 
     @staticmethod
@@ -458,6 +464,31 @@ class BandwidthWallService:
             "In-process job worker threads currently alive.",
             callback=lambda: self.job_manager.workers_alive(),
         )
+        # Optimizer subsystem (POST /v1/optimize).
+        self.optimize_submitted = registry.counter(
+            "optimize_jobs_submitted_total",
+            "Optimize jobs accepted via POST /v1/optimize, by strategy.",
+            ("strategy",),
+        )
+        self.optimize_evaluations = registry.counter(
+            "optimize_evaluations_budgeted_total",
+            "Design-point evaluations budgeted by accepted optimize "
+            "jobs (valid configurations, or generations x population).",
+        )
+        optimize_jobs = registry.gauge(
+            "optimize_jobs",
+            "Optimize jobs in the store, by status.",
+            ("status",),
+        )
+        def optimize_status_gauge(status: str) -> Callable[[], float]:
+            return store_gauge(
+                lambda: self.job_manager.store
+                .kind_status_counts("optimize")[status])
+
+        for status in ("queued", "running", "succeeded", "failed",
+                       "cancelled"):
+            optimize_jobs.set_callback(optimize_status_gauge(status),
+                                       status=status)
 
     # -- dispatch ------------------------------------------------------
 
@@ -772,6 +803,31 @@ class BandwidthWallService:
         return self._json_response(
             self._job_payload(record, include_result=False)
         )
+
+    def _handle_optimize_submit(self, match, query, body) -> Response:
+        if self.draining.is_set():
+            raise ServiceDrainingError(
+                "service is draining; optimize submissions are not "
+                "accepted"
+            )
+        request = validate_optimize_request(self._parse_json(body))
+        record = self._store_call(
+            self.job_manager.submit,
+            request.spec, max_attempts=request.max_attempts,
+        )
+        self.jobs_submitted.inc(kind=record.kind)
+        self.optimize_submitted.inc(strategy=request.spec.strategy)
+        self.optimize_evaluations.inc(request.num_evaluations)
+        return self._json_response(self._job_payload(record), status=202)
+
+    def _handle_optimize_get(self, match, query, body) -> Response:
+        record = self._job_record(match)
+        if record.kind != "optimize":
+            raise NotFoundError(
+                f"job {record.id!r} is a {record.kind} job, not an "
+                f"optimize job; fetch it via GET /v1/jobs/{record.id}"
+            )
+        return self._json_response(self._job_payload(record))
 
     def _job_record(self, match) -> JobRecord:
         job_id = unquote(match.group("jid"))

@@ -236,6 +236,51 @@ class ServiceClient:
             body["max_attempts"] = max_attempts
         return self.submit_job(body)
 
+    def submit_optimize(
+            self, *, ceas: float, budget: Optional[float] = None,
+            alpha: Optional[float] = None,
+            strategy: Optional[str] = None,
+            seed: Optional[int] = None,
+            generations: Optional[int] = None,
+            population: Optional[int] = None,
+            space: Optional[Dict[str, Sequence[float]]] = None,
+            chunk_size: Optional[int] = None,
+            max_attempts: Optional[int] = None) -> Dict[str, Any]:
+        """Submit a design-space optimizer job (``POST /v1/optimize``).
+
+        ``space`` maps dimension names to custom value lists (a single
+        value freezes that dimension); omitted knobs take the service
+        defaults.  Returns the 202 job payload.
+        """
+        body: Dict[str, Any] = {"ceas": ceas}
+        if budget is not None:
+            body["budget"] = budget
+        if alpha is not None:
+            body["alpha"] = alpha
+        if strategy is not None:
+            body["strategy"] = strategy
+        if seed is not None:
+            body["seed"] = seed
+        if generations is not None:
+            body["generations"] = generations
+        if population is not None:
+            body["population"] = population
+        if space is not None:
+            body["space"] = {name: list(values)
+                             for name, values in space.items()}
+        if chunk_size is not None:
+            body["chunk_size"] = chunk_size
+        if max_attempts is not None:
+            body["max_attempts"] = max_attempts
+        return self.request_json("POST", "/v1/optimize", body=body)
+
+    def optimize_result(self, job_id: str) -> Dict[str, Any]:
+        """Fetch one optimize job (404 for non-optimize job ids)."""
+        return self.request_json(
+            "GET", "/v1/optimize/" + urllib.parse.quote(job_id, safe=""),
+            retries=IDEMPOTENT_RETRIES,
+        )
+
     def jobs(self, status: Optional[str] = None) -> Dict[str, Any]:
         path = "/v1/jobs"
         if status is not None:

@@ -14,6 +14,9 @@ then asserts the full serving contract:
 4. a bad request gets a structured 400 and an unknown id a 404;
 5. a background job (``POST /v1/jobs``) runs to completion with the
    right artifact, and a second, longer job cancels mid-run;
+5b. a small exhaustive design-space search (``POST /v1/optimize``)
+    completes and returns a Pareto frontier that dominates the
+    technique-free baseline;
 6. ``/metrics`` exposes request counters, latency histograms, both
    cache hit-rate families, the ``jobs_*`` families AND the
    ``resilience_*`` families, and ``/healthz`` reports job-queue
@@ -139,6 +142,31 @@ def contract_main() -> int:
         _check(terminal["status"] == "cancelled",
                "cancelled job reaches the cancelled status")
 
+        # Design-space optimizer: a small exhaustive space through
+        # POST /v1/optimize must complete and return a frontier.
+        optimize = client.submit_optimize(
+            ceas=256.0, budget=2.0,
+            space={"dram_density": [1.0, 8.0], "stacked_layers": [0],
+                   "line_unused": [0.0], "filter_unused": [0.0],
+                   "core_area_fraction": [1.0],
+                   "sharing_fraction": [0.0]},
+        )
+        _check(optimize["kind"] == "optimize"
+               and optimize["status"] in ("queued", "running"),
+               "POST /v1/optimize accepts a search job (202)")
+        frontier_job = client.wait_for_job(optimize["id"], timeout=60)
+        _check(frontier_job["status"] == "succeeded",
+               "optimize job runs to completion")
+        artifact = client.optimize_result(optimize["id"])["result"]
+        _check(artifact["strategy"] == "exhaustive"
+               and artifact["evaluated"] == 32
+               and artifact["frontier_size"] >= 1,
+               "optimize artifact holds an exhaustive Pareto frontier")
+        best = max(point["cores"] for point in artifact["frontier"])
+        neutral = client.solve(ceas=256.0, budget=2.0)
+        _check(best >= neutral["solution"]["cores"],
+               "frontier dominates the technique-free baseline")
+
         health = client.healthz()
         _check(health["jobs"]["workers_alive"] >= 1,
                "/healthz reports live job workers")
@@ -160,6 +188,8 @@ def contract_main() -> int:
             "jobs_succeeded_total",
             "jobs_cancelled_total",
             "jobs_chunk_duration_seconds",
+            'optimize_jobs_submitted_total{strategy="exhaustive"}',
+            "optimize_evaluations_budgeted_total",
             'resilience_breaker_state{dependency="job-store"} 0',
             "resilience_admission_active",
             "resilience_admission_waiting",

@@ -19,11 +19,16 @@ __all__ = [
     "MAX_SWEEP_POINTS",
     "MAX_JOB_ATTEMPTS",
     "MAX_JOB_CHUNK_SIZE",
+    "MAX_OPTIMIZE_EVALUATIONS",
+    "MAX_OPTIMIZE_GENERATIONS",
+    "MAX_OPTIMIZE_POPULATION",
     "SweepRequest",
     "JobRequest",
+    "OptimizeRequest",
     "validate_solve_request",
     "validate_sweep_request",
     "validate_job_request",
+    "validate_optimize_request",
 ]
 
 #: Upper bound on one sweep's grid (|ceas| x |budgets|).  A request
@@ -34,10 +39,20 @@ MAX_SWEEP_POINTS = 10_000
 MAX_JOB_ATTEMPTS = 10
 MAX_JOB_CHUNK_SIZE = 1_000
 
+#: Bounds on ``POST /v1/optimize``: total solves an accepted request
+#: may cost (exhaustive valid configurations, or generations x
+#: population for evolutionary searches) plus the per-knob caps.
+MAX_OPTIMIZE_EVALUATIONS = 20_000
+MAX_OPTIMIZE_GENERATIONS = 200
+MAX_OPTIMIZE_POPULATION = 256
+
 _SOLVE_FIELDS = ("ceas", "alpha", "budget", "techniques")
 _SWEEP_FIELDS = ("ceas", "alpha", "budgets", "techniques")
 _JOB_FIELDS = ("kind", "ids", "ceas", "budgets", "alpha", "techniques",
                "chunk_size", "max_attempts")
+_OPTIMIZE_FIELDS = ("ceas", "budget", "alpha", "strategy", "seed",
+                    "generations", "population", "space", "chunk_size",
+                    "max_attempts")
 
 
 @dataclass(frozen=True)
@@ -251,7 +266,6 @@ def validate_job_request(payload: Any) -> JobRequest:
     from ..jobs.spec import (
         DEFAULT_MAX_ATTEMPTS,
         EXPERIMENTS_KIND,
-        KINDS,
         SWEEP_KIND,
         JobSpec,
     )
@@ -260,9 +274,15 @@ def validate_job_request(payload: Any) -> JobRequest:
     errors: List[FieldError] = []
     _check_unknown_fields(payload, _JOB_FIELDS, errors)
     kind = payload.get("kind", EXPERIMENTS_KIND)
-    if kind not in KINDS:
+    if kind == "optimize":
+        raise ValidationError([FieldError(
+            "kind", "optimize jobs are submitted via POST /v1/optimize"
+        )])
+    if kind not in (EXPERIMENTS_KIND, SWEEP_KIND):
         errors.append(FieldError(
-            "kind", f"must be one of {list(KINDS)}, got {kind!r}"
+            "kind",
+            f"must be one of {[EXPERIMENTS_KIND, SWEEP_KIND]}, "
+            f"got {kind!r}",
         ))
         kind = EXPERIMENTS_KIND
     # chunk_size 0 (the default) means "the kind's default chunking".
@@ -308,6 +328,141 @@ def validate_job_request(payload: Any) -> JobRequest:
     return JobRequest(
         spec=JobSpec.sweep(ceas=ceas, budgets=budgets, alpha=alpha,
                            techniques=techniques, chunk_size=chunk_size),
+        max_attempts=max_attempts,
+    )
+
+
+@dataclass(frozen=True)
+class OptimizeRequest:
+    """A validated ``POST /v1/optimize`` body: a resolved optimize
+    :class:`~repro.jobs.spec.JobSpec` plus retry budget."""
+
+    spec: "JobSpec"
+    max_attempts: int
+
+    @property
+    def num_evaluations(self) -> int:
+        """Solve budget the request admits to (admission-control cost)."""
+        from ..optimize import SearchSpace
+        from ..optimize.search import EVOLUTIONARY_STRATEGY
+
+        if self.spec.strategy == EVOLUTIONARY_STRATEGY:
+            return self.spec.generations * self.spec.population
+        return SearchSpace.from_items(self.spec.space).valid_count()
+
+
+def _space_field(payload: Dict[str, Any],
+                 errors: List[FieldError]) -> "Any":
+    """Validate ``space`` overrides into a SearchSpace (None = default)."""
+    from ..optimize import SearchSpace
+
+    raw = payload.get("space")
+    if raw is None:
+        return SearchSpace.build()
+    if not isinstance(raw, dict):
+        errors.append(FieldError(
+            "space",
+            f"must be an object mapping dimension names to value "
+            f"lists, got {type(raw).__name__}",
+        ))
+        return SearchSpace.build()
+    overrides: Dict[str, List[float]] = {}
+    for name, values in raw.items():
+        if isinstance(values, (int, float)) and not isinstance(values,
+                                                               bool):
+            values = [values]
+        if not isinstance(values, list) or not values or any(
+            isinstance(v, bool) or not isinstance(v, (int, float))
+            for v in values
+        ):
+            errors.append(FieldError(
+                f"space.{name}",
+                "must be a number or a non-empty list of numbers",
+            ))
+            continue
+        overrides[name] = [float(v) for v in values]
+    try:
+        return SearchSpace.build(overrides)
+    except ValueError as error:
+        errors.append(FieldError("space", str(error)))
+        return SearchSpace.build()
+
+
+def validate_optimize_request(payload: Any) -> OptimizeRequest:
+    """Validate a ``POST /v1/optimize`` body into an optimize job spec.
+
+    ``strategy`` defaults to ``auto`` (exhaustive for small spaces,
+    evolutionary above the threshold); the resolved spec stores the
+    concrete strategy.  The request's total solve budget — valid
+    configurations for exhaustive, ``generations x population`` for
+    evolutionary — is capped at :data:`MAX_OPTIMIZE_EVALUATIONS`.
+    """
+    from ..jobs.spec import DEFAULT_MAX_ATTEMPTS, JobSpec
+    from ..optimize.search import (
+        AUTO_STRATEGY,
+        DEFAULT_GENERATIONS,
+        DEFAULT_POPULATION,
+        EXHAUSTIVE_STRATEGY,
+        STRATEGIES,
+        resolve_strategy,
+    )
+
+    payload = _require_object(payload)
+    errors: List[FieldError] = []
+    _check_unknown_fields(payload, _OPTIMIZE_FIELDS, errors)
+    if "ceas" not in payload:
+        errors.append(FieldError(
+            "ceas", "required: the die size (in CEAs) to optimize for"
+        ))
+    ceas = _positive_number(payload, "ceas", 256.0, errors)
+    budget = _positive_number(payload, "budget", 1.0, errors)
+    alpha = _positive_number(payload, "alpha", 0.5, errors)
+    strategy = payload.get("strategy", AUTO_STRATEGY)
+    if strategy not in (AUTO_STRATEGY,) + STRATEGIES:
+        errors.append(FieldError(
+            "strategy",
+            f"must be one of {[AUTO_STRATEGY] + list(STRATEGIES)}, "
+            f"got {strategy!r}",
+        ))
+        strategy = AUTO_STRATEGY
+    seed = payload.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        errors.append(FieldError(
+            "seed", f"must be an integer, got {type(seed).__name__}"
+        ))
+        seed = 0
+    generations = _bounded_int(payload, "generations",
+                               DEFAULT_GENERATIONS,
+                               MAX_OPTIMIZE_GENERATIONS, errors)
+    population = _bounded_int(payload, "population", DEFAULT_POPULATION,
+                              MAX_OPTIMIZE_POPULATION, errors)
+    chunk_size = 0
+    if "chunk_size" in payload:
+        chunk_size = _bounded_int(payload, "chunk_size", 1,
+                                  MAX_OPTIMIZE_EVALUATIONS, errors)
+    max_attempts = _bounded_int(payload, "max_attempts",
+                                DEFAULT_MAX_ATTEMPTS, MAX_JOB_ATTEMPTS,
+                                errors)
+    space = _space_field(payload, errors)
+    resolved = resolve_strategy(strategy, space)
+    cost = (space.valid_count() if resolved == EXHAUSTIVE_STRATEGY
+            else generations * population)
+    if cost > MAX_OPTIMIZE_EVALUATIONS:
+        field = ("space" if resolved == EXHAUSTIVE_STRATEGY
+                 else "generations")
+        errors.append(FieldError(
+            field,
+            f"search budget too large: {cost} evaluations "
+            f"> {MAX_OPTIMIZE_EVALUATIONS}",
+        ))
+    if errors:
+        raise ValidationError(errors)
+    return OptimizeRequest(
+        spec=JobSpec.optimize(
+            ceas=ceas, budget=budget, alpha=alpha, strategy=resolved,
+            seed=seed, generations=generations, population=population,
+            space=space, chunk_size=chunk_size,
+        ),
         max_attempts=max_attempts,
     )
 

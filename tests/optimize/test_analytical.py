@@ -1,0 +1,126 @@
+"""Cross-check the optimizer against an independent analytical optimum.
+
+For capacity/traffic-only technique stacks (cache compression, link
+compression, unused-data filtering — no density, stacking or core-size
+changes) and the paper's average workload ``alpha = 1/2``, the traffic
+equation collapses to a depressed cubic with a closed-form root, in the
+style of analytical CMP cache-optimisation models (e.g. Yavits et al.,
+arXiv:1705.07281):
+
+    (P / P1) * (c (N - P) / (P S1))^(-1/2) = B t
+ => P^3 + (A c / S1) P - (A c / S1) N = 0,   A = (B t P1)^2
+
+with capacity factor ``c``, traffic factor ``t``, die size ``N``,
+budget ``B`` and baseline ``(P1, S1)``.  The cubic has exactly one real
+root (positive linear coefficient), given hyperbolically by
+
+    P = 2 sqrt(p/3) * sinh(asinh(3|q| sqrt(3/p) / (2p)) / 3)
+
+for ``P^3 + p P - |q| = 0``.  The optimizer knows nothing of this
+closed form — it bisects the general monotone equation — so agreement
+here validates the entire pipeline (effect folding, vectorized solves,
+Pareto pruning) against independent mathematics, to ~1e-9 relative,
+comfortably above the bisection's 1e-12 convergence tolerance.
+"""
+
+import math
+
+import pytest
+
+from repro.optimize import OptimizeParams, SearchSpace, run_search
+
+#: CC x LC x Fltr — the largest default sub-space whose every effect is
+#: a pure (capacity, traffic) pair.  4 x 4 x 4 = 64 valid configs.
+COMPRESSION_ONLY = {
+    "dram_density": [1.0],
+    "stacked_layers": [0],
+    "line_unused": [0.0],
+    "core_area_fraction": [1.0],
+    "sharing_fraction": [0.0],
+}
+
+REL_TOL = 1e-9
+
+
+def cubic_root(p: float, q_abs: float) -> float:
+    """The single real root of ``x^3 + p x - q_abs = 0`` for p > 0."""
+    assert p > 0 and q_abs > 0
+    arg = (3.0 * q_abs) / (2.0 * p) * math.sqrt(3.0 / p)
+    return 2.0 * math.sqrt(p / 3.0) * math.sinh(math.asinh(arg) / 3.0)
+
+
+def analytical_cores(ceas, budget, capacity, traffic, p1, s1):
+    a = (budget * traffic * p1) ** 2
+    coeff = a * capacity / s1
+    return cubic_root(coeff, coeff * ceas)
+
+
+def config_factors(values):
+    """(capacity, traffic) factors of a compression-only config."""
+    capacity = values["cache_compression"]
+    if values["filter_unused"] > 0.0:
+        capacity *= 1.0 / (1.0 - values["filter_unused"])
+    return capacity, values["link_compression"]
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    params = OptimizeParams(
+        space=SearchSpace.build(COMPRESSION_ONLY),
+        ceas=256.0, budget=1.0, alpha=0.5, strategy="exhaustive",
+    )
+    return params, run_search(params)
+
+
+class TestClosedForm:
+    def test_cubic_root_solves_the_cubic(self):
+        for p, q in [(64.0, 2048.0), (1.5, 0.25), (1e6, 1e9)]:
+            root = cubic_root(p, q)
+            assert root ** 3 + p * root - q == pytest.approx(
+                0.0, abs=1e-6 * q)
+
+    def test_baseline_point_matches_model_docstring(self):
+        # ChipDesign(16, 8) at 2x area, budget 1: Figure 2's crossing.
+        cores = analytical_cores(32.0, 1.0, 1.0, 1.0, p1=8, s1=1.0)
+        assert math.floor(cores) == 11
+
+
+class TestFrontierAgreement:
+    def test_every_frontier_row_matches_the_cubic(self, artifact):
+        params, result = artifact
+        baseline = params.model().baseline
+        p1, s1 = baseline.num_cores, baseline.cache_per_core
+        assert result["evaluated"] == 64
+        assert result["skipped"] == 0
+        for row in result["frontier"]:
+            capacity, traffic = config_factors(row["config"])
+            expected = analytical_cores(
+                params.ceas, params.budget, capacity, traffic, p1, s1)
+            assert row["continuous_cores"] == pytest.approx(
+                expected, rel=REL_TOL)
+            assert row["cores"] == math.floor(expected)
+
+    def test_frontier_max_equals_analytical_optimum(self, artifact):
+        """The exhaustive frontier's best core count equals the maximum
+        of the closed form over the whole sub-space — the optimizer
+        found the true cache-area optimum, not a local one."""
+        params, result = artifact
+        baseline = params.model().baseline
+        p1, s1 = baseline.num_cores, baseline.cache_per_core
+        best = max(
+            analytical_cores(params.ceas, params.budget,
+                             *config_factors(params.space.config_values(
+                                 config)), p1, s1)
+            for config in params.space.enumerate_valid()
+        )
+        assert max(r["cores"] for r in result["frontier"]) == \
+            math.floor(best)
+
+    def test_cache_fraction_follows_from_the_root(self, artifact):
+        """cache_fraction = (N - P) / N when cores occupy full CEAs."""
+        params, result = artifact
+        for row in result["frontier"]:
+            expected = (params.ceas - row["continuous_cores"]) \
+                / params.ceas
+            assert row["cache_fraction"] == pytest.approx(
+                expected, rel=1e-12)

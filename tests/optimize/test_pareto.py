@@ -1,0 +1,102 @@
+"""Pareto engine determinism: the properties crash-resume leans on.
+
+``pareto_frontier`` must be a pure function of the input *set* (any
+permutation gives identical output), exact objective ties must collapse
+to the smallest config tuple, and chunk-local pruning followed by
+``merge_frontiers`` must equal one global frontier — that equivalence
+is why the jobs executor may checkpoint per-chunk frontiers instead of
+raw evaluations.
+"""
+
+import itertools
+import random
+
+from repro.optimize import (
+    dominates,
+    merge_frontiers,
+    objective_key,
+    pareto_frontier,
+)
+
+
+def row(config, cores, cache_fraction, traffic):
+    return {"config_key": list(config), "cores": cores,
+            "cache_fraction": cache_fraction, "traffic": traffic}
+
+
+def keys(frontier):
+    return [tuple(r["config_key"]) for r in frontier]
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates((-10, 0.5, 0.9), (-8, 0.6, 1.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((-10, 0.5, 0.9), (-10, 0.5, 0.9))
+
+    def test_tradeoff_is_incomparable(self):
+        a, b = (-10, 0.9, 0.5), (-8, 0.2, 0.5)
+        assert not dominates(a, b) and not dominates(b, a)
+
+    def test_objective_key_negates_cores(self):
+        assert objective_key(row((0,), 12, 0.5, 0.8)) == (-12.0, 0.5, 0.8)
+
+
+class TestFrontier:
+    def rows(self):
+        return [
+            row((0, 0), 10, 0.50, 0.90),   # frontier
+            row((0, 1), 10, 0.60, 0.90),   # dominated by (0,0)
+            row((1, 0), 12, 0.70, 0.95),   # frontier (more cores)
+            row((1, 1), 8, 0.20, 0.99),    # frontier (least cache)
+            row((2, 0), 8, 0.20, 0.40),    # dominates (1,1)
+            row((2, 1), 7, 0.30, 0.50),    # dominated by (2,0)
+        ]
+
+    def test_frontier_contents(self):
+        frontier = pareto_frontier(self.rows())
+        assert keys(frontier) == [(1, 0), (0, 0), (2, 0)]
+
+    def test_output_sorted_by_objective_key(self):
+        frontier = pareto_frontier(self.rows())
+        sort_keys = [objective_key(r) for r in frontier]
+        assert sort_keys == sorted(sort_keys)
+
+    def test_insertion_order_never_matters(self):
+        base = self.rows()
+        expected = pareto_frontier(base)
+        for permutation in itertools.permutations(base):
+            assert pareto_frontier(list(permutation)) == expected
+
+    def test_exact_ties_collapse_to_smallest_config(self):
+        tied = [row((3, 1), 10, 0.5, 0.9), row((1, 2), 10, 0.5, 0.9),
+                row((1, 1), 10, 0.5, 0.9)]
+        for permutation in itertools.permutations(tied):
+            frontier = pareto_frontier(list(permutation))
+            assert keys(frontier) == [(1, 1)]
+
+    def test_empty_and_singleton(self):
+        assert pareto_frontier([]) == []
+        single = row((0,), 5, 0.5, 0.5)
+        assert pareto_frontier([single]) == [single]
+
+
+class TestMerge:
+    def test_chunked_merge_equals_global_frontier(self):
+        rng = random.Random(42)
+        rows = [row((i,), rng.randrange(1, 50),
+                    round(rng.uniform(0.1, 0.9), 3),
+                    round(rng.uniform(0.1, 1.5), 3))
+                for i in range(200)]
+        global_frontier = pareto_frontier(rows)
+        for chunk_size in (7, 50, 200):
+            chunks = [rows[i:i + chunk_size]
+                      for i in range(0, len(rows), chunk_size)]
+            merged = merge_frontiers(
+                *[pareto_frontier(chunk) for chunk in chunks])
+            assert merged == global_frontier
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_frontiers() == []
+        assert merge_frontiers([], []) == []

@@ -1,0 +1,197 @@
+"""Search-space model: geometry, validity, effects, serialisation.
+
+The space's canonical form (sorted deduped values, forced neutral,
+fixed dimension order) is what makes optimizer artifacts reproducible
+across submissions, so every canonicalisation rule is pinned here.
+"""
+
+import math
+
+import pytest
+
+from repro.core.techniques import NEUTRAL_EFFECT
+from repro.optimize import DIMENSION_NAMES, SearchSpace, default_space
+
+
+class TestGeometry:
+    def test_default_space_size(self):
+        space = default_space()
+        assert space.size == 4 * 4 * 4 * 2 * 4 * 4 * 4 * 4
+
+    def test_valid_count_matches_enumeration(self):
+        space = SearchSpace.build({
+            "dram_density": [1.0],
+            "stacked_layers": [0],
+            "core_area_fraction": [1.0],
+            "sharing_fraction": [0.0],
+        })
+        assert space.valid_count() == \
+            sum(1 for _ in space.enumerate_valid())
+
+    def test_default_valid_count(self):
+        # 3/4 line values x 3/4 filter values are excluded pairwise:
+        # 32768 - (32768/16) * 9 = 14336.
+        assert default_space().valid_count() == 14336
+
+    def test_enumeration_is_lexicographic_and_valid(self):
+        space = SearchSpace.build({
+            name: [v] for name, v in [
+                ("cache_compression", 1.0), ("link_compression", 1.0),
+                ("dram_density", 1.0), ("stacked_layers", 0),
+                ("core_area_fraction", 1.0), ("sharing_fraction", 0.0),
+            ]
+        })
+        configs = list(space.enumerate_valid())
+        assert configs == sorted(configs)
+        assert all(space.is_valid(c) for c in configs)
+        # 4x4 grid minus the 3x3 both-enabled block.
+        assert len(configs) == 16 - 9
+
+    def test_baseline_config_is_all_neutral(self):
+        space = default_space()
+        baseline = space.baseline_config()
+        values = space.config_values(baseline)
+        assert values["cache_compression"] == 1.0
+        assert values["stacked_layers"] == 0.0
+        assert values["core_area_fraction"] == 1.0
+        assert space.is_valid(baseline)
+
+
+class TestValidityAndRepair:
+    def test_fltr_smcl_exclusion(self):
+        space = default_space()
+        line = DIMENSION_NAMES.index("line_unused")
+        fltr = DIMENSION_NAMES.index("filter_unused")
+        config = list(space.baseline_config())
+        config[line] = 1
+        config[fltr] = 1
+        assert not space.is_valid(config)
+
+    def test_repair_switches_line_unused_off(self):
+        space = default_space()
+        line = DIMENSION_NAMES.index("line_unused")
+        fltr = DIMENSION_NAMES.index("filter_unused")
+        config = list(space.baseline_config())
+        config[line] = 2
+        config[fltr] = 3
+        repaired = space.repair(config)
+        assert space.is_valid(repaired)
+        assert repaired[line] == space.dimensions[line].neutral_index
+        assert repaired[fltr] == 3  # Fltr wins
+
+    def test_repair_is_identity_on_valid_configs(self):
+        space = default_space()
+        config = space.baseline_config()
+        assert space.repair(config) == config
+
+    def test_effect_rejects_invalid_config(self):
+        space = default_space()
+        line = DIMENSION_NAMES.index("line_unused")
+        fltr = DIMENSION_NAMES.index("filter_unused")
+        config = list(space.baseline_config())
+        config[line] = 1
+        config[fltr] = 1
+        with pytest.raises(ValueError, match="cannot both be enabled"):
+            space.effect(config, alpha=0.5)
+
+
+class TestBuildValidation:
+    def test_unknown_dimension_raises(self):
+        with pytest.raises(ValueError, match="unknown dimension"):
+            SearchSpace.build({"warp_drive": [1.0]})
+
+    @pytest.mark.parametrize("name,bad", [
+        ("cache_compression", 0.5),
+        ("dram_density", 0.0),
+        ("stacked_layers", 2.5),
+        ("stacked_layers", 9),
+        ("line_unused", 1.0),
+        ("sharing_fraction", -0.1),
+        ("core_area_fraction", 0.0),
+        ("core_area_fraction", 1.5),
+    ])
+    def test_out_of_range_values_raise(self, name, bad):
+        with pytest.raises(ValueError):
+            SearchSpace.build({name: [bad]})
+
+    def test_non_finite_value_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            SearchSpace.build({"cache_compression": [math.inf]})
+
+    def test_empty_dimension_raises(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            SearchSpace.build({"cache_compression": []})
+
+    def test_values_are_sorted_and_deduped(self):
+        space = SearchSpace.build(
+            {"cache_compression": [3.5, 2.0, 2.0, 1.0]})
+        dim = space.dimensions[
+            DIMENSION_NAMES.index("cache_compression")]
+        assert dim.values == (1.0, 2.0, 3.5)
+
+    def test_neutral_value_is_forced_in(self):
+        space = SearchSpace.build({"dram_density": [8.0]})
+        dim = space.dimensions[DIMENSION_NAMES.index("dram_density")]
+        assert dim.values == (1.0, 8.0)
+        assert dim.neutral_index == 0
+
+
+class TestEffects:
+    def test_baseline_effect_is_neutral(self):
+        space = default_space()
+        effect, labels = space.effect(space.baseline_config(), 0.5)
+        assert effect == NEUTRAL_EFFECT
+        assert labels == ()
+
+    def test_full_stack_labels_and_factors(self):
+        space = default_space()
+        # Everything except SmCl; core values sort ascending, so index
+        # 0 is the smallest core (1/80) and index 3 the neutral 1.0.
+        config = [3, 3, 3, 1, 0, 3, 0, 2]
+        effect, labels = space.effect(config, alpha=0.5)
+        assert labels == ("CC=3.5", "LC=3.5", "DRAM=16", "3D",
+                          "Fltr=0.8", "SmCo=0.0125", "share=0.5")
+        assert effect.stacked_layers == 1
+        assert effect.core_area_fraction == 0.0125
+        # CC(3.5) x Fltr(0.8 -> 1/(1-0.8)=5) on capacity; Fltr has no
+        # direct traffic term (fetches still move whole lines).
+        assert effect.capacity_factor == pytest.approx(3.5 * 5.0)
+        # LC(3.5) x sharing traffic (1-0.5)^-(1+alpha).
+        assert effect.traffic_factor == pytest.approx(3.5 * 0.5 ** -1.5)
+
+    def test_sharing_factor_depends_on_alpha(self):
+        space = default_space()
+        config = list(space.baseline_config())
+        config[DIMENSION_NAMES.index("sharing_fraction")] = 1  # f=0.2
+        low, _ = space.effect(config, alpha=0.25)
+        high, _ = space.effect(config, alpha=1.0)
+        assert low.traffic_factor == pytest.approx(0.8 ** -1.25)
+        assert high.traffic_factor == pytest.approx(0.8 ** -2.0)
+
+    def test_check_config_rejects_bad_shapes(self):
+        space = default_space()
+        with pytest.raises(ValueError, match="must have 8 indices"):
+            space.check_config((0, 0))
+        bad = list(space.baseline_config())
+        bad[0] = 99
+        with pytest.raises(ValueError, match="out of range"):
+            space.check_config(bad)
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        space = SearchSpace.build({"cache_compression": [1.0, 2.0],
+                                   "stacked_layers": [0, 1, 2]})
+        assert SearchSpace.from_dict(space.to_dict()) == space
+
+    def test_items_round_trip(self):
+        space = SearchSpace.build({"dram_density": [1.0, 8.0]})
+        assert SearchSpace.from_items(space.to_items()) == space
+
+    def test_empty_payload_means_default(self):
+        assert SearchSpace.from_dict(None) == default_space()
+        assert SearchSpace.from_dict({}) == default_space()
+        assert SearchSpace.from_items(()) == default_space()
+
+    def test_to_dict_preserves_canonical_order(self):
+        assert tuple(default_space().to_dict()) == DIMENSION_NAMES

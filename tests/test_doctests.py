@@ -19,6 +19,7 @@ import repro.core.heterogeneous
 import repro.core.powerlaw
 import repro.core.scaling
 import repro.core.traffic
+import repro.optimize.space
 import repro.workloads.address_stream
 import repro.workloads.commercial
 import repro.workloads.mixes
@@ -31,6 +32,7 @@ _MODULES = [
     repro.core.combos,
     repro.core.amdahl,
     repro.core.heterogeneous,
+    repro.optimize.space,
     repro.analysis.tables,
     repro.compression.link,
     repro.compression.ratios,

@@ -19,7 +19,8 @@ from benchmarks.trajectory import (
 )
 
 
-def artifact(speedup=5.0, fig9_work=100.0, powerlaw_speedup=1.2):
+def artifact(speedup=5.0, fig9_work=100.0, powerlaw_speedup=1.2,
+             optimize_rate=10_000.0):
     return {
         "schema": 1,
         "mode": "full",
@@ -27,6 +28,7 @@ def artifact(speedup=5.0, fig9_work=100.0, powerlaw_speedup=1.2):
         "sweeps": {"fig9": {"seconds": 0.01,
                             "normalized_work": fig9_work}},
         "powerlaw": {"speedup": powerlaw_speedup},
+        "optimize": {"points": 768, "points_per_sec": optimize_rate},
     }
 
 
@@ -73,6 +75,20 @@ class TestCompareArtifacts:
         baseline["sweeps"]["ext-validation"] = {"normalized_work": 900.0}
         assert compare_artifacts(new, baseline) == []
 
+    def test_optimize_rate_regression_fails(self):
+        # optimize.points_per_sec carries the 2x timing allowance.
+        new = artifact(optimize_rate=10_000.0 * 0.65)
+        failures = compare_artifacts(new, artifact())
+        assert len(failures) == 1
+        assert "optimize.points_per_sec" in failures[0]
+
+    def test_baseline_without_optimize_section_passes(self):
+        """BENCH artifacts recorded before the optimizer existed must
+        keep gating newer artifacts without tripping on the section."""
+        baseline = artifact()
+        del baseline["optimize"]
+        assert compare_artifacts(artifact(), baseline) == []
+
     def test_scalar_only_artifact_skips_vectorized_metrics(self):
         new = artifact()
         del new["solver"]["speedup"]
@@ -113,6 +129,13 @@ class TestGateCli:
         out = capsys.readouterr().out
         assert "PERF GATE FAILED" in out
         assert "solver.speedup" in out
+
+    def test_missing_baseline_skips_gate(self, tmp_path, capsys):
+        """First run on a branch: no committed BENCH baseline yet."""
+        new = self.write(tmp_path, "new.json", artifact())
+        missing = str(tmp_path / "BENCH_999.json")
+        assert run_gate(new, missing, DEFAULT_THRESHOLD) == 0
+        assert "perf gate skipped" in capsys.readouterr().out
 
     def test_main_gate_mode(self, tmp_path):
         new = self.write(tmp_path, "new.json", artifact(fig9_work=500.0))
