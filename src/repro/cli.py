@@ -100,7 +100,15 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default 8100)")
     parser.add_argument("--workers", type=int, default=8,
                         help="[serve] max concurrently-handled requests "
-                             "(default 8)")
+                             "per process (default 8)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="[serve] pre-forked server processes "
+                             "sharing the port and cache tier; 1 keeps "
+                             "the single-process server (default 1)")
+    parser.add_argument("--shared-cache-dir", default=None,
+                        help="[serve] shared cache tier directory for "
+                             "multi-process mode (default: a temporary "
+                             "one per group)")
     parser.add_argument("--cache-ttl", type=float, default=300.0,
                         help="[serve] response cache TTL in seconds, "
                              "0 disables storage (default 300)")
@@ -152,6 +160,8 @@ def _serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             workers=args.workers,
+            processes=args.processes,
+            shared_cache_dir=args.shared_cache_dir,
             cache_ttl=args.cache_ttl,
             cache_maxsize=args.cache_size,
             state_dir=args.state_dir,

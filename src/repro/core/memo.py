@@ -58,6 +58,7 @@ __all__ = [
     "clear_cache",
     "configure",
     "disabled",
+    "install_cache",
 ]
 
 #: Default bound on the process-global cache.  Design-space sweeps touch
@@ -281,6 +282,20 @@ def configure(*, enabled: bool) -> None:
     """Globally enable or disable memoized solving."""
     global _ENABLED
     _ENABLED = enabled
+
+
+def install_cache(cache: MemoCache) -> MemoCache:
+    """Swap the process-global memo for ``cache``; returns the previous.
+
+    Anything honouring the :class:`MemoCache` interface qualifies —
+    the scale-out layer installs a tiered L1-over-shared-store subclass
+    in each pre-forked worker.  Callers restore the returned instance
+    on shutdown.
+    """
+    global _GLOBAL_CACHE
+    previous = _GLOBAL_CACHE
+    _GLOBAL_CACHE = cache
+    return previous
 
 
 @contextlib.contextmanager

@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import contextlib
 import json
+import os
 import sqlite3
+import threading
 import time
 import uuid
 from dataclasses import dataclass
@@ -152,26 +154,59 @@ class JobStore:
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.state_dir / self.DB_NAME
         self._clock = clock
+        self._local = threading.local()
         with self._connection() as conn:
             conn.executescript(_SCHEMA)
 
     # -- connections ---------------------------------------------------
 
-    @contextlib.contextmanager
-    def _connection(self):
-        """A fresh connection per operation: no cross-thread sharing."""
+    def _open(self) -> sqlite3.Connection:
         conn = sqlite3.connect(str(self.path), timeout=30.0)
         conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    @contextlib.contextmanager
+    def _connection(self):
+        """Per-thread cached connection, stamped with ``os.getpid()``.
+
+        Threads never share a handle, and a forked child never reuses
+        one inherited from its parent: sqlite connections carry file
+        locks and page-cache state that are corrupt in the child, so
+        on a pid mismatch the inherited handle is *abandoned* — never
+        closed, since even ``close()`` on it is unsafe post-fork — and
+        a fresh one is opened under the child's pid.
+        """
+        pid = os.getpid()
+        conn = getattr(self._local, "conn", None)
+        if conn is None or getattr(self._local, "pid", None) != pid:
+            conn = self._open()
+            self._local.conn = conn
+            self._local.pid = pid
         try:
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
             yield conn
             conn.commit()
         except BaseException:
-            conn.rollback()
+            try:
+                conn.rollback()
+            except sqlite3.Error:
+                # The handle is wedged; drop it so the next operation
+                # on this thread starts from a fresh connection.
+                self._local.conn = None
             raise
-        finally:
+
+    def close(self) -> None:
+        """Close the calling thread's cached connection, if it owns one.
+
+        Only closes a handle opened in *this* process — a child that
+        inherited the parent's handle across fork must not touch it.
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "pid", None) \
+                == os.getpid():
             conn.close()
+        self._local.conn = None
 
     # -- submission ----------------------------------------------------
 

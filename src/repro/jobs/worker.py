@@ -99,7 +99,8 @@ class Worker:
         rng: Optional[random.Random] = None,
     ) -> None:
         self.store = store
-        self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+        self._worker_id_base = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+        self._worker_id_pid = os.getpid()
         self.lease_ttl = lease_ttl
         self.poll_interval = poll_interval
         self.backoff_base = backoff_base
@@ -108,6 +109,22 @@ class Worker:
         self._execute_chunk = execute_chunk or executor_mod.execute_chunk
         self._on_chunk = on_chunk
         self._rng = rng or random.Random()
+
+    @property
+    def worker_id(self) -> str:
+        """Lease-owner identity, pid-stamped after a fork.
+
+        A Worker constructed before ``os.fork()`` would otherwise carry
+        the *same* pre-generated identity into every child, and
+        same-named claimers silently steal each other's leases (renew
+        and release match on owner string alone).  In the construction
+        process the identity is exactly what the caller chose; only a
+        forked child gets the ``@pid`` suffix.
+        """
+        pid = os.getpid()
+        if pid == self._worker_id_pid:
+            return self._worker_id_base
+        return f"{self._worker_id_base}@{pid}"
 
     # -- loop ----------------------------------------------------------
 
@@ -264,7 +281,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="job store directory (shared with the "
                              "service / other workers)")
     parser.add_argument("--worker-id", default=None,
-                        help="lease-owner identity (default: random)")
+                        help="lease-owner identity (default: random); "
+                             "with --processes each child claims as "
+                             "<id>@<pid>")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="fork N competing claimers over the same "
+                             "store (default 1: run in-process)")
     parser.add_argument("--lease-ttl", type=float, default=30.0,
                         help="lease seconds between renewals "
                              "(default 30)")
@@ -279,6 +301,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "JSON profile path (also honours the "
                              "REPRO_FAULT_PROFILE env var)")
     args = parser.parse_args(argv)
+
+    if args.processes > 1:
+        from ..scaleout.fleet import run_fleet
+
+        return run_fleet(
+            args.state_dir,
+            processes=args.processes,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+            poll_interval=args.poll_interval,
+            once=args.once,
+            fault_profile=args.fault_profile,
+        )
 
     stop = threading.Event()
 

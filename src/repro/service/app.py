@@ -31,9 +31,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import re
 import shutil
 import signal
+import socket
 import sqlite3
 import sys
 import tempfile
@@ -129,11 +131,21 @@ class ServiceConfig:
     directory for durability).  ``job_workers=0`` disables in-process
     execution: jobs queue up for external ``python -m
     repro.jobs.worker`` processes.
+
+    ``processes > 1`` selects pre-fork scale-out (see
+    :mod:`repro.scaleout.prefork`): N forked copies of this service
+    share one listening port, one job store and one shared cache tier.
+    ``shared_cache_dir`` holds that tier; set it explicitly to share a
+    warm cache across restarts, leave it ``None`` for a per-group
+    temporary directory (single-process instances leave the tier off
+    entirely unless a directory is given).
     """
 
     host: str = "127.0.0.1"
     port: int = 8100
     workers: int = 8
+    processes: int = 1
+    shared_cache_dir: Optional[str] = None
     cache_ttl: float = 300.0
     cache_maxsize: int = 1024
     drain_deadline: float = 10.0
@@ -152,6 +164,10 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.workers <= 0:
             raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.processes <= 0:
+            raise ValueError(
+                f"processes must be positive, got {self.processes}"
+            )
         if self.drain_deadline < 0:
             raise ValueError("drain_deadline must be non-negative")
         if self.job_workers < 0:
@@ -204,11 +220,36 @@ class BandwidthWallService:
         self.started_monotonic = time.monotonic()
         self.draining = threading.Event()
         self.fault_injector = self._build_injector(config)
+        # Shared cache tier (pre-fork scale-out).  Fault profiles take
+        # precedence: an injected FaultyResponseCache exercises the
+        # degradation paths, so the tier stays out of the way.
+        self.shared_tier = None
+        self._shared_memo = None
+        self._previous_memo = None
         if self.fault_injector is not None:
             self.response_cache = FaultyResponseCache(
                 self.fault_injector,
                 maxsize=config.cache_maxsize, ttl=config.cache_ttl,
             )
+        elif config.shared_cache_dir is not None:
+            # Imported lazily: repro.scaleout.shared_cache pulls in
+            # repro.service, which is mid-import right now.
+            from ..scaleout.shared_cache import (
+                SharedCacheTier,
+                SharedMemoCache,
+                TieredResponseCache,
+            )
+
+            self.shared_tier = SharedCacheTier(config.shared_cache_dir)
+            self.response_cache = TieredResponseCache(
+                self.shared_tier,
+                maxsize=config.cache_maxsize, ttl=config.cache_ttl,
+            )
+            # Demote the process-global solve memo to an L1 over the
+            # tier; the previous memo is restored on shutdown so other
+            # services in this process (tests) are unaffected.
+            self._shared_memo = SharedMemoCache(self.shared_tier)
+            self._previous_memo = memo.install_cache(self._shared_memo)
         else:
             self.response_cache = ResponseCache(
                 maxsize=config.cache_maxsize, ttl=config.cache_ttl
@@ -489,6 +530,49 @@ class BandwidthWallService:
                        "cancelled"):
             optimize_jobs.set_callback(optimize_status_gauge(status),
                                        status=status)
+        # Scale-out: the shared cache tier aggregates event counters
+        # across every process in the pre-fork group, so any child's
+        # /metrics page shows group-wide cache behaviour.
+        if self.shared_tier is not None:
+            tier = self.shared_tier
+
+            def tier_counter(name: str) -> Callable[[], float]:
+                return store_gauge(
+                    lambda: tier.counters_total().get(name, 0))
+
+            shared_total = registry.gauge(
+                "scaleout_shared_cache_total",
+                "Shared-tier cache events summed over every process, "
+                "by namespace and event.",
+                ("namespace", "event"),
+            )
+            for namespace, events in (
+                ("response", ("hit", "miss", "eviction")),
+                ("memo", ("hit", "miss", "store", "eviction")),
+            ):
+                for event in events:
+                    shared_total.set_callback(
+                        tier_counter(f"{namespace}.{event}"),
+                        namespace=namespace, event=event,
+                    )
+            shared_entries = registry.gauge(
+                "scaleout_shared_cache_entries",
+                "Entries currently stored in the shared tier, "
+                "by namespace.",
+                ("namespace",),
+            )
+            for namespace in ("response", "memo"):
+                shared_entries.set_callback(
+                    store_gauge(
+                        lambda ns=namespace: tier.entry_count(ns)),
+                    namespace=namespace,
+                )
+            registry.gauge(
+                "scaleout_processes_seen",
+                "Distinct processes that have recorded shared-cache "
+                "events.",
+                callback=store_gauge(tier.processes_seen),
+            )
 
     # -- dispatch ------------------------------------------------------
 
@@ -629,6 +713,18 @@ class BandwidthWallService:
             "jobs": jobs,
             "resilience": resilience,
         }
+        if self.shared_tier is not None:
+            try:
+                scaleout: Dict[str, Any] = {
+                    "pid": os.getpid(),
+                    "processes": self.config.processes,
+                    "shared_cache_dir": str(self.shared_tier.cache_dir),
+                    "processes_seen": self.shared_tier.processes_seen(),
+                    "counters": self.shared_tier.counters_total(),
+                }
+            except Exception as error:  # noqa: BLE001 - liveness first
+                scaleout = {"error": f"{type(error).__name__}: {error}"}
+            payload["scaleout"] = scaleout
         return self._json_response(payload, status=503 if draining else 200)
 
     def _handle_metrics(self, match, query, body) -> Response:
@@ -918,6 +1014,17 @@ class BandwidthWallService:
         drain — never out from under a live worker.
         """
         stopped = self.job_manager.stop(deadline)
+        if self._shared_memo is not None:
+            # Persist the buffered tail of memo writes/counters, then
+            # give the process its original memo back (tests run many
+            # services in one process; the swap must not outlive us).
+            try:
+                self._shared_memo.flush()
+            except (sqlite3.Error, OSError):
+                pass
+            memo.install_cache(self._previous_memo)
+            self._shared_memo = None
+            self._previous_memo = None
         if stopped and self._owns_state_dir:
             shutil.rmtree(self.state_dir, ignore_errors=True)
         return stopped
@@ -937,8 +1044,23 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     request_queue_size = 128
 
     def __init__(self, address, handler_class,
-                 service: BandwidthWallService) -> None:
-        super().__init__(address, handler_class)
+                 service: BandwidthWallService, *,
+                 inherited_socket: Optional[socket.socket] = None) -> None:
+        if inherited_socket is None:
+            super().__init__(address, handler_class)
+        else:
+            # Pre-fork scale-out: adopt an externally bound listening
+            # socket (SO_REUSEPORT sibling or the supervisor's fd)
+            # instead of binding our own.
+            super().__init__(address, handler_class,
+                             bind_and_activate=False)
+            self.socket.close()  # the unbound default, ours to close
+            self.socket = inherited_socket
+            self.server_address = inherited_socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = socket.getfqdn(host)
+            self.server_port = port
+            self.server_activate()
         self.service = service
         self.worker_slots = threading.BoundedSemaphore(
             service.config.workers
@@ -1094,7 +1216,14 @@ def serve(config: ServiceConfig = ServiceConfig()) -> int:
 
     Installs SIGTERM/SIGINT handlers that trigger a graceful drain;
     returns 0 on a clean (fully drained) shutdown, 1 otherwise.
+
+    ``processes > 1`` hands off to the pre-fork supervisor — N forked
+    copies of this service behind one port and one shared cache tier.
     """
+    if config.processes > 1:
+        from ..scaleout.prefork import serve_prefork
+
+        return serve_prefork(config)
     try:
         running = start_service(config)
     except OSError as error:

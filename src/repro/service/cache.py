@@ -19,7 +19,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 __all__ = ["ResponseCacheStats", "ResponseCache", "FlightWaitTimeout"]
 
@@ -106,7 +106,8 @@ class ResponseCache:
 
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], Any],
-                       wait_timeout: float = None) -> Tuple[Any, str]:
+                       wait_timeout: Optional[float] = None
+                       ) -> Tuple[Any, str]:
         """Return ``(value, outcome)`` where outcome is hit/miss/coalesced.
 
         Exactly one caller per key runs ``compute`` at a time; the rest

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -112,7 +112,7 @@ class Gauge:
 
     def __init__(self, name: str, help_text: str,
                  label_names: Sequence[str] = (),
-                 callback: Callable[[], float] = None) -> None:
+                 callback: Optional[Callable[[], float]] = None) -> None:
         self.name = name
         self.help_text = help_text
         self.label_names = tuple(label_names)
@@ -316,7 +316,7 @@ class MetricsRegistry:
 
     def gauge(self, name: str, help_text: str,
               label_names: Sequence[str] = (),
-              callback: Callable[[], float] = None) -> Gauge:
+              callback: Optional[Callable[[], float]] = None) -> Gauge:
         return self.register(Gauge(name, help_text, label_names, callback))
 
     def histogram(self, name: str, help_text: str,

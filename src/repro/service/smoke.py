@@ -29,6 +29,13 @@ instead boots the service under that seeded fault-injection profile
 and asserts graceful degradation: the jobs API fails fast through the
 circuit breaker while solve/healthz/metrics stay up.
 
+Run with ``--processes N`` (N >= 2) the smoke instead exercises the
+scale-out path: ``serve --processes N`` behind one port with the
+shared cache tier (every child must answer, the tier must aggregate
+every child's counters, SIGTERM must drain the whole group), followed
+by an N-process worker fleet draining a job backlog byte-identically
+to the serial path.
+
 CI runs this on every supported Python; it is the "is the service
 actually servable" gate that unit tests cannot give.
 """
@@ -67,9 +74,16 @@ def main(argv=None) -> int:
         help="run the degradation smoke under this seeded fault "
              "profile instead of the standard contract smoke",
     )
+    parser.add_argument(
+        "--processes", type=int, default=1,
+        help="run the scale-out smoke against a pre-fork group of "
+             "this many processes instead of the contract smoke",
+    )
     args = parser.parse_args(argv)
     if args.fault_profile:
         return fault_main(args.fault_profile)
+    if args.processes > 1:
+        return scaleout_main(args.processes)
     return contract_main()
 
 
@@ -324,6 +338,130 @@ def fault_main(profile: str) -> int:
         print(output or "<empty>")
         raise
     print(f"service smoke ({profile}): all checks passed")
+    return 0
+
+
+def scaleout_main(processes: int) -> int:
+    """Scale-out smoke: pre-fork serving plus a multi-process fleet.
+
+    Boots ``serve --processes N`` with the shared cache tier on an
+    ephemeral port and asserts the group contract — one port, N pids
+    answering, one tier aggregating every child's counters, a job
+    draining through the shared store, clean group drain on SIGTERM —
+    then drains a job backlog with an N-process worker fleet and
+    checks the artifacts stay byte-identical to the serial path.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    print(f"service smoke: scale-out, {processes} processes")
+    port = _free_port()
+    base = tempfile.mkdtemp(prefix="smoke-scaleout-")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--processes", str(processes),
+         "--workers", "4", "--job-workers", "1",
+         "--shared-cache-dir", os.path.join(base, "shared"),
+         "--state-dir", os.path.join(base, "jobs")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    client = ServiceClient("127.0.0.1", port, timeout=30.0)
+    try:
+        health = client.wait_until_ready(timeout=30.0)
+        _check(health["status"] == "ok", "/healthz answers ok")
+        _check(health.get("scaleout", {}).get("processes") == processes,
+               f"/healthz reports the {processes}-process group")
+
+        # Fan solves out until the tier has counter rows from every
+        # child; /healthz answering from N pids is necessary but not
+        # sufficient (healthz never touches the tier).
+        pids = set()
+        seen = 0
+        for index in range(300):
+            client.solve(alpha=0.26 + (index % 200) * 0.003)
+            block = client.healthz()["scaleout"]
+            pids.add(block["pid"])
+            seen = block["processes_seen"]
+            if len(pids) >= processes and seen >= processes:
+                break
+        _check(len(pids) == processes,
+               f"all {processes} children answered requests")
+        _check(seen == processes,
+               "shared tier holds counter rows from every child")
+
+        metrics = client.metrics_text()
+        for needle in (
+            "scaleout_shared_cache_total",
+            "scaleout_shared_cache_entries",
+            f"scaleout_processes_seen {processes}",
+        ):
+            _check(needle in metrics,
+                   f"metrics expose {needle.split('{')[0]}")
+        counters = client.healthz()["scaleout"]["counters"]
+        _check(counters.get("response.miss", 0) >= processes,
+               "cross-process cache counters aggregate")
+
+        submitted = client.submit_experiments_job(["fig13"])
+        finished = client.wait_for_job(submitted["id"], timeout=60)
+        _check(finished["status"] == "succeeded",
+               "a background job drains through the shared store")
+
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=60)
+        _check(returncode == 0,
+               "SIGTERM drains the whole group (exit 0)")
+        output, _ = process.communicate(timeout=10)
+        _check(output.count("accepting via") == processes,
+               "every child reported its accept loop live")
+    except Exception:
+        if process.poll() is None:
+            process.kill()
+            output, _ = process.communicate(timeout=10)
+            print("--- server output ---")
+            print(output or "<empty>")
+        raise
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+    # Part two: N forked claimers race over one lease-based store.
+    from ..jobs.executor import (
+        chunk_count,
+        encode_artifact,
+        serial_artifact,
+    )
+    from ..jobs.spec import JobSpec
+    from ..jobs.store import SUCCEEDED, JobStore
+
+    fleet_dir = tempfile.mkdtemp(prefix="smoke-fleet-")
+    try:
+        spec = JobSpec.sweep(ceas=(16.0, 32.0, 64.0),
+                             budgets=(1.0, 2.0), alpha=0.5,
+                             chunk_size=2)
+        store = JobStore(fleet_dir)
+        job_ids = []
+        for index in range(2 * processes):
+            record = store.submit(spec, chunks_total=chunk_count(spec),
+                                  job_id=f"smoke-{index}")
+            job_ids.append(record.id)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.jobs.worker",
+             "--state-dir", fleet_dir, "--processes", str(processes),
+             "--once", "--poll-interval", "0.05"],
+            capture_output=True, text=True, timeout=300,
+        )
+        _check(result.returncode == 0,
+               "worker fleet drains the backlog and exits 0")
+        records = [store.get(job_id) for job_id in job_ids]
+        _check(all(record.status == SUCCEEDED for record in records),
+               "every backlog job succeeded")
+        serial = encode_artifact(serial_artifact(spec))
+        _check(all(record.result_text == serial for record in records),
+               "fleet artifacts are byte-identical to the serial path")
+        store.close()
+    finally:
+        shutil.rmtree(fleet_dir, ignore_errors=True)
+    print(f"service smoke (scale-out x{processes}): all checks passed")
     return 0
 
 

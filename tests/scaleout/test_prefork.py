@@ -1,0 +1,163 @@
+"""Pre-fork serving end to end: ``serve --processes 2`` as a subprocess.
+
+Covers both accept paths — SO_REUSEPORT (where the platform has it)
+and the inherited-fd fallback, forced via ``REPRO_SCALEOUT_NO_REUSEPORT``
+— and asserts the contract that matters: one port, several pids, one
+shared cache tier, clean SIGTERM drain.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="requires os.fork"
+)
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def get_json(port: int, path: str, timeout: float = 5.0):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=timeout) as reply:
+        return json.load(reply)
+
+
+def post_json(port: int, path: str, payload, timeout: float = 30.0):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as reply:
+        return json.load(reply)
+
+
+def wait_healthy(port: int, deadline: float = 30.0):
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        try:
+            return get_json(port, "/healthz", timeout=2.0)
+        except (urllib.error.URLError, OSError, ConnectionError):
+            time.sleep(0.1)
+    raise AssertionError("service never became healthy")
+
+
+def boot(tmp_path, *, extra_env=None, processes=2):
+    import repro
+
+    port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    if extra_env:
+        env.update(extra_env)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--processes", str(processes),
+         "--workers", "4", "--job-workers", "1",
+         "--shared-cache-dir", str(tmp_path / "shared"),
+         "--state-dir", str(tmp_path / "jobs")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    return process, port
+
+
+def shutdown(process) -> str:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=40)
+        except subprocess.TimeoutExpired:
+            process.kill()
+    output, _ = process.communicate(timeout=10)
+    return output
+
+
+def drive_and_assert(process, port, *, expect_mode: str) -> None:
+    try:
+        health = wait_healthy(port)
+        assert health["status"] == "ok"
+        scaleout = health["scaleout"]
+        assert scaleout["processes"] == 2
+
+        # Fan requests out until the *tier* has seen both children —
+        # /healthz answering from two pids is not enough, because only
+        # solves bump the per-pid counter rows that back
+        # processes_seen.  Distinct alphas force real solves.
+        pids = set()
+        seen = 0
+        for index in range(200):
+            post_json(port, "/v1/solve",
+                      {"alpha": 0.26 + index * 0.003})
+            scaleout = get_json(port, "/healthz")["scaleout"]
+            pids.add(scaleout["pid"])
+            seen = scaleout["processes_seen"]
+            if len(pids) == 2 and seen >= 2 and index >= 10:
+                break
+        assert len(pids) == 2, f"only {pids} answered"
+        assert seen == 2, f"tier saw {seen} processes"
+
+        # Any child's metrics page shows group-wide tier counters.
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5) as reply:
+            metrics = reply.read().decode("utf-8")
+        assert "scaleout_shared_cache_total" in metrics
+        assert "scaleout_processes_seen 2" in metrics
+        counters = get_json(port, "/healthz")["scaleout"]["counters"]
+        assert counters.get("response.miss", 0) >= 10
+
+        # A re-asked question is served from the tier or an L1 —
+        # either way the cross-process counters move, the solve count
+        # does not have to.
+        post_json(port, "/v1/solve", {"alpha": 0.26})
+        post_json(port, "/v1/solve", {"alpha": 0.26})
+    finally:
+        output = shutdown(process)
+    assert process.returncode == 0, output
+    assert output.count(f"accepting via {expect_mode}") == 2, output
+    assert "bandwidth-wall service stopped" in output
+
+
+def test_prefork_two_processes_share_port_and_tier(tmp_path):
+    process, port = boot(tmp_path)
+    mode = ("SO_REUSEPORT" if hasattr(socket, "SO_REUSEPORT")
+            else "inherited fd")
+    drive_and_assert(process, port, expect_mode=mode)
+
+
+def test_prefork_inherited_fd_fallback(tmp_path):
+    process, port = boot(
+        tmp_path, extra_env={"REPRO_SCALEOUT_NO_REUSEPORT": "1"})
+    drive_and_assert(process, port, expect_mode="inherited fd")
+
+
+def test_prefork_jobs_drain_through_shared_store(tmp_path):
+    process, port = boot(tmp_path)
+    try:
+        wait_healthy(port)
+        submitted = post_json(
+            port, "/v1/jobs",
+            {"kind": "experiments", "ids": ["fig13"]})
+        limit = time.monotonic() + 60
+        while time.monotonic() < limit:
+            record = get_json(port, f"/v1/jobs/{submitted['id']}")
+            if record["status"] in ("succeeded", "failed", "cancelled"):
+                break
+            time.sleep(0.2)
+        assert record["status"] == "succeeded", record
+    finally:
+        output = shutdown(process)
+    assert process.returncode == 0, output

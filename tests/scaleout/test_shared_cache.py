@@ -1,0 +1,254 @@
+"""Shared cache tier semantics: keys, TTL, eviction, tiering, counters.
+
+Two tier-backed cache instances in one test stand in for two
+processes: nothing in the tier path touches process-local state except
+the pid column of the counters table, which the fork tests cover.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.memo import ModelKey
+from repro.core.presets import paper_baseline_design
+from repro.core.scaling import BandwidthWallModel
+from repro.core.techniques import TechniqueEffect
+from repro.scaleout.shared_cache import (
+    MEMO_NAMESPACE,
+    RESPONSE_NAMESPACE,
+    SharedCacheTier,
+    SharedMemoCache,
+    TieredResponseCache,
+    encode_key,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1_000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tier(tmp_path, clock):
+    return SharedCacheTier(tmp_path, clock=clock)
+
+
+def solve_key(alpha=0.5, ceas=32.0):
+    return ModelKey(paper_baseline_design(), alpha, ceas, 1.0,
+                    TechniqueEffect())
+
+
+# -- keys --------------------------------------------------------------
+
+
+def test_encode_key_is_stable_across_processes():
+    """The whole point of repr-based keys: ``hash()`` would differ per
+    process (string-hash randomization), repr-SHA256 must not."""
+    key = ("solve", solve_key())
+    script = (
+        "from repro.scaleout.shared_cache import encode_key\n"
+        "from repro.core.memo import ModelKey\n"
+        "from repro.core.presets import paper_baseline_design\n"
+        "from repro.core.techniques import TechniqueEffect\n"
+        "key = ('solve', ModelKey(paper_baseline_design(), 0.5, 32.0,"
+        " 1.0, TechniqueEffect()))\n"
+        "print(encode_key(key))\n"
+    )
+    other = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, check=True,
+    )
+    assert other.stdout.strip() == encode_key(key)
+
+
+def test_distinct_keys_encode_distinctly():
+    assert encode_key(solve_key(0.5)) != encode_key(solve_key(0.25))
+
+
+# -- the tier itself ---------------------------------------------------
+
+
+def test_roundtrip_preserves_non_json_values(tier):
+    tier.put("ns", "k", {"nan": float("nan"), "t": (1, 2)})
+    value = tier.get("ns", "k")
+    assert value["nan"] != value["nan"]  # NaN survived (JSON wouldn't)
+    assert value["t"] == (1, 2)  # tuple stayed a tuple
+
+
+def test_get_misses_return_none(tier):
+    assert tier.get("ns", "absent") is None
+
+
+def test_ttl_expiry_deletes_the_entry(tier, clock):
+    tier.put("ns", "k", 1)
+    assert tier.get("ns", "k", ttl=10.0) == 1
+    clock.advance(10.0)
+    assert tier.get("ns", "k", ttl=10.0) is None
+    assert tier.entry_count("ns") == 0  # expired rows don't linger
+
+
+def test_eviction_is_oldest_first_and_counted(tier, clock):
+    for index in range(3):
+        tier.put("ns", f"k{index}", index, max_entries=2)
+        clock.advance(1.0)
+    assert tier.entry_count("ns") == 2
+    assert tier.get("ns", "k0") is None  # oldest went
+    assert tier.get("ns", "k2") == 2
+    assert tier.counters_total() == {"ns.eviction": 1}
+
+
+def test_namespaces_do_not_collide(tier):
+    tier.put("a", "k", 1)
+    tier.put("b", "k", 2)
+    assert tier.get("a", "k") == 1
+    assert tier.get("b", "k") == 2
+
+
+def test_get_many_returns_present_subset(tier):
+    tier.put_many("ns", [(f"k{i}", i) for i in range(5)])
+    found = tier.get_many("ns", ["k1", "k3", "k9"])
+    assert found == {"k1": 1, "k3": 3}
+
+
+def test_counters_aggregate_and_split_by_pid(tier):
+    tier.bump("x.hit", 2)
+    tier.bump_many({"x.hit": 1, "x.miss": 4})
+    assert tier.counters_total() == {"x.hit": 3, "x.miss": 4}
+    assert tier.processes_seen() == 1
+    by_pid = tier.counters_by_pid()
+    (rows,) = by_pid.values()
+    assert rows == {"x.hit": 3, "x.miss": 4}
+
+
+# -- response cache over the tier --------------------------------------
+
+
+def test_second_instance_serves_from_tier_without_recompute(tier):
+    first = TieredResponseCache(tier, maxsize=8, ttl=300.0)
+    second = TieredResponseCache(tier, maxsize=8, ttl=300.0)
+    computes = []
+
+    def compute():
+        computes.append(1)
+        return {"v": 1}
+
+    value, outcome = first.get_or_compute(("solve", "x"), compute)
+    assert (value, outcome, len(computes)) == ({"v": 1}, "miss", 1)
+    value, outcome = second.get_or_compute(("solve", "x"), compute)
+    assert value == {"v": 1}
+    assert len(computes) == 1  # tier hit: sibling's work reused
+    counters = tier.counters_total()
+    assert counters["response.hit"] == 1
+    assert counters["response.miss"] == 1
+
+
+def test_l1_hit_never_touches_the_tier(tier):
+    cache = TieredResponseCache(tier, maxsize=8, ttl=300.0)
+    cache.get_or_compute(("k",), lambda: 1)
+    before = tier.counters_total()
+    value, outcome = cache.get_or_compute(("k",), lambda: 2)
+    assert (value, outcome) == (1, "hit")
+    assert tier.counters_total() == before
+
+
+def test_tier_respects_response_ttl(tier, clock):
+    # The response cache's own clock is monotonic; the tier's stamp
+    # clock is the injected fake, so only tier expiry is exercised.
+    first = TieredResponseCache(tier, maxsize=8, ttl=50.0)
+    second = TieredResponseCache(tier, maxsize=8, ttl=50.0)
+    first.get_or_compute(("k",), lambda: "old")
+    clock.advance(50.0)
+    value, _ = second.get_or_compute(("k",), lambda: "fresh")
+    assert value == "fresh"
+
+
+def test_ttl_zero_disables_the_tier_entirely(tier):
+    cache = TieredResponseCache(tier, maxsize=8, ttl=0.0)
+    cache.get_or_compute(("k",), lambda: 1)
+    assert tier.entry_count(RESPONSE_NAMESPACE) == 0
+    assert tier.counters_total() == {}
+
+
+def test_shared_entry_bound_is_enforced(tier, clock):
+    cache = TieredResponseCache(tier, maxsize=8, ttl=300.0,
+                                max_shared_entries=2)
+    for index in range(3):
+        cache.get_or_compute(("k", index), lambda i=index: i)
+        clock.advance(1.0)
+    assert tier.entry_count(RESPONSE_NAMESPACE) == 2
+    assert tier.counters_total()["response.eviction"] == 1
+
+
+# -- solve memo over the tier ------------------------------------------
+
+
+def solved(alpha=0.5, ceas=32.0):
+    model = BandwidthWallModel(paper_baseline_design(), alpha=alpha)
+    return model.supportable_cores(ceas)
+
+
+def test_memo_store_reaches_tier_after_flush(tier):
+    memo = SharedMemoCache(tier, flush_threshold=100)
+    memo.store(solve_key(), solved())
+    assert tier.entry_count(MEMO_NAMESPACE) == 0  # still buffered
+    memo.flush()
+    assert tier.entry_count(MEMO_NAMESPACE) == 1
+    assert tier.counters_total()["memo.store"] == 1
+
+
+def test_memo_flushes_at_threshold_without_explicit_flush(tier):
+    memo = SharedMemoCache(tier, flush_threshold=2)
+    memo.store(solve_key(0.5), solved(0.5))
+    memo.store(solve_key(0.25), solved(0.25))
+    assert tier.entry_count(MEMO_NAMESPACE) == 2
+
+
+def test_memo_tier_hit_counts_as_memo_hit_and_promotes_to_l1(tier):
+    writer = SharedMemoCache(tier, flush_threshold=1)
+    solution = solved()
+    writer.store(solve_key(), solution)
+    reader = SharedMemoCache(tier)
+    assert reader.lookup(solve_key()) == solution
+    stats = reader.stats()
+    assert (stats.hits, stats.misses) == (1, 0)
+    # Promoted: the next lookup is a pure L1 hit, no tier traffic.
+    before = tier.counters_total().get("memo.hit", 0)
+    assert reader.lookup(solve_key()) == solution
+    reader.flush()
+    assert tier.counters_total()["memo.hit"] == before + 1
+
+
+def test_memo_lookup_many_mixes_l1_tier_and_misses(tier):
+    writer = SharedMemoCache(tier, flush_threshold=1)
+    shared = solved(0.25)
+    writer.store(solve_key(0.25), shared)
+    reader = SharedMemoCache(tier)
+    local = solved(0.5)
+    reader.store(solve_key(0.5), local)
+    values = reader.lookup_many([
+        solve_key(0.5),   # L1 hit
+        solve_key(0.25),  # tier hit
+        solve_key(0.62),  # miss everywhere
+    ])
+    assert values == [local, shared, None]
+    stats = reader.stats()
+    assert (stats.hits, stats.misses) == (2, 1)
+
+
+def test_memo_miss_is_counted_in_tier_after_flush(tier):
+    memo = SharedMemoCache(tier)
+    assert memo.lookup(solve_key()) is None
+    memo.flush()
+    assert tier.counters_total()["memo.miss"] == 1
