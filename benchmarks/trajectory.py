@@ -18,6 +18,9 @@ performance story over time:
 * **powerlaw** — batch vs scalar miss-rate evaluation rates.
 * **optimize** — exhaustive design-space search throughput (technique
   configurations evaluated per second through the PR-7 optimizer).
+* **traces** — trace-simulation throughput: accesses profiled per
+  second through the one-pass stack-distance pipeline (synthesis,
+  Mattson profiling, curve evaluation and the Yavits fit end to end).
 * **scaleout** — pre-fork serving throughput (1 process vs N over the
   shared cache tier) and worker-fleet drain speedup (1 claimer vs N
   over one job store), measured against real subprocesses.  The
@@ -342,6 +345,40 @@ def measure_optimize(quick: bool) -> Dict[str, Any]:
     }
 
 
+def measure_traces(quick: bool) -> Dict[str, Any]:
+    """Trace-simulation throughput (accesses profiled per second).
+
+    One ``powerlaw`` unit through the whole pipeline — synthesis,
+    stack-distance profiling, miss-curve evaluation, power-law and
+    Yavits fits — so the gated rate covers the ``/v1/traces`` hot
+    path, not just the profiler inner loop.
+    """
+    from repro.traces import TraceParams, run_trace
+
+    accesses = 20_000 if quick else 60_000
+    params = TraceParams.create(
+        source="powerlaw", units=[0.48], accesses=accesses,
+        working_set_lines=1 << 13,
+    )
+    # Warm-up: imports, numpy init, allocator growth.
+    run_trace(TraceParams.create(source="powerlaw", units=[0.48],
+                                 accesses=2000,
+                                 working_set_lines=1024))
+    elapsed = math.inf
+    for _ in range(3):  # best-of-3 shaves scheduler noise
+        start = time.perf_counter()
+        artifact = run_trace(params)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    unit = artifact["units"][0]
+    return {
+        "accesses": accesses,
+        "capacities": len(params.line_counts),
+        "seconds": round(elapsed, 4),
+        "accesses_per_sec": round(accesses / elapsed, 1),
+        "fitted_alpha": round(unit["yavits_fit"]["alpha"], 4),
+    }
+
+
 def measure_scaleout(quick: bool) -> Dict[str, Any]:
     """Pre-fork serving and worker-fleet scaling, measured honestly.
 
@@ -491,6 +528,7 @@ def run_trajectory(quick: bool) -> Dict[str, Any]:
         "service": measure_service(quick),
         "powerlaw": measure_powerlaw(),
         "optimize": measure_optimize(quick),
+        "traces": measure_traces(quick),
         "scaleout": measure_scaleout(quick),
     }
 
@@ -522,6 +560,7 @@ GATED_METRICS: Tuple[Tuple[Tuple[str, ...], str, float], ...] = (
     (("sweeps", "ext-validation", "normalized_work"), "lower", 1.5),
     (("powerlaw", "speedup"), "higher", 2.0),
     (("optimize", "points_per_sec"), "higher", 2.0),
+    (("traces", "accesses_per_sec"), "higher", 2.0),
     # Scale-out ratios compare two separately booted subprocess
     # groups, so they carry boot/scheduler noise on both sides of the
     # division — they get a wider allowance than in-process speedups.

@@ -398,6 +398,174 @@ def _print_frontier(artifact: dict, top: int) -> None:
         print(f"... {hidden} more row(s); use --top or --json")
 
 
+def _traces_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bandwidth-wall traces",
+        description="Trace-driven cache simulation: synthesize (or "
+                    "read) an access trace, measure its miss curve, "
+                    "fit the power law plus a Yavits compulsory term "
+                    "(see docs/TRACES.md).  Runs in-process by "
+                    "default; --submit posts to a running service.",
+    )
+    parser.add_argument("source",
+                        choices=["powerlaw", "sequential", "strided",
+                                 "sharing", "file"],
+                        help="trace source (file = read a "
+                             "workloads.trace_io trace; CLI only)")
+    parser.add_argument("units", nargs="*", metavar="UNIT",
+                        help="source-specific units: alphas (powerlaw), "
+                             "core counts (sharing), strides, or trace "
+                             "paths (file); empty = source defaults")
+    parser.add_argument("--accesses", type=int, default=None,
+                        help="measured accesses per unit, per core for "
+                             "sharing (default 100000)")
+    parser.add_argument("--working-set", type=int, default=None,
+                        metavar="LINES", dest="working_set_lines",
+                        help="synthetic working-set size in cache lines "
+                             "(default 16384)")
+    parser.add_argument("--line-bytes", type=int, default=None,
+                        help="cache line size in bytes (default 64)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="synthesis RNG seed (default 0)")
+    parser.add_argument("--line-counts", default=None,
+                        metavar="N1,N2,...",
+                        help="capacities to evaluate, in lines "
+                             "(default 16..8192, doubling)")
+    parser.add_argument("--fit-min-lines", type=int, default=None,
+                        help="smallest capacity the fits use")
+    parser.add_argument("--fit-max-lines", type=int, default=None,
+                        help="largest capacity the fits use "
+                             "(default 2048; 0 = unbounded)")
+    parser.add_argument("--associativity", type=int, default=None,
+                        help="cross-check through a set-associative "
+                             "cache with this many ways (default off)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full artifact as JSON")
+    parser.add_argument("--submit", action="store_true",
+                        help="POST to a running service instead of "
+                             "simulating locally")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="[--submit] service address")
+    parser.add_argument("--port", type=int, default=8100,
+                        help="[--submit] service port")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="[--submit] per-request timeout seconds")
+    parser.add_argument("--watch", action="store_true",
+                        help="[--submit] poll the job until it finishes")
+    parser.add_argument("--interval", type=float, default=0.5,
+                        help="[--watch] poll interval seconds")
+    return parser
+
+
+def _parse_trace_units(source: str, units: List[str]):
+    if not units:
+        return None
+    if source == "powerlaw":
+        return [float(unit) for unit in units]
+    if source in ("sequential", "strided", "sharing"):
+        return [int(unit) for unit in units]
+    return list(units)
+
+
+def _print_trace_artifact(artifact: dict) -> None:
+    print(f"source={artifact['source']}  units={artifact['count']}")
+    print(f"{'unit':<16} {'alpha':>7}  {'m_c':>8}  {'R^2':>6}  "
+          f"{'cold':>8}  {'footprint':>9}")
+    for unit in artifact["units"]:
+        fit = unit["yavits_fit"]
+        if "error" in fit:
+            print(f"{unit['unit']:<16} fit failed: {fit['error']}")
+            continue
+        line = (f"{unit['unit']:<16} {fit['alpha']:>7.4f}  "
+                f"{fit['compulsory']:>8.5f}  {fit['r_squared']:>6.3f}  "
+                f"{unit['cold_misses']:>8}  {unit['distinct_lines']:>9}")
+        check = unit.get("cross_check")
+        if check is not None:
+            line += (f"  [{check['associativity']}-way "
+                     f"delta {check['max_delta']:.4f}]")
+        print(line)
+    alphas = artifact.get("alpha_range")
+    if alphas:
+        print(f"fitted alpha range: {alphas['min']:.4f} .. "
+              f"{alphas['max']:.4f}")
+
+
+def _traces_main(argv: List[str]) -> int:
+    parser = _traces_parser()
+    args = parser.parse_args(argv)
+    try:
+        units = _parse_trace_units(args.source, args.units)
+        line_counts = ([int(v) for v in args.line_counts.split(",")]
+                       if args.line_counts else None)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    if args.submit:
+        from .service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(args.host, args.port,
+                               timeout=args.timeout)
+        try:
+            payload = client.submit_trace(
+                source=args.source, units=units,
+                accesses=args.accesses,
+                working_set_lines=args.working_set_lines,
+                line_bytes=args.line_bytes, seed=args.seed,
+                line_counts=line_counts,
+                fit_min_lines=args.fit_min_lines,
+                fit_max_lines=args.fit_max_lines,
+                associativity=args.associativity,
+            )
+            print(_job_line(payload))
+            if args.watch:
+                code = _watch_job(client, payload["id"], args.interval,
+                                  timeout=600.0)
+                if code == 0:
+                    result = client.trace_result(payload["id"])
+                    _print_trace_artifact(result["result"])
+                return code
+            return 0
+        except ServiceError as error:
+            print(error, file=sys.stderr)
+            return 2
+        except OSError as error:
+            print(f"cannot reach service at {args.host}:{args.port}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+
+    from .traces import TraceParams, run_trace
+    from .traces.pipeline import DEFAULT_TRACE_ACCESSES
+
+    try:
+        params = TraceParams.create(
+            source=args.source, units=units,
+            accesses=(args.accesses if args.accesses is not None
+                      else DEFAULT_TRACE_ACCESSES),
+            working_set_lines=(args.working_set_lines
+                               if args.working_set_lines is not None
+                               else 1 << 14),
+            line_bytes=args.line_bytes or 64,
+            seed=args.seed or 0,
+            line_counts=line_counts,
+            fit_min_lines=args.fit_min_lines or 0,
+            fit_max_lines=(args.fit_max_lines
+                           if args.fit_max_lines is not None else 2048),
+            associativity=args.associativity or 0,
+        )
+        artifact = run_trace(params)
+    except (ValueError, OSError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(artifact, indent=1))
+        return 0
+    _print_trace_artifact(artifact)
+    return 0
+
+
 def _optimize_main(argv: List[str]) -> int:
     parser = _optimize_parser()
     args = parser.parse_args(argv)
@@ -475,6 +643,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _jobs_main(argv[1:])
     if argv and argv[0].lower() == "optimize":
         return _optimize_main(argv[1:])
+    if argv and argv[0].lower() == "traces":
+        return _traces_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.lower()
 

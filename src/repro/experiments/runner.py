@@ -20,6 +20,8 @@ from . import (
     ext_private_sharing,
     ext_roadmap,
     ext_smt,
+    ext_trace_lru,
+    ext_trace_sharing,
     ext_validation,
     ext_wall,
     fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09,
@@ -48,6 +50,8 @@ _MODULES = {
     "ext-linesize": ext_line_size,
     "ext-sharing": ext_private_sharing,
     "ext-validation": ext_validation,
+    "ext-trace-lru": ext_trace_lru,
+    "ext-trace-sharing": ext_trace_sharing,
     "ext-overheads": ext_overheads,
     "ext-wall": ext_wall,
     "ext-power": ext_power,

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Sequence, Tuple
 
-from .spec import EXPERIMENTS_KIND, OPTIMIZE_KIND, JobSpec
+from .spec import EXPERIMENTS_KIND, OPTIMIZE_KIND, TRACE_KIND, JobSpec
 
 __all__ = [
     "GOLDEN_SCHEMA_VERSION",
@@ -66,6 +66,11 @@ def plan_chunks(spec: JobSpec) -> List[Tuple[int, int]]:
 
         count = OptimizeParams.from_spec(spec).chunk_count()
         return [(index, index + 1) for index in range(count)]
+    if spec.kind == TRACE_KIND:
+        from ..traces import TraceParams, trace_chunk_count
+
+        count = trace_chunk_count(TraceParams.from_spec(spec))
+        return [(index, index + 1) for index in range(count)]
     total = (len(spec.ids) if spec.kind == EXPERIMENTS_KIND
              else len(spec.ceas) * len(spec.budgets))
     size = spec.effective_chunk_size
@@ -95,6 +100,10 @@ def execute_chunk(spec: JobSpec, index: int) -> Dict[str, Any]:
 
         return execute_optimize_chunk(OptimizeParams.from_spec(spec),
                                       index)
+    if spec.kind == TRACE_KIND:
+        from ..traces import TraceParams, execute_trace_chunk
+
+        return execute_trace_chunk(TraceParams.from_spec(spec), index)
     return _execute_sweep(spec, start, stop)
 
 
@@ -182,6 +191,11 @@ def assemble_artifact(spec: JobSpec,
 
         return assemble_optimize_artifact(OptimizeParams.from_spec(spec),
                                           list(payloads))
+    if spec.kind == TRACE_KIND:
+        from ..traces import TraceParams, assemble_trace_artifact
+
+        return assemble_trace_artifact(TraceParams.from_spec(spec),
+                                       list(payloads))
     rows = [row for payload in payloads for row in payload["points"]]
     _, _, labels = _sweep_model_and_effect(spec)
     return {

@@ -24,17 +24,20 @@ __all__ = [
     "EXPERIMENTS_KIND",
     "SWEEP_KIND",
     "OPTIMIZE_KIND",
+    "TRACE_KIND",
     "KINDS",
     "DEFAULT_EXPERIMENT_CHUNK",
     "DEFAULT_SWEEP_CHUNK",
     "DEFAULT_OPTIMIZE_CHUNK",
+    "DEFAULT_TRACE_CHUNK",
     "DEFAULT_MAX_ATTEMPTS",
 ]
 
 EXPERIMENTS_KIND = "experiments"
 SWEEP_KIND = "sweep"
 OPTIMIZE_KIND = "optimize"
-KINDS = (EXPERIMENTS_KIND, SWEEP_KIND, OPTIMIZE_KIND)
+TRACE_KIND = "trace"
+KINDS = (EXPERIMENTS_KIND, SWEEP_KIND, OPTIMIZE_KIND, TRACE_KIND)
 
 #: One experiment per chunk: a checkpoint lands after every artifact,
 #: so a crash mid-registry loses at most one experiment's work.
@@ -47,6 +50,10 @@ DEFAULT_SWEEP_CHUNK = 64
 #: Valid configurations per exhaustive-optimize chunk.  Evolutionary
 #: jobs ignore this — there, one generation is one chunk.
 DEFAULT_OPTIMIZE_CHUNK = 2048
+
+#: One trace-simulation unit per chunk: profiling is sequential within
+#: a unit, so the unit is the natural checkpoint grain.
+DEFAULT_TRACE_CHUNK = 1
 
 #: Execution attempts before a job is marked failed for good.
 DEFAULT_MAX_ATTEMPTS = 3
@@ -75,6 +82,9 @@ class JobSpec:
     generations: int = 0
     population: int = 0
     space: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    # Trace-only field (see repro.traces): the resolved
+    # ``TraceParams.to_items()`` in hashable key/value form.
+    trace: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -96,6 +106,11 @@ class JobSpec:
                     f"('exhaustive' or 'evolutionary'), "
                     f"got {self.strategy!r}"
                 )
+        if self.kind == TRACE_KIND and not self.trace:
+            raise ValueError(
+                "trace jobs need resolved trace params "
+                "(use JobSpec.trace_job)"
+            )
 
     # -- construction --------------------------------------------------
 
@@ -167,6 +182,26 @@ class JobSpec:
             chunk_size=chunk_size,
         )
 
+    @classmethod
+    def trace_job(cls, *, params: Optional[Any] = None,
+                  chunk_size: int = 0, **kwargs: Any) -> "JobSpec":
+        """A trace-simulation job (see :mod:`repro.traces`).
+
+        Pass a resolved :class:`~repro.traces.TraceParams` via
+        ``params``, or its :meth:`~repro.traces.TraceParams.create`
+        keyword arguments directly.  Resolution happens **here**, so
+        the stored spec — and therefore the chunk plan — is canonical.
+        """
+        from ..traces import TraceParams
+
+        if params is None:
+            params = TraceParams.create(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either params or keyword arguments, "
+                             "not both")
+        return cls(kind=TRACE_KIND, trace=params.to_items(),
+                   chunk_size=chunk_size)
+
     # -- serialisation -------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -186,6 +221,11 @@ class JobSpec:
                 population=self.population,
                 space={name: list(values) for name, values in self.space},
             )
+        elif self.kind == TRACE_KIND:
+            payload["trace"] = {
+                key: (list(value) if isinstance(value, tuple) else value)
+                for key, value in self.trace
+            }
         else:
             payload.update(
                 ceas=list(self.ceas),
@@ -223,6 +263,15 @@ class JobSpec:
                     payload.get("space")).to_items(),
                 chunk_size=chunk_size,
             )
+        if kind == TRACE_KIND:
+            from ..traces import TraceParams
+
+            return cls(
+                kind=kind,
+                trace=TraceParams.from_items(
+                    payload.get("trace", {})).to_items(),
+                chunk_size=chunk_size,
+            )
         return cls(
             kind=kind,
             ceas=tuple(float(c) for c in payload.get("ceas", ())),
@@ -242,4 +291,6 @@ class JobSpec:
             return DEFAULT_EXPERIMENT_CHUNK
         if self.kind == OPTIMIZE_KIND:
             return DEFAULT_OPTIMIZE_CHUNK
+        if self.kind == TRACE_KIND:
+            return DEFAULT_TRACE_CHUNK
         return DEFAULT_SWEEP_CHUNK

@@ -103,6 +103,7 @@ from .validation import (
     validate_optimize_request,
     validate_solve_request,
     validate_sweep_request,
+    validate_trace_request,
 )
 
 __all__ = [
@@ -209,6 +210,7 @@ EXPENSIVE_ROUTES = frozenset([
     ("POST", "/v1/sweep"),
     ("GET", "/v1/experiments/{id}"),
     ("POST", "/v1/optimize"),
+    ("POST", "/v1/traces"),
 ])
 
 
@@ -306,6 +308,10 @@ class BandwidthWallService:
              self._handle_optimize_submit, "/v1/optimize"),
             ("GET", re.compile(r"^/v1/optimize/(?P<jid>[^/]+)$"),
              self._handle_optimize_get, "/v1/optimize/{id}"),
+            ("POST", re.compile(r"^/v1/traces$"),
+             self._handle_trace_submit, "/v1/traces"),
+            ("GET", re.compile(r"^/v1/traces/(?P<jid>[^/]+)$"),
+             self._handle_trace_get, "/v1/traces/{id}"),
         ]
 
     @staticmethod
@@ -530,6 +536,31 @@ class BandwidthWallService:
                        "cancelled"):
             optimize_jobs.set_callback(optimize_status_gauge(status),
                                        status=status)
+        # Trace-simulation subsystem (POST /v1/traces).
+        self.traces_submitted = registry.counter(
+            "traces_jobs_submitted_total",
+            "Trace jobs accepted via POST /v1/traces, by source.",
+            ("source",),
+        )
+        self.traces_accesses = registry.counter(
+            "traces_accesses_budgeted_total",
+            "Simulated memory accesses budgeted by accepted trace jobs.",
+        )
+        trace_jobs = registry.gauge(
+            "traces_jobs",
+            "Trace jobs in the store, by status.",
+            ("status",),
+        )
+
+        def trace_status_gauge(status: str) -> Callable[[], float]:
+            return store_gauge(
+                lambda: self.job_manager.store
+                .kind_status_counts("trace")[status])
+
+        for status in ("queued", "running", "succeeded", "failed",
+                       "cancelled"):
+            trace_jobs.set_callback(trace_status_gauge(status),
+                                    status=status)
         # Scale-out: the shared cache tier aggregates event counters
         # across every process in the pre-fork group, so any child's
         # /metrics page shows group-wide cache behaviour.
@@ -922,6 +953,30 @@ class BandwidthWallService:
             raise NotFoundError(
                 f"job {record.id!r} is a {record.kind} job, not an "
                 f"optimize job; fetch it via GET /v1/jobs/{record.id}"
+            )
+        return self._json_response(self._job_payload(record))
+
+    def _handle_trace_submit(self, match, query, body) -> Response:
+        if self.draining.is_set():
+            raise ServiceDrainingError(
+                "service is draining; trace submissions are not accepted"
+            )
+        request = validate_trace_request(self._parse_json(body))
+        record = self._store_call(
+            self.job_manager.submit,
+            request.spec, max_attempts=request.max_attempts,
+        )
+        self.jobs_submitted.inc(kind=record.kind)
+        self.traces_submitted.inc(source=request.source)
+        self.traces_accesses.inc(request.total_accesses)
+        return self._json_response(self._job_payload(record), status=202)
+
+    def _handle_trace_get(self, match, query, body) -> Response:
+        record = self._job_record(match)
+        if record.kind != "trace":
+            raise NotFoundError(
+                f"job {record.id!r} is a {record.kind} job, not a "
+                f"trace job; fetch it via GET /v1/jobs/{record.id}"
             )
         return self._json_response(self._job_payload(record))
 

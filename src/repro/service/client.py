@@ -281,6 +281,54 @@ class ServiceClient:
             retries=IDEMPOTENT_RETRIES,
         )
 
+    def submit_trace(
+            self, *, source: str,
+            units: Optional[Sequence[Any]] = None,
+            accesses: Optional[int] = None,
+            working_set_lines: Optional[int] = None,
+            line_bytes: Optional[int] = None,
+            seed: Optional[int] = None,
+            line_counts: Optional[Sequence[int]] = None,
+            fit_min_lines: Optional[int] = None,
+            fit_max_lines: Optional[int] = None,
+            associativity: Optional[int] = None,
+            max_attempts: Optional[int] = None) -> Dict[str, Any]:
+        """Submit a trace-simulation job (``POST /v1/traces``).
+
+        ``units`` are source-specific (alphas, core counts, strides);
+        omitted knobs take the service defaults.  Returns the 202 job
+        payload.
+        """
+        body: Dict[str, Any] = {"source": source}
+        if units is not None:
+            body["units"] = list(units)
+        if accesses is not None:
+            body["accesses"] = accesses
+        if working_set_lines is not None:
+            body["working_set_lines"] = working_set_lines
+        if line_bytes is not None:
+            body["line_bytes"] = line_bytes
+        if seed is not None:
+            body["seed"] = seed
+        if line_counts is not None:
+            body["line_counts"] = list(line_counts)
+        if fit_min_lines is not None:
+            body["fit_min_lines"] = fit_min_lines
+        if fit_max_lines is not None:
+            body["fit_max_lines"] = fit_max_lines
+        if associativity is not None:
+            body["associativity"] = associativity
+        if max_attempts is not None:
+            body["max_attempts"] = max_attempts
+        return self.request_json("POST", "/v1/traces", body=body)
+
+    def trace_result(self, job_id: str) -> Dict[str, Any]:
+        """Fetch one trace job (404 for non-trace job ids)."""
+        return self.request_json(
+            "GET", "/v1/traces/" + urllib.parse.quote(job_id, safe=""),
+            retries=IDEMPOTENT_RETRIES,
+        )
+
     def jobs(self, status: Optional[str] = None) -> Dict[str, Any]:
         path = "/v1/jobs"
         if status is not None:

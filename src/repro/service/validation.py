@@ -22,13 +22,19 @@ __all__ = [
     "MAX_OPTIMIZE_EVALUATIONS",
     "MAX_OPTIMIZE_GENERATIONS",
     "MAX_OPTIMIZE_POPULATION",
+    "MAX_TRACE_ACCESSES",
+    "MAX_TRACE_UNITS",
+    "MAX_TRACE_CAPACITIES",
+    "MAX_TRACE_WORKING_SET",
     "SweepRequest",
     "JobRequest",
     "OptimizeRequest",
+    "TraceRequest",
     "validate_solve_request",
     "validate_sweep_request",
     "validate_job_request",
     "validate_optimize_request",
+    "validate_trace_request",
 ]
 
 #: Upper bound on one sweep's grid (|ceas| x |budgets|).  A request
@@ -46,6 +52,14 @@ MAX_OPTIMIZE_EVALUATIONS = 20_000
 MAX_OPTIMIZE_GENERATIONS = 200
 MAX_OPTIMIZE_POPULATION = 256
 
+#: Bounds on ``POST /v1/traces``: total simulated accesses an accepted
+#: request may cost (``sharing`` units scale with their core count),
+#: plus per-knob caps keeping one job's memory and latency bounded.
+MAX_TRACE_ACCESSES = 2_000_000
+MAX_TRACE_UNITS = 16
+MAX_TRACE_CAPACITIES = 64
+MAX_TRACE_WORKING_SET = 1 << 18
+
 _SOLVE_FIELDS = ("ceas", "alpha", "budget", "techniques")
 _SWEEP_FIELDS = ("ceas", "alpha", "budgets", "techniques")
 _JOB_FIELDS = ("kind", "ids", "ceas", "budgets", "alpha", "techniques",
@@ -53,6 +67,9 @@ _JOB_FIELDS = ("kind", "ids", "ceas", "budgets", "alpha", "techniques",
 _OPTIMIZE_FIELDS = ("ceas", "budget", "alpha", "strategy", "seed",
                     "generations", "population", "space", "chunk_size",
                     "max_attempts")
+_TRACE_FIELDS = ("source", "units", "accesses", "working_set_lines",
+                 "line_bytes", "seed", "line_counts", "fit_min_lines",
+                 "fit_max_lines", "associativity", "max_attempts")
 
 
 @dataclass(frozen=True)
@@ -278,6 +295,10 @@ def validate_job_request(payload: Any) -> JobRequest:
         raise ValidationError([FieldError(
             "kind", "optimize jobs are submitted via POST /v1/optimize"
         )])
+    if kind == "trace":
+        raise ValidationError([FieldError(
+            "kind", "trace jobs are submitted via POST /v1/traces"
+        )])
     if kind not in (EXPERIMENTS_KIND, SWEEP_KIND):
         errors.append(FieldError(
             "kind",
@@ -463,6 +484,203 @@ def validate_optimize_request(payload: Any) -> OptimizeRequest:
             seed=seed, generations=generations, population=population,
             space=space, chunk_size=chunk_size,
         ),
+        max_attempts=max_attempts,
+    )
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """A validated ``POST /v1/traces`` body: a resolved trace
+    :class:`~repro.jobs.spec.JobSpec` plus retry budget."""
+
+    spec: "JobSpec"
+    max_attempts: int
+
+    @property
+    def total_accesses(self) -> int:
+        """Simulated accesses the request admits to (admission cost)."""
+        from ..traces import TraceParams
+
+        return TraceParams.from_spec(self.spec).total_accesses
+
+    @property
+    def source(self) -> str:
+        return dict(self.spec.trace)["source"]
+
+
+def _trace_units_field(payload: Dict[str, Any], source: str,
+                       errors: List[FieldError]) -> Any:
+    """Validate ``units`` against the source (None = source default)."""
+    raw = payload.get("units")
+    if raw is None:
+        return None
+    if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+        raw = [raw]
+    if not isinstance(raw, list) or not raw:
+        errors.append(FieldError(
+            "units", "must be a number or a non-empty list of numbers "
+                     "(omit for the source's defaults)"
+        ))
+        return None
+    if len(raw) > MAX_TRACE_UNITS:
+        errors.append(FieldError(
+            "units", f"too many units: {len(raw)} > {MAX_TRACE_UNITS}"
+        ))
+        return None
+    values: List[Any] = []
+    for index, value in enumerate(raw):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(FieldError(
+                f"units[{index}]",
+                f"must be a number, got {type(value).__name__}",
+            ))
+            continue
+        if source == "powerlaw":
+            value = float(value)
+            if not math.isfinite(value) or not 0 < value <= 4:
+                errors.append(FieldError(
+                    f"units[{index}]",
+                    f"powerlaw units are alphas in (0, 4], got {value}",
+                ))
+                continue
+        else:
+            if isinstance(value, float) and not value.is_integer():
+                errors.append(FieldError(
+                    f"units[{index}]",
+                    f"{source} units are positive integers, got {value}",
+                ))
+                continue
+            value = int(value)
+            if value < 1:
+                errors.append(FieldError(
+                    f"units[{index}]",
+                    f"{source} units are positive integers, got {value}",
+                ))
+                continue
+        values.append(value)
+    return values if values else None
+
+
+def _trace_line_counts_field(payload: Dict[str, Any],
+                             errors: List[FieldError]) -> Any:
+    """Validate ``line_counts`` capacities (None = the default ladder)."""
+    raw = payload.get("line_counts")
+    if raw is None:
+        return None
+    if not isinstance(raw, list) or not raw:
+        errors.append(FieldError(
+            "line_counts", "must be a non-empty list of capacities in "
+                           "cache lines (omit for the default ladder)"
+        ))
+        return None
+    if len(raw) > MAX_TRACE_CAPACITIES:
+        errors.append(FieldError(
+            "line_counts",
+            f"too many capacities: {len(raw)} > {MAX_TRACE_CAPACITIES}",
+        ))
+        return None
+    values: List[int] = []
+    for index, value in enumerate(raw):
+        if isinstance(value, bool) or not isinstance(value, int) \
+                or not 1 <= value <= MAX_TRACE_WORKING_SET * 4:
+            errors.append(FieldError(
+                f"line_counts[{index}]",
+                f"must be an integer between 1 and "
+                f"{MAX_TRACE_WORKING_SET * 4}, got {value!r}",
+            ))
+            continue
+        values.append(value)
+    return values if values else None
+
+
+def validate_trace_request(payload: Any) -> TraceRequest:
+    """Validate a ``POST /v1/traces`` body into a trace job spec.
+
+    Only synthetic sources are accepted over HTTP — ``file`` traces
+    would make the service read server-side paths.  The request's total
+    simulated-access cost (``sharing`` units scale with their core
+    count) is capped at :data:`MAX_TRACE_ACCESSES`.
+    """
+    from ..jobs.spec import DEFAULT_MAX_ATTEMPTS, JobSpec
+    from ..traces import TraceParams
+    from ..traces.synthesis import SYNTHETIC_SOURCES
+
+    payload = _require_object(payload)
+    errors: List[FieldError] = []
+    _check_unknown_fields(payload, _TRACE_FIELDS, errors)
+    source = payload.get("source")
+    if source is None:
+        errors.append(FieldError(
+            "source",
+            f"required: one of {list(SYNTHETIC_SOURCES)}",
+        ))
+        source = "powerlaw"
+    elif source not in SYNTHETIC_SOURCES:
+        errors.append(FieldError(
+            "source",
+            f"must be one of {list(SYNTHETIC_SOURCES)} "
+            f"(file traces run via the CLI only), got {source!r}",
+        ))
+        source = "powerlaw"
+    units = _trace_units_field(payload, source, errors)
+    accesses = _bounded_int(payload, "accesses", 100_000,
+                            MAX_TRACE_ACCESSES, errors)
+    working_set_lines = _bounded_int(payload, "working_set_lines",
+                                     1 << 14, MAX_TRACE_WORKING_SET,
+                                     errors)
+    line_bytes = payload.get("line_bytes", 64)
+    if isinstance(line_bytes, bool) or not isinstance(line_bytes, int) \
+            or line_bytes < 8 or line_bytes > 4096 \
+            or line_bytes & (line_bytes - 1):
+        errors.append(FieldError(
+            "line_bytes",
+            f"must be a power of two between 8 and 4096, "
+            f"got {line_bytes!r}",
+        ))
+        line_bytes = 64
+    seed = payload.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        errors.append(FieldError(
+            "seed", f"must be an integer, got {type(seed).__name__}"
+        ))
+        seed = 0
+    line_counts = _trace_line_counts_field(payload, errors)
+    fit_min_lines = 0
+    if "fit_min_lines" in payload:
+        fit_min_lines = _bounded_int(payload, "fit_min_lines", 1,
+                                     MAX_TRACE_WORKING_SET * 4, errors)
+    fit_max_lines = 2048
+    if "fit_max_lines" in payload:
+        fit_max_lines = _bounded_int(payload, "fit_max_lines", 2048,
+                                     MAX_TRACE_WORKING_SET * 4, errors)
+    associativity = 0
+    if "associativity" in payload:
+        associativity = _bounded_int(payload, "associativity", 8, 64,
+                                     errors)
+    max_attempts = _bounded_int(payload, "max_attempts",
+                                DEFAULT_MAX_ATTEMPTS, MAX_JOB_ATTEMPTS,
+                                errors)
+    if errors:
+        raise ValidationError(errors)
+    try:
+        params = TraceParams.create(
+            source=source, units=units, accesses=accesses,
+            working_set_lines=working_set_lines, line_bytes=line_bytes,
+            seed=seed, line_counts=line_counts,
+            fit_min_lines=fit_min_lines, fit_max_lines=fit_max_lines,
+            associativity=associativity,
+        )
+    except ValueError as error:
+        raise ValidationError([FieldError("$", str(error))])
+    if params.total_accesses > MAX_TRACE_ACCESSES:
+        raise ValidationError([FieldError(
+            "accesses",
+            f"simulation too large: {params.total_accesses} total "
+            f"accesses > {MAX_TRACE_ACCESSES} (sharing units multiply "
+            f"accesses by their core count)",
+        )])
+    return TraceRequest(
+        spec=JobSpec.trace_job(params=params),
         max_attempts=max_attempts,
     )
 

@@ -1,0 +1,213 @@
+"""Yavits-style miss-curve fitting: power law plus a compulsory term.
+
+The paper's model is ``m(C) = c * C^-alpha``.  Yavits et al. ("Effect
+of Data Sharing on Private Cache Design in Chip Multiprocessors",
+arXiv 1602.01329) observe that real traces — especially multithreaded
+ones whose footprint grows with the thread count — carry a
+capacity-independent *compulsory* component the pure power law cannot
+express, and extend the model to::
+
+    m(C) = c * C^-alpha + m_c
+
+This module fits that form.  The inner (c, alpha) fit for a fixed
+``m_c`` is the existing log-log OLS (:func:`repro.analysis.fitting
+.fit_power_law` on the floored-out rates); the outer search over
+``m_c`` minimises the linear-space sum of squared residuals on a
+deterministic refined grid, so identical curves always produce
+identical fits — the property the golden harness and byte-identical
+job artifacts rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..analysis.fitting import fit_power_law
+from ..core.powerlaw import PowerLawMissModel
+from ..workloads.stack_distance import MissCurve
+
+__all__ = ["YavitsFit", "fit_yavits", "calibrated_model"]
+
+#: Outer-search resolution: candidates per grid pass, and how many
+#: times the grid zooms in around the incumbent best.
+_GRID_STEPS = 48
+_GRID_REFINEMENTS = 3
+
+#: The compulsory term may approach but never reach the smallest
+#: measured rate (the floored-out rates must stay loggable).
+_FLOOR_MARGIN = 1e-9
+
+#: Points whose floored-out rate falls below this fraction of the
+#: largest floored-out rate sit in the floor's noise band: their huge
+#: negative logs would hijack the inner OLS and push every candidate
+#: floor's capacity fit off the cliff.  They are excluded from the
+#: *inner* fit but still scored by the outer SSE.
+_RELATIVE_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class YavitsFit:
+    """Result of fitting ``m(C) = c * C^-alpha + m_c`` to a curve."""
+
+    alpha: float
+    coefficient: float
+    compulsory: float
+    r_squared: float
+    #: Per-point ``measured - predicted`` miss-rate residuals, in the
+    #: fitted range's capacity order.
+    residuals: Tuple[float, ...]
+    points: int
+
+    def predict(self, lines: float) -> float:
+        """Miss rate the fit predicts at ``lines`` cache lines."""
+        if lines <= 0:
+            raise ValueError(f"lines must be positive, got {lines}")
+        return self.coefficient * lines ** (-self.alpha) + self.compulsory
+
+    @property
+    def conforms(self) -> bool:
+        """Pragmatic 'the extended law explains the curve' verdict."""
+        return self.r_squared >= 0.95
+
+    @property
+    def max_abs_residual(self) -> float:
+        return max(abs(r) for r in self.residuals)
+
+
+def _fit_at_floor(
+    sizes: Sequence[int],
+    rates: Sequence[float],
+    compulsory: float,
+) -> Optional[Tuple[float, float, float]]:
+    """``(alpha, coefficient, sse)`` for one candidate floor, or None.
+
+    ``sse`` is the linear-space sum of squared residuals against the
+    *original* rates — comparable across candidate floors, unlike the
+    log-space loss of the inner fit.
+    """
+    adjusted = [rate - compulsory for rate in rates]
+    if any(value <= 0 for value in adjusted):
+        return None
+    peak = max(adjusted)
+    kept = [
+        (size, value)
+        for size, value in zip(sizes, adjusted)
+        if value > _RELATIVE_FLOOR * peak
+    ]
+    if len(kept) < 2:
+        return None
+    fit = fit_power_law([size for size, _ in kept],
+                        [value for _, value in kept])
+    sse = sum(
+        (rate - (fit.coefficient * size ** (-fit.alpha) + compulsory)) ** 2
+        for size, rate in zip(sizes, rates)
+    )
+    return fit.alpha, fit.coefficient, sse
+
+
+def fit_yavits(
+    curve: MissCurve,
+    *,
+    min_lines: Optional[int] = None,
+    max_lines: Optional[int] = None,
+) -> YavitsFit:
+    """Fit the extended law to a measured curve.
+
+    The capacity range restriction works like
+    :func:`~repro.analysis.fitting.fit_miss_curve`; unlike the pure
+    power-law fit there is usually no need to trim the cold floor with
+    ``max_lines`` — the floor is the ``m_c`` the fit extracts.
+    """
+    points = [
+        (lines, rate)
+        for lines, rate in curve
+        if (min_lines is None or lines >= min_lines)
+        and (max_lines is None or lines <= max_lines)
+    ]
+    if len(points) < 3:
+        raise ValueError(
+            f"only {len(points)} curve points in range; the extended fit "
+            f"has three parameters and needs at least 3"
+        )
+    sizes, rates = zip(*points)
+    if any(rate <= 0 for rate in rates):
+        raise ValueError(
+            "miss rates must be positive; trim zero-miss points before "
+            "fitting"
+        )
+
+    hi = min(rates) - _FLOOR_MARGIN
+    lo = 0.0
+    best_floor = 0.0
+    best: Optional[Tuple[float, float, float]] = None
+    if hi <= lo:
+        best = _fit_at_floor(sizes, rates, 0.0)
+    else:
+        for _ in range(_GRID_REFINEMENTS):
+            step = (hi - lo) / _GRID_STEPS
+            for index in range(_GRID_STEPS + 1):
+                floor = lo + index * step
+                candidate = _fit_at_floor(sizes, rates, floor)
+                if candidate is None:
+                    continue
+                if best is None or candidate[2] < best[2]:
+                    best = candidate
+                    best_floor = floor
+            lo = max(0.0, best_floor - step)
+            hi = min(min(rates) - _FLOOR_MARGIN, best_floor + step)
+    if best is None:
+        raise ValueError(
+            "no feasible compulsory term: the curve cannot be floored "
+            "without non-positive rates"
+        )
+    alpha, coefficient, sse = best
+    mean_rate = sum(rates) / len(rates)
+    ss_tot = sum((rate - mean_rate) ** 2 for rate in rates)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - sse / ss_tot
+    residuals = tuple(
+        rate - (coefficient * size ** (-alpha) + best_floor)
+        for size, rate in zip(sizes, rates)
+    )
+    return YavitsFit(
+        alpha=alpha,
+        coefficient=coefficient,
+        compulsory=best_floor,
+        r_squared=r_squared,
+        residuals=residuals,
+        points=len(points),
+    )
+
+
+def calibrated_model(
+    fit: YavitsFit,
+    *,
+    reference_lines: int,
+    line_bytes: int = 64,
+    writeback_ratio: float = 0.0,
+) -> PowerLawMissModel:
+    """A solver-ready miss model anchored at a reference capacity.
+
+    The analytical model is the pure power law, so the calibrated
+    baseline is the fit's *capacity* component at the reference size;
+    the compulsory term rides along in :class:`YavitsFit` for callers
+    that need the floor (e.g. the sharing experiment).
+    """
+    if reference_lines < 1:
+        raise ValueError(
+            f"reference_lines must be >= 1, got {reference_lines}"
+        )
+    if not math.isfinite(fit.alpha) or fit.alpha <= 0:
+        raise ValueError(
+            f"fitted alpha {fit.alpha!r} is not a valid power-law "
+            f"exponent; the curve does not follow a declining power law"
+        )
+    baseline = fit.coefficient * reference_lines ** (-fit.alpha)
+    baseline = min(max(baseline, 0.0), 1.0)
+    return PowerLawMissModel(
+        alpha=fit.alpha,
+        baseline_miss_rate=baseline,
+        baseline_cache_size=float(reference_lines * line_bytes),
+        writeback_ratio=writeback_ratio,
+    )

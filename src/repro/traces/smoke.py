@@ -1,0 +1,108 @@
+"""End-to-end smoke check: synthesise a trace, fit it, solve with it.
+
+Run as::
+
+    PYTHONPATH=src python -m repro.traces.smoke
+
+Exercises the whole trace-to-solver loop on seeded inputs, in-process:
+
+1. a ``powerlaw`` trace generated at the paper's commercial-average
+   alpha (0.48) runs through the pipeline, and the fitted alpha lands
+   within the ISSUE-9 acceptance tolerance (0.02) of the generator's;
+2. the run is deterministic: a second pass produces byte-identical
+   artifact JSON, and the chunked jobs path assembles to the same
+   bytes as the serial path;
+3. a ``sharing`` trace pair shows the Figure-14 direction — the fitted
+   compulsory term declines as cores grow;
+4. the calibrated :class:`~repro.core.powerlaw.PowerLawMissModel`
+   feeds the bandwidth-wall solver and yields a positive,
+   budget-respecting core count — trace → fit → solve, closed.
+
+CI runs this as the trace subsystem's "is the pipeline actually
+usable" gate; the unit suite covers the pieces, this covers the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Generating alpha and the acceptance bound on the fitted one.
+GENERATING_ALPHA = 0.48
+ALPHA_TOLERANCE = 0.02
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"trace smoke FAILED: {message}")
+    print(f"ok: {message}")
+
+
+def main() -> int:
+    from ..core.area import ChipDesign
+    from ..core.powerlaw import PowerLawMissModel
+    from ..core.scaling import BandwidthWallModel
+    from ..jobs.executor import encode_artifact, execute_chunk, \
+        serial_artifact
+    from ..jobs.spec import JobSpec
+    from .pipeline import TraceParams, assemble_trace_artifact, run_trace
+
+    # 1. fit accuracy on a seeded synthetic trace
+    params = TraceParams.create(source="powerlaw",
+                                units=[GENERATING_ALPHA],
+                                accesses=60_000)
+    artifact = run_trace(params)
+    fit = artifact["units"][0]["yavits_fit"]
+    check(abs(fit["alpha"] - GENERATING_ALPHA) <= ALPHA_TOLERANCE,
+          f"fitted alpha {fit['alpha']:.4f} within {ALPHA_TOLERANCE} "
+          f"of generating {GENERATING_ALPHA}")
+    check(fit["r_squared"] > 0.99,
+          f"extended fit explains the curve (R^2={fit['r_squared']:.4f})")
+
+    # 2. determinism: serial rerun and the chunked jobs path agree
+    check(json.dumps(run_trace(params)) == json.dumps(artifact),
+          "serial rerun is byte-identical")
+    spec = JobSpec.trace_job(params=params)
+    chunked = assemble_trace_artifact(params, [execute_chunk(spec, 0)])
+    check(encode_artifact(chunked)
+          == encode_artifact(serial_artifact(spec)),
+          "chunked jobs path assembles to serial bytes")
+
+    # 3. the sharing mix shows Figure 14's direction
+    sharing = run_trace(TraceParams.create(
+        source="sharing", units=[4, 16], accesses=8000,
+        working_set_lines=2048,
+        line_counts=[2**k for k in range(4, 17)], fit_max_lines=0,
+    ))
+    floors = [unit["yavits_fit"]["compulsory"]
+              for unit in sharing["units"]]
+    check(floors[0] > floors[1] > 0,
+          f"compulsory term declines with cores "
+          f"({floors[0]:.4f} @ 4 -> {floors[1]:.4f} @ 16)")
+
+    # 4. trace -> fit -> solve: the calibrated alpha drives the solver
+    calibrated = artifact["units"][0]["model"]
+    miss_model = PowerLawMissModel(
+        alpha=calibrated["alpha"],
+        baseline_miss_rate=calibrated["baseline_miss_rate"],
+        baseline_cache_size=float(
+            calibrated["baseline_cache_size_bytes"]),
+    )
+    check(0 < miss_model.miss_rate(miss_model.baseline_cache_size * 4)
+          < miss_model.baseline_miss_rate,
+          "calibrated miss model declines with capacity")
+    solver = BandwidthWallModel(ChipDesign(16, 8),
+                                alpha=calibrated["alpha"])
+    solution = solver.supportable_cores(256.0, traffic_budget=1.0)
+    check(solution.cores >= 1,
+          f"fitted alpha solves to {solution.cores} cores at 256 CEAs")
+    check(solver.relative_traffic(256.0, float(solution.cores))
+          <= 1.0 + 1e-9,
+          "solution respects the traffic budget")
+
+    print("trace smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

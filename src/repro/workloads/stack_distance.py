@@ -24,9 +24,30 @@ from __future__ import annotations
 
 import math
 import random
+from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .address_stream import MemoryAccess
+
+try:  # optional, like repro.core.vectorized — stdlib-only still works
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships in the test env
+    _np = None
+
+#: Accesses pulled from a stream per profiling batch.  Big enough that
+#: the per-batch numpy shift and the hoisted-local Fenwick loop
+#: amortise, small enough to keep streaming memory flat.
+_STREAM_BATCH = 8192
+
+
+def _numpy_active() -> bool:
+    """Batch through numpy?  Honours ``REPRO_VECTORIZED=off`` so one
+    switch disables every vectorized path in the process."""
+    if _np is None:
+        return False
+    from ..core import vectorized
+
+    return vectorized.mode() != "off"
 
 __all__ = [
     "ParetoStackDistanceSampler",
@@ -330,17 +351,95 @@ class StackDistanceProfiler:
         self._time += 1
         return distance
 
+    def _record_lines(self, lines: Sequence[int]) -> None:
+        """Record a batch of line addresses with the inner loops inlined.
+
+        Same integer arithmetic as :meth:`record` — dict lookups,
+        Fenwick range query, histogram update — with the method-call
+        overhead hoisted out, so the histogram (and therefore every
+        miss curve) is identical to the one-at-a-time path.
+        """
+        while self._time + len(lines) > self._capacity:
+            self._grow()
+        tree = self._fenwick._tree
+        size = self._fenwick.size
+        last = self._last_time
+        last_get = last.get
+        histogram = self._histogram
+        hist_get = histogram.get
+        time = self._time
+        cold = 0
+        for line in lines:
+            previous = last_get(line)
+            if previous is None:
+                cold += 1
+            else:
+                i = time  # prefix_sum(time - 1)
+                above = 0
+                while i > 0:
+                    above += tree[i]
+                    i -= i & (-i)
+                i = previous + 1  # - prefix_sum(previous)
+                while i > 0:
+                    above -= tree[i]
+                    i -= i & (-i)
+                distance = above + 1
+                histogram[distance] = hist_get(distance, 0) + 1
+                i = previous + 1  # fenwick.add(previous, -1)
+                while i <= size:
+                    tree[i] -= 1
+                    i += i & (-i)
+            i = time + 1  # fenwick.add(time, 1)
+            while i <= size:
+                tree[i] += 1
+                i += i & (-i)
+            last[line] = time
+            time += 1
+        self._time = time
+        self._cold += cold
+        self.accesses += len(lines)
+
     def record_stream(
         self, stream: Iterable[MemoryAccess], line_bytes: int = 64
     ) -> None:
-        """Record every access of a stream at line granularity."""
+        """Record every access of a stream at line granularity.
+
+        Streams are consumed in batches: the address-to-line shift runs
+        vectorized when numpy is available, and either way the batch
+        feeds :meth:`_record_lines`' hoisted loop.  All arithmetic is
+        integer, so both paths produce byte-identical histograms (the
+        goldens for the simulation-backed figures pin this).
+        """
         shift = line_bytes.bit_length() - 1
-        for access in stream:
-            self.record(access.address >> shift)
+        use_numpy = _numpy_active()
+        iterator = iter(stream)
+        while True:
+            batch = list(islice(iterator, _STREAM_BATCH))
+            if not batch:
+                return
+            if use_numpy:
+                try:
+                    addresses = _np.fromiter(
+                        (access.address for access in batch),
+                        dtype=_np.uint64, count=len(batch),
+                    )
+                    lines = (addresses >> _np.uint64(shift)).tolist()
+                except (OverflowError, ValueError):
+                    # Address beyond uint64 (synthetic stress traces):
+                    # integer python handles it exactly.
+                    lines = [access.address >> shift for access in batch]
+            else:
+                lines = [access.address >> shift for access in batch]
+            self._record_lines(lines)
 
     @property
     def cold_misses(self) -> int:
         return self._cold
+
+    @property
+    def distinct_lines(self) -> int:
+        """Distinct cache lines seen so far (the trace's footprint)."""
+        return len(self._last_time)
 
     def miss_rate(self, cache_lines: int, *,
                   exclude_cold: bool = False) -> float:
@@ -370,6 +469,34 @@ class StackDistanceProfiler:
         sizes = sorted(set(cache_line_counts))
         if not sizes:
             raise ValueError("need at least one cache size")
+        if _numpy_active() and self._histogram:
+            # Vectorized sweep: sort distances once, cumulate counts,
+            # binary-search every capacity.  Numerators stay integers
+            # and the final division happens in python floats, exactly
+            # like the scalar sweep below — byte-identical rates.
+            distances = _np.fromiter(
+                self._histogram.keys(), dtype=_np.int64,
+                count=len(self._histogram),
+            )
+            counts = _np.fromiter(
+                self._histogram.values(), dtype=_np.int64,
+                count=len(self._histogram),
+            )
+            order = _np.argsort(distances, kind="stable")
+            cumulative = _np.cumsum(counts[order])
+            positions = _np.searchsorted(
+                distances[order], _np.asarray(sizes, dtype=_np.int64),
+                side="right",
+            )
+            total = int(cumulative[-1])
+            cold = 0 if exclude_cold else self._cold
+            rates = tuple(
+                (cold + total
+                 - (int(cumulative[position - 1]) if position else 0))
+                / self.accesses
+                for position in positions
+            )
+            return MissCurve(tuple(sizes), rates)
         # One sweep over the sorted histogram per curve.
         distances = sorted(self._histogram)
         rates = []

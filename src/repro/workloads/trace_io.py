@@ -30,6 +30,10 @@ __all__ = ["write_trace", "read_trace", "TraceFormatError"]
 
 _MAGIC = "# repro-trace v1"
 
+#: Addresses are 64-bit: wider values would silently wrap in the
+#: fixed-width fast paths downstream, so both sides refuse them.
+_MAX_ADDRESS = (1 << 64) - 1
+
 
 class TraceFormatError(ValueError):
     """Raised when a trace file is malformed."""
@@ -46,31 +50,55 @@ def write_trace(
     accesses: Iterable[MemoryAccess],
     path: Union[str, Path],
 ) -> int:
-    """Write a stream of accesses; returns the number written."""
+    """Write a stream of accesses; returns the number written.
+
+    Raises :class:`TraceFormatError` for an empty stream (a trace with
+    no records cannot drive calibration and would be indistinguishable
+    from a failed capture) and for addresses wider than 64 bits.
+    """
     count = 0
     with _open(path, "w") as handle:
         handle.write(_MAGIC + "\n")
         for access in accesses:
+            if access.address > _MAX_ADDRESS:
+                raise TraceFormatError(
+                    f"{path}: address {access.address:#x} does not fit "
+                    f"in 64 bits (record {count + 1})"
+                )
             kind = "W" if access.is_write else "R"
             handle.write(
                 f"{kind} {access.address:#x} {access.core_id}\n"
             )
             count += 1
+    if count == 0:
+        raise TraceFormatError(
+            f"{path}: refusing to write an empty trace (no records)"
+        )
     return count
 
 
 def read_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
     """Stream accesses from a trace file.
 
-    Raises :class:`TraceFormatError` on a bad magic line or record.
+    Raises :class:`TraceFormatError` on a bad magic line or record, a
+    file with no records, a final line missing its newline (the
+    signature of a writer killed mid-record), or an address wider than
+    64 bits.
     """
+    count = 0
     with _open(path, "r") as handle:
-        first = handle.readline().rstrip("\n")
-        if first != _MAGIC:
+        first = handle.readline()
+        if first.rstrip("\n") != _MAGIC or not first.endswith("\n"):
             raise TraceFormatError(
-                f"{path}: expected magic line {_MAGIC!r}, got {first!r}"
+                f"{path}: expected magic line {_MAGIC!r}, got "
+                f"{first.rstrip(chr(10))!r}"
             )
         for line_number, line in enumerate(handle, start=2):
+            if not line.endswith("\n"):
+                raise TraceFormatError(
+                    f"{path}:{line_number}: missing trailing newline "
+                    f"(file truncated mid-record?)"
+                )
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
@@ -96,6 +124,11 @@ def read_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
                 raise TraceFormatError(
                     f"{path}:{line_number}: negative address"
                 )
+            if address > _MAX_ADDRESS:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: address {parts[1]} does "
+                    f"not fit in 64 bits"
+                )
             core_id = 0
             if len(parts) == 3:
                 try:
@@ -108,4 +141,9 @@ def read_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
                     raise TraceFormatError(
                         f"{path}:{line_number}: negative core id"
                     )
+            count += 1
             yield MemoryAccess(address, kind == "W", core_id)
+    if count == 0:
+        raise TraceFormatError(
+            f"{path}: trace contains no records"
+        )

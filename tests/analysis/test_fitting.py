@@ -53,6 +53,64 @@ class TestFitPowerLaw:
             fit.predict(0)
 
 
+class TestDegenerateInputs:
+    """Edge-of-domain curves the trace pipeline can produce."""
+
+    def test_flat_curve_fits_alpha_zero(self):
+        """A curve pinned at its compulsory floor is alpha = 0, with a
+        perfect fit (zero variance counts as fully explained)."""
+        sizes = [2**k for k in range(4, 10)]
+        fit = fit_power_law(sizes, [0.05] * len(sizes))
+        assert fit.alpha == pytest.approx(0.0, abs=1e-12)
+        assert fit.coefficient == pytest.approx(0.05, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(1 << 20) == pytest.approx(0.05, rel=1e-9)
+
+    def test_single_point_curve_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_power_law([64], [0.1])
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_miss_curve(MissCurve((64,), (0.1,)))
+
+    def test_alpha_at_zero_boundary(self):
+        """alpha -> 0+ stays recoverable (SPEC-like barely-declining
+        curves)."""
+        sizes = [2.0**k for k in range(3, 11)]
+        rates = [0.3 * s**-1e-6 for s in sizes]
+        fit = fit_power_law(sizes, rates)
+        assert fit.alpha == pytest.approx(1e-6, rel=1e-3)
+        assert fit.alpha > 0
+
+    def test_alpha_at_one_boundary(self):
+        """alpha = 1 (every extra line helps linearly) is exact."""
+        sizes = [2.0**k for k in range(3, 11)]
+        rates = [0.9 / s for s in sizes]
+        fit = fit_power_law(sizes, rates)
+        assert fit.alpha == pytest.approx(1.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_rising_curve_fits_negative_alpha(self):
+        """A mis-measured rising curve reports alpha < 0 rather than
+        masking the anomaly."""
+        fit = fit_power_law([8, 16, 32, 64], [0.1, 0.2, 0.4, 0.8])
+        assert fit.alpha == pytest.approx(-1.0, abs=1e-9)
+        assert not fit.conforms or fit.alpha < 0
+
+    def test_two_point_curve_is_exact_interpolation(self):
+        fit = fit_power_law([16, 64], [0.2, 0.05])
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(16) == pytest.approx(0.2, rel=1e-9)
+        assert fit.predict(64) == pytest.approx(0.05, rel=1e-9)
+
+    def test_tiny_rates_near_float_floor(self):
+        """Rates near the subnormal range must not overflow the log
+        transform."""
+        sizes = [2.0**k for k in range(4, 9)]
+        rates = [1e-300 * s**-0.5 for s in sizes]
+        fit = fit_power_law(sizes, rates)
+        assert fit.alpha == pytest.approx(0.5, abs=1e-6)
+
+
 class TestFitMissCurve:
     def test_range_restriction(self):
         # Power law for small sizes, floor at large sizes.

@@ -20,7 +20,7 @@ class TestConstruction:
 
         spec = JobSpec.experiments()
         assert spec.ids == tuple(experiment_ids())
-        assert len(spec.ids) == 28
+        assert len(spec.ids) == 30
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

@@ -34,7 +34,7 @@ class TestHealth:
     def test_healthz(self, client):
         payload = client.healthz()
         assert payload["status"] == "ok"
-        assert payload["experiments"] == 28
+        assert payload["experiments"] == 30
         assert payload["uptime_seconds"] >= 0
 
 
@@ -118,7 +118,7 @@ class TestSweep:
 class TestExperiments:
     def test_listing(self, client):
         payload = client.experiments()
-        assert payload["count"] == 28
+        assert payload["count"] == 30
         ids = [entry["id"] for entry in payload["experiments"]]
         assert ids[0] == "fig1"
         assert "table2" in ids
@@ -150,7 +150,7 @@ class TestExperiments:
         assert error.status == 404
         assert error.code == "not_found"
         assert "fig2" in error.detail["valid_ids"]
-        assert len(error.detail["valid_ids"]) == 28
+        assert len(error.detail["valid_ids"]) == 30
 
 
 class TestRouting:

@@ -240,18 +240,18 @@ class TestDraining:
 def test_full_registry_job_is_byte_identical_to_goldens(running,
                                                         client,
                                                         state_dir):
-    """Acceptance: POST /v1/jobs over all 28 experiments reproduces the
+    """Acceptance: POST /v1/jobs over all 30 experiments reproduces the
     golden artifacts byte-for-byte from the stored chunk checkpoints."""
     accepted = client.submit_experiments_job()
-    assert accepted["progress"]["chunks_total"] == 28
+    assert accepted["progress"]["chunks_total"] == 30
     done = client.wait_for_job(accepted["id"], timeout=300,
                                poll_interval=0.5)
     assert done["status"] == "succeeded"
-    assert done["result"]["count"] == 28
+    assert done["result"]["count"] == 30
 
     record = JobStore(state_dir).get(accepted["id"])
     artifact = json.loads(record.result_text)
-    assert len(artifact["experiments"]) == 28
+    assert len(artifact["experiments"]) == 30
     for entry in artifact["experiments"]:
         golden = GOLDENS / f"{entry['experiment_id']}.json"
         assert json.dumps(entry, indent=1) + "\n" == \

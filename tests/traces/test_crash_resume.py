@@ -1,0 +1,137 @@
+"""Crash-resume for trace jobs: SIGKILL mid-unit, restart, resume.
+
+ISSUE 9's acceptance bar for the jobs integration: a trace job whose
+worker was SIGKILLed mid-chunk must, after a restart, finish with an
+artifact byte-identical to an uninterrupted serial run, without
+re-executing any checkpointed unit.  Mirrors
+``tests/jobs/test_crash_resume.py`` with a ``trace`` spec.
+"""
+
+import collections
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.jobs.executor import (
+    chunk_count,
+    encode_artifact,
+    serial_artifact,
+)
+from repro.jobs.spec import JobSpec
+from repro.jobs.store import SUCCEEDED, JobStore
+from repro.jobs.worker import CHUNK_LOG_ENV, CHUNK_SLEEP_ENV
+
+LEASE_TTL = 1.0
+
+
+def trace_spec():
+    """Three quick units — three chunks, ~a second of real work."""
+    return JobSpec.trace_job(
+        source="powerlaw", units=(0.36, 0.48, 0.62), accesses=5000,
+        working_set_lines=2048,
+        line_counts=tuple(2**k for k in range(3, 10)), fit_max_lines=512,
+    )
+
+
+def worker_command(state_dir, worker_id, *, once=False):
+    command = [
+        sys.executable, "-m", "repro.jobs.worker",
+        "--state-dir", str(state_dir),
+        "--worker-id", worker_id,
+        "--lease-ttl", str(LEASE_TTL),
+        "--poll-interval", "0.05",
+    ]
+    if once:
+        command.append("--once")
+    return command
+
+
+def worker_env(chunk_log, *, chunk_sleep=None):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env[CHUNK_LOG_ENV] = str(chunk_log)
+    if chunk_sleep is not None:
+        env[CHUNK_SLEEP_ENV] = str(chunk_sleep)
+    else:
+        env.pop(CHUNK_SLEEP_ENV, None)
+    return env
+
+
+def wait_for(predicate, *, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def chunk_execution_counts(chunk_log):
+    counts = collections.Counter()
+    for line in Path(chunk_log).read_text().splitlines():
+        _, _, index = line.rpartition(":")
+        counts[int(index)] += 1
+    return counts
+
+
+@pytest.mark.slow
+def test_sigkill_mid_unit_then_restart_is_byte_identical(tmp_path):
+    spec = trace_spec()
+    store = JobStore(tmp_path)
+    job = store.submit(spec, chunks_total=chunk_count(spec))
+    chunk_log = tmp_path / "chunks.log"
+
+    # Phase 1: a worker that sleeps 300ms inside every unit, killed
+    # with SIGKILL once at least one checkpoint has landed — i.e. while
+    # it is provably inside a later unit's sleep window.
+    process = subprocess.Popen(
+        worker_command(tmp_path, "victim"),
+        env=worker_env(chunk_log, chunk_sleep=0.3),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        assert wait_for(lambda: store.get(job.id).chunks_done >= 1), \
+            "worker never checkpointed a unit"
+    finally:
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=10)
+
+    survived = set(store.checkpoints(job.id))
+    assert survived, "kill landed before any checkpoint"
+    interrupted = store.get(job.id)
+    assert interrupted.status == "running"  # lease died with the worker
+    assert interrupted.chunks_done < interrupted.chunks_total
+
+    # Phase 2: wait out the orphaned lease, then let a fresh worker
+    # process (no sleep hook) claim and finish the job.
+    assert wait_for(lambda: store.queue_depth() > 0,
+                    timeout=LEASE_TTL + 5.0), "lease never expired"
+    resume = subprocess.run(
+        worker_command(tmp_path, "successor", once=True),
+        env=worker_env(chunk_log),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        timeout=120,
+    )
+    assert resume.returncode == 0
+
+    record = store.get(job.id)
+    assert record.status == SUCCEEDED
+    assert record.attempts == 2  # victim's lease + successor's
+
+    # Byte-identity: the resumed artifact equals a chunkless serial run.
+    assert record.result_text == encode_artifact(serial_artifact(spec))
+
+    # Checkpointed units were executed exactly once; only the unit that
+    # was in flight when SIGKILL landed may have run twice.
+    counts = chunk_execution_counts(chunk_log)
+    assert set(counts) == set(range(chunk_count(spec)))
+    for index in survived:
+        assert counts[index] == 1, \
+            f"checkpointed unit {index} re-executed"
+    assert sum(counts.values()) <= chunk_count(spec) + 1

@@ -1,0 +1,91 @@
+"""Yavits-extended fitting: floor recovery, determinism, calibration."""
+
+import pytest
+
+from repro.traces.fitting import YavitsFit, calibrated_model, fit_yavits
+from repro.workloads.stack_distance import MissCurve
+
+SIZES = tuple(2**k for k in range(4, 13))
+
+
+def synthetic_curve(coefficient, alpha, floor):
+    return MissCurve(SIZES, tuple(
+        coefficient * size**-alpha + floor for size in SIZES
+    ))
+
+
+class TestFloorRecovery:
+    def test_recovers_all_three_parameters(self):
+        fit = fit_yavits(synthetic_curve(0.8, 0.5, 0.05))
+        assert fit.alpha == pytest.approx(0.5, abs=0.02)
+        assert fit.compulsory == pytest.approx(0.05, abs=0.003)
+        assert fit.coefficient == pytest.approx(0.8, rel=0.1)
+        assert fit.r_squared > 0.999
+        assert fit.conforms
+
+    def test_pure_power_law_gets_near_zero_floor(self):
+        fit = fit_yavits(synthetic_curve(0.8, 0.5, 0.0))
+        assert fit.compulsory == pytest.approx(0.0, abs=1e-3)
+        assert fit.alpha == pytest.approx(0.5, abs=0.02)
+
+    @pytest.mark.parametrize("floor", [0.01, 0.05, 0.2])
+    def test_floor_sweep(self, floor):
+        fit = fit_yavits(synthetic_curve(0.6, 0.48, floor))
+        assert fit.compulsory == pytest.approx(floor, rel=0.2)
+
+    def test_flat_curve_floors_out_completely(self):
+        """A curve pinned at its compulsory rate: alpha is meaningless
+        but the fit must not crash, and residuals must be tiny."""
+        curve = MissCurve(SIZES, (0.07,) * len(SIZES))
+        fit = fit_yavits(curve)
+        assert fit.max_abs_residual < 1e-6
+
+    def test_range_restriction(self):
+        fit = fit_yavits(synthetic_curve(0.8, 0.5, 0.05),
+                         min_lines=32, max_lines=1024)
+        assert fit.points == 6
+
+
+class TestDeterminism:
+    def test_identical_curves_identical_fits(self):
+        a = fit_yavits(synthetic_curve(0.8, 0.5, 0.03))
+        b = fit_yavits(synthetic_curve(0.8, 0.5, 0.03))
+        assert a == b  # frozen dataclass, bit-for-bit
+
+
+class TestValidation:
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_yavits(MissCurve((16, 32), (0.2, 0.1)))
+
+    def test_zero_rates_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_yavits(MissCurve((16, 32, 64), (0.2, 0.1, 0.0)))
+
+    def test_predict_guards_domain(self):
+        fit = fit_yavits(synthetic_curve(0.8, 0.5, 0.02))
+        with pytest.raises(ValueError):
+            fit.predict(0)
+        assert fit.predict(64) == pytest.approx(
+            fit.coefficient * 64**-fit.alpha + fit.compulsory)
+
+
+class TestCalibratedModel:
+    def test_model_anchored_at_reference(self):
+        fit = fit_yavits(synthetic_curve(0.8, 0.5, 0.02))
+        model = calibrated_model(fit, reference_lines=256, line_bytes=64)
+        assert model.alpha == fit.alpha
+        assert model.baseline_cache_size == 256 * 64
+        assert model.baseline_miss_rate == pytest.approx(
+            fit.coefficient * 256**-fit.alpha)
+
+    def test_nonpositive_alpha_rejected(self):
+        bogus = YavitsFit(alpha=-0.2, coefficient=0.5, compulsory=0.0,
+                          r_squared=1.0, residuals=(0.0,), points=3)
+        with pytest.raises(ValueError, match="not a valid power-law"):
+            calibrated_model(bogus, reference_lines=64)
+
+    def test_reference_must_be_positive(self):
+        fit = fit_yavits(synthetic_curve(0.8, 0.5, 0.02))
+        with pytest.raises(ValueError, match="reference_lines"):
+            calibrated_model(fit, reference_lines=0)

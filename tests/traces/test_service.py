@@ -1,0 +1,135 @@
+"""``/v1/traces`` end-to-end: real server, real workers, real store.
+
+Submission over HTTP, completion through the durable-jobs machinery,
+artifact retrieval via both the generic jobs API and the dedicated
+trace endpoint, field-level validation, admission-control access caps,
+and the ``traces_*`` metric families.
+"""
+
+import pytest
+
+from repro.service.app import ServiceConfig, start_service
+from repro.service.client import ServiceError
+
+#: Small enough for sub-second turnaround, big enough for a sane fit.
+FAST = dict(source="powerlaw", units=[0.5], accesses=5000,
+            working_set_lines=2048,
+            line_counts=[2**k for k in range(3, 10)], fit_max_lines=512)
+
+
+@pytest.fixture(scope="module")
+def running(tmp_path_factory):
+    handle = start_service(
+        ServiceConfig(workers=4,
+                      state_dir=str(tmp_path_factory.mktemp("trace-state")),
+                      job_workers=2, job_lease_ttl=10.0),
+        port=0,
+    )
+    yield handle
+    handle.drain_and_stop()
+
+
+@pytest.fixture(scope="module")
+def client(running):
+    return running.client()
+
+
+class TestLifecycle:
+    def test_submit_complete_and_fetch_artifact(self, client):
+        accepted = client.submit_trace(**FAST)
+        assert accepted["kind"] == "trace"
+        assert accepted["status"] in ("queued", "running")
+
+        done = client.wait_for_job(accepted["id"], timeout=60)
+        assert done["status"] == "succeeded"
+        result = done["result"]
+        assert result["kind"] == "trace"
+        assert result["source"] == "powerlaw"
+        assert result["count"] == 1
+        assert result["units"][0]["yavits_fit"]["alpha"] > 0
+
+        via_traces = client.trace_result(accepted["id"])
+        assert via_traces["result"] == result
+
+    def test_resubmission_is_deterministic(self, client):
+        first = client.submit_trace(**FAST)
+        second = client.submit_trace(**FAST)
+        assert first["id"] != second["id"]
+        a = client.wait_for_job(first["id"], timeout=60)
+        b = client.wait_for_job(second["id"], timeout=60)
+        assert a["result"] == b["result"]
+
+    def test_trace_endpoint_rejects_other_kinds(self, client):
+        accepted = client.submit_experiments_job(["fig13"])
+        client.wait_for_job(accepted["id"], timeout=30)
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace_result(accepted["id"])
+        assert excinfo.value.status == 404
+
+    def test_unknown_trace_job_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace_result("nope")
+        assert excinfo.value.status == 404
+
+    def test_generic_jobs_api_sees_trace_jobs(self, client):
+        accepted = client.submit_trace(**FAST)
+        record = client.job(accepted["id"])
+        assert record["kind"] == "trace"
+        client.wait_for_job(accepted["id"], timeout=60)
+
+
+class TestValidation:
+    def field_names(self, excinfo):
+        assert excinfo.value.status == 400
+        return {error["field"]
+                for error in excinfo.value.field_errors}
+
+    def test_source_required_and_all_errors_collected(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_trace(source="oracle", accesses="many",
+                                seed=1.5)  # type: ignore[arg-type]
+        fields = self.field_names(excinfo)
+        assert {"source", "accesses", "seed"} <= fields
+
+    def test_file_source_rejected_over_http(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_trace(source="file", units=["/etc/passwd"])
+        assert "source" in self.field_names(excinfo)
+
+    def test_bad_units_named(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_trace(source="powerlaw", units=[0.0, "x"])
+        fields = self.field_names(excinfo)
+        assert {"units[0]", "units[1]"} <= fields
+
+    def test_access_budget_cap_counts_sharing_cores(self, client):
+        # 64 cores x 100k accesses/core = 6.4M > the 2M admission cap
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_trace(source="sharing", units=[64])
+        assert "accesses" in self.field_names(excinfo)
+
+    def test_line_bytes_must_be_power_of_two(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_trace(source="powerlaw", line_bytes=48)
+        assert "line_bytes" in self.field_names(excinfo)
+
+    def test_trace_kind_rejected_on_generic_jobs_endpoint(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_job({"kind": "trace", "source": "powerlaw"})
+        assert excinfo.value.status == 400
+        assert any("POST /v1/traces" in error["message"]
+                   for error in excinfo.value.field_errors)
+
+
+class TestObservability:
+    def test_trace_metric_families_render(self, client):
+        accepted = client.submit_trace(**FAST)
+        client.wait_for_job(accepted["id"], timeout=60)
+        text = client.metrics_text()
+        assert 'traces_jobs_submitted_total{source="powerlaw"}' in text
+        assert "traces_accesses_budgeted_total" in text
+        assert 'traces_jobs{status="succeeded"}' in text
+
+    def test_healthz_stays_ok_with_trace_jobs(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"

@@ -1,0 +1,92 @@
+"""Trace sources: determinism, structure, measurement policy."""
+
+import pytest
+
+from repro.traces.synthesis import (
+    SYNTHETIC_SOURCES,
+    TRACE_SOURCES,
+    trace_source_streams,
+)
+from repro.workloads.trace_io import write_trace
+
+
+def materialise(source, unit, **kwargs):
+    streams = trace_source_streams(source, unit, **kwargs)
+    return list(streams.stream)
+
+
+COMMON = dict(accesses=2000, working_set_lines=512, line_bytes=64, seed=3)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("source,unit", [
+        ("powerlaw", 0.5), ("sequential", 1), ("strided", 4),
+        ("sharing", 4),
+    ])
+    def test_same_seed_same_stream(self, source, unit):
+        assert materialise(source, unit, **COMMON) \
+            == materialise(source, unit, **COMMON)
+
+    def test_different_seeds_differ(self):
+        a = materialise("powerlaw", 0.5, **COMMON)
+        b = materialise("powerlaw", 0.5, **{**COMMON, "seed": 4})
+        assert a != b
+
+
+class TestStructure:
+    def test_powerlaw_ships_warmup_and_excludes_cold(self):
+        streams = trace_source_streams("powerlaw", 0.5, **COMMON)
+        assert streams.warmup is not None
+        assert streams.exclude_cold
+        assert streams.label == "alpha=0.5"
+
+    def test_sequential_is_a_cyclic_scan(self):
+        accesses = materialise("sequential", 1, **COMMON)
+        lines = [a.address // 64 for a in accesses]
+        assert lines[:512] == list(range(512))
+        assert lines[512] == 0  # wraps
+
+    def test_strided_uses_the_unit_as_stride(self):
+        accesses = materialise("strided", 8, **COMMON)
+        lines = [a.address // 64 for a in accesses[:4]]
+        assert lines == [0, 8, 16, 24]
+
+    def test_sharing_tags_all_threads_and_keeps_cold(self):
+        streams = trace_source_streams("sharing", 4, **COMMON)
+        assert not streams.exclude_cold
+        accesses = list(streams.stream)
+        assert len(accesses) == 4 * COMMON["accesses"]
+        assert {a.core_id for a in accesses} == {0, 1, 2, 3}
+
+    def test_sharing_private_regions_are_disjoint_per_thread(self):
+        accesses = materialise("sharing", 4, **COMMON)
+        shared_top = COMMON["working_set_lines"] * 64
+        owners = {}
+        for access in accesses:
+            if access.address < shared_top:
+                continue  # shared region
+            region = access.address >> 28
+            owners.setdefault(region, set()).add(access.core_id)
+        assert owners, "no private accesses seen"
+        assert all(len(cores) == 1 for cores in owners.values())
+
+    def test_sharing_shared_region_touched_by_many_threads(self):
+        accesses = materialise("sharing", 4, **COMMON)
+        shared_top = COMMON["working_set_lines"] * 64
+        sharers = {a.core_id for a in accesses if a.address < shared_top}
+        assert len(sharers) == 4
+
+    def test_file_source_round_trips(self, tmp_path):
+        synthetic = materialise("powerlaw", 0.5, **COMMON)
+        path = tmp_path / "unit.trace"
+        write_trace(synthetic, path)
+        streams = trace_source_streams("file", str(path), **COMMON)
+        assert list(streams.stream) == synthetic
+        assert not streams.exclude_cold
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace source"):
+            trace_source_streams("oracle", 1, **COMMON)
+
+    def test_source_registries_consistent(self):
+        assert set(SYNTHETIC_SOURCES) | {"file"} == set(TRACE_SOURCES)

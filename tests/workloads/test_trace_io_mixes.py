@@ -79,6 +79,57 @@ class TestTraceIO:
         with pytest.raises(TraceFormatError):
             list(read_trace(path))
 
+    def test_wide_addresses_roundtrip(self, tmp_path):
+        """Addresses past 2^32 survive unchanged (sharing-mix private
+        regions live up there)."""
+        accesses = [
+            MemoryAccess(1 << 33, False, 0),
+            MemoryAccess((1 << 48) + 64, True, 15),
+            MemoryAccess((1 << 64) - 64, False, 3),
+        ]
+        path = tmp_path / "wide.trace"
+        write_trace(accesses, path)
+        assert list(read_trace(path)) == accesses
+
+    def test_write_rejects_oversized_address(self, tmp_path):
+        path = tmp_path / "huge.trace"
+        with pytest.raises(TraceFormatError, match="64 bits"):
+            write_trace([MemoryAccess(1 << 64, False, 0)], path)
+
+    def test_read_rejects_oversized_address(self, tmp_path):
+        path = tmp_path / "huge.trace"
+        path.write_text(f"# repro-trace v1\nR {1 << 64:#x} 0\n")
+        with pytest.raises(TraceFormatError, match="64 bits"):
+            list(read_trace(path))
+
+    def test_write_rejects_empty_stream(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="empty"):
+            write_trace([], tmp_path / "empty.trace")
+
+    def test_read_rejects_trace_with_no_records(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("# repro-trace v1\n# just comments\n\n")
+        with pytest.raises(TraceFormatError, match="no records"):
+            list(read_trace(path))
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "zero.trace"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="magic"):
+            list(read_trace(path))
+
+    def test_read_rejects_truncated_final_record(self, tmp_path):
+        path = tmp_path / "cut.trace"
+        path.write_text("# repro-trace v1\nR 0x40 0\nW 0x80")
+        with pytest.raises(TraceFormatError, match="newline"):
+            list(read_trace(path))
+
+    def test_read_rejects_truncated_magic(self, tmp_path):
+        path = tmp_path / "cutmagic.trace"
+        path.write_text("# repro-trace v1")
+        with pytest.raises(TraceFormatError, match="magic"):
+            list(read_trace(path))
+
 
 class TestMultiprogrammedMix:
     def test_round_robin_constructor(self):
